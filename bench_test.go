@@ -1,0 +1,143 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation as Go benchmarks: one benchmark per paper artifact, each
+// running the corresponding experiment from internal/experiment and
+// reporting the headline metrics (average access latency and tuning
+// time in bytes per query) as custom benchmark metrics.
+//
+// The benchmarks use a reduced query count per data point so that
+// `go test -bench=.` finishes in minutes; `cmd/dsibench` runs the same
+// experiments at full scale and prints the complete tables.
+package bench
+
+import (
+	"strconv"
+	"testing"
+
+	"dsi/internal/dsi"
+	"dsi/internal/experiment"
+)
+
+// dsiConfig is the configuration the paper evaluates after section 4.1:
+// the two-segment reorganized broadcast.
+func dsiConfig(capacity int) dsi.Config {
+	return dsi.Config{Capacity: capacity, Segments: 2}
+}
+
+// benchParams keeps benchmark iterations affordable while staying at
+// the paper's dataset scale.
+func benchParams() experiment.Params {
+	return experiment.Params{Queries: 5, Verify: true}
+}
+
+// reportFigure publishes the final X point of every series as custom
+// metrics, so `go test -bench` output carries the reproduced numbers.
+func reportFigure(b *testing.B, f experiment.Figure) {
+	for _, s := range f.Series {
+		if len(s.Y) == 0 {
+			continue
+		}
+		b.ReportMetric(s.Y[len(s.Y)-1], f.ID+"-"+s.Name+"-B")
+	}
+}
+
+func runFigureBench(b *testing.B, fn func(experiment.Params) experiment.Result) {
+	var res experiment.Result
+	for i := 0; i < b.N; i++ {
+		p := benchParams()
+		p.Seed = int64(i + 1) // vary the workload across iterations
+		res = fn(p)
+	}
+	for _, f := range res.Figures {
+		reportFigure(b, f)
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8: broadcast reorganization
+// (window and 10NN, original vs reorganized, conservative vs
+// aggressive) across packet capacities 32-512.
+func BenchmarkFig8(b *testing.B) { runFigureBench(b, experiment.Fig8) }
+
+// BenchmarkFig9 regenerates Figure 9: window queries vs. packet
+// capacity for DSI, R-tree and HCI.
+func BenchmarkFig9(b *testing.B) { runFigureBench(b, experiment.Fig9) }
+
+// BenchmarkFig10 regenerates Figure 10: window queries vs.
+// WinSideRatio.
+func BenchmarkFig10(b *testing.B) { runFigureBench(b, experiment.Fig10) }
+
+// BenchmarkFig11 regenerates Figure 11: NN and 10NN queries vs. packet
+// capacity.
+func BenchmarkFig11(b *testing.B) { runFigureBench(b, experiment.Fig11) }
+
+// BenchmarkFig12 regenerates Figure 12: kNN queries vs. k.
+func BenchmarkFig12(b *testing.B) { runFigureBench(b, experiment.Fig12) }
+
+// BenchmarkTable1 regenerates Table 1: performance deterioration under
+// link errors (theta in {0.2, 0.5, 0.7}) for all three indexes.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchParams()
+		p.Seed = int64(i + 1)
+		experiment.Table1(p)
+	}
+}
+
+// BenchmarkRealDataset regenerates the REAL-dataset comparisons the
+// paper reports in the text of sections 4.2 and 4.3.
+func BenchmarkRealDataset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchParams()
+		p.Seed = int64(i + 1)
+		experiment.RealDataset(p)
+	}
+}
+
+// BenchmarkAblationSizing compares the default auto frame sizing with
+// the paper's literal one-packet-table sizing (DESIGN.md item 3).
+func BenchmarkAblationSizing(b *testing.B) { runFigureBench(b, experiment.AblationSizing) }
+
+// BenchmarkAblationReorgM sweeps the reorganization factor m.
+func BenchmarkAblationReorgM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchParams()
+		p.Seed = int64(i + 1)
+		experiment.AblationReorgM(p)
+	}
+}
+
+// BenchmarkAblationIndexBase sweeps the index base r under the fixed
+// full-coverage sizing.
+func BenchmarkAblationIndexBase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchParams()
+		p.Seed = int64(i + 1)
+		experiment.AblationIndexBase(p)
+	}
+}
+
+// BenchmarkQueryThroughput measures raw simulated queries per second on
+// the paper's default configuration, per query type and capacity.
+func BenchmarkQueryThroughput(b *testing.B) {
+	p := experiment.Params{Queries: 1, Verify: false}
+	ds := p.Dataset()
+	for _, capacity := range []int{64, 512} {
+		sys, err := experiment.NewDSI(ds, dsiConfig(capacity), 0, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("window/C="+strconv.Itoa(capacity), func(b *testing.B) {
+			wl := &experiment.Workload{DS: ds, Queries: 1, Seed: 1}
+			for i := 0; i < b.N; i++ {
+				wl.Seed = int64(i)
+				wl.RunWindow(sys, experiment.DefaultWinSideRatio)
+			}
+		})
+		b.Run("knn10/C="+strconv.Itoa(capacity), func(b *testing.B) {
+			wl := &experiment.Workload{DS: ds, Queries: 1, Seed: 1}
+			for i := 0; i < b.N; i++ {
+				wl.Seed = int64(i)
+				wl.RunKNN(sys, 10)
+			}
+		})
+	}
+}

@@ -1,0 +1,81 @@
+// Command dsibench regenerates the paper's evaluation artifacts: every
+// figure (Fig. 8-12), Table 1, the REAL-dataset comparisons, and the
+// ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	dsibench -list
+//	dsibench -exp fig9 -queries 200
+//	dsibench -exp all -queries 100 -verify
+//
+// Results are printed as aligned text tables, one row per X value and
+// one column per series, with byte values in the units the paper plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dsi/internal/experiment"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run (see -list) or 'all'")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		queries = flag.Int("queries", 100, "queries averaged per data point")
+		n       = flag.Int("n", 0, "dataset cardinality (0 = paper default)")
+		order   = flag.Uint("order", 0, "Hilbert curve order (0 = paper default)")
+		seed    = flag.Int64("seed", 1, "dataset and workload seed")
+		verify  = flag.Bool("verify", true, "cross-check every query against brute force")
+		csv     = flag.Bool("csv", false, "emit figures as CSV instead of text tables")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, name := range experiment.Names() {
+			fmt.Printf("  %s\n", name)
+		}
+		return
+	}
+
+	params := experiment.Params{
+		N:       *n,
+		Order:   *order,
+		Seed:    *seed,
+		Queries: *queries,
+		Verify:  *verify,
+	}
+
+	var names []string
+	if *exp == "all" {
+		names = experiment.Names()
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			if _, ok := experiment.Registry[name]; !ok {
+				fmt.Fprintf(os.Stderr, "dsibench: unknown experiment %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			names = append(names, name)
+		}
+	}
+
+	for _, name := range names {
+		start := time.Now()
+		res := experiment.Registry[name](params)
+		fmt.Printf("=== %s (queries/point=%d, seed=%d, %.1fs) ===\n\n",
+			name, params.Queries, params.Seed, time.Since(start).Seconds())
+		if *csv {
+			fmt.Print(res.CSV())
+			for i := range res.Tables {
+				fmt.Print(res.Tables[i].Format())
+			}
+		} else {
+			fmt.Print(res.Format())
+		}
+	}
+}

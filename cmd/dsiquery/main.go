@@ -1,0 +1,136 @@
+// Command dsiquery runs a single query against a simulated DSI
+// broadcast and reports the result and its cost, for exploring how the
+// index behaves under different configurations.
+//
+// Usage:
+//
+//	dsiquery -mode window -win 40,40,80,80
+//	dsiquery -mode knn -q 128,128 -k 5 -segments 2 -theta 0.5
+//	dsiquery -mode point -q 17,33 -capacity 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsi/internal/broadcast"
+	"dsi/internal/dataset"
+	"dsi/internal/dsi"
+	"dsi/internal/spatial"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 10000, "number of objects")
+		order    = flag.Uint("order", 8, "Hilbert curve order")
+		seed     = flag.Int64("seed", 1, "dataset seed")
+		real     = flag.Bool("real", false, "use the REAL-like clustered dataset")
+		capacity = flag.Int("capacity", 64, "packet capacity in bytes")
+		segments = flag.Int("segments", 2, "broadcast reorganization factor m")
+		mode     = flag.String("mode", "knn", "query mode: window | knn | point")
+		winSpec  = flag.String("win", "100,100,125,125", "window as minX,minY,maxX,maxY")
+		qSpec    = flag.String("q", "128,128", "query point as x,y")
+		k        = flag.Int("k", 10, "number of neighbors for knn")
+		strat    = flag.String("strategy", "conservative", "knn strategy: conservative | aggressive")
+		probe    = flag.Int64("probe", -1, "probe slot (-1 = middle of the cycle)")
+		theta    = flag.Float64("theta", 0, "link-error ratio in [0,1)")
+		trace    = flag.Bool("trace", false, "print every client step (probe, table, header, object)")
+	)
+	flag.Parse()
+
+	var ds *dataset.Dataset
+	if *real {
+		cfg := dataset.DefaultRealConfig(*seed)
+		cfg.Order = *order
+		ds = dataset.Clustered(cfg)
+	} else {
+		ds = dataset.Uniform(*n, *order, *seed)
+	}
+
+	x, err := dsi.Build(ds, dsi.Config{Capacity: *capacity, Segments: *segments})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsiquery: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dataset: %s\nbroadcast: %v\n", ds.Name, x)
+
+	probeSlot := *probe
+	if probeSlot < 0 {
+		probeSlot = int64(x.Prog.Len() / 2)
+	}
+	var loss *broadcast.LossModel
+	if *theta > 0 {
+		loss = broadcast.NewLossModel(*theta, *seed+42)
+	}
+	c := dsi.NewClient(x, probeSlot, loss)
+	if *trace {
+		c.SetTracer(func(e dsi.Event) { fmt.Println(" ", e) })
+	}
+
+	switch *mode {
+	case "window":
+		var w spatial.Rect
+		if _, err := fmt.Sscanf(*winSpec, "%d,%d,%d,%d", &w.MinX, &w.MinY, &w.MaxX, &w.MaxY); err != nil {
+			fmt.Fprintf(os.Stderr, "dsiquery: bad -win %q: %v\n", *winSpec, err)
+			os.Exit(2)
+		}
+		ids, st := c.Window(w)
+		fmt.Printf("window %v: %d objects\n", w, len(ids))
+		printObjects(ds, ids, 10)
+		printStats(st)
+	case "knn":
+		q, ok := parsePoint(*qSpec)
+		if !ok {
+			os.Exit(2)
+		}
+		s := dsi.Conservative
+		if *strat == "aggressive" {
+			s = dsi.Aggressive
+		}
+		ids, st := c.KNN(q, *k, s)
+		fmt.Printf("%dNN at %v (%s strategy):\n", *k, q, s)
+		printObjects(ds, ids, *k)
+		printStats(st)
+	case "point":
+		q, ok := parsePoint(*qSpec)
+		if !ok {
+			os.Exit(2)
+		}
+		id, found, st := c.Point(q)
+		if found {
+			fmt.Printf("point %v: object %d\n", q, id)
+		} else {
+			fmt.Printf("point %v: no object\n", q)
+		}
+		printStats(st)
+	default:
+		fmt.Fprintf(os.Stderr, "dsiquery: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func parsePoint(spec string) (spatial.Point, bool) {
+	var p spatial.Point
+	if _, err := fmt.Sscanf(spec, "%d,%d", &p.X, &p.Y); err != nil {
+		fmt.Fprintf(os.Stderr, "dsiquery: bad point %q: %v\n", spec, err)
+		return p, false
+	}
+	return p, true
+}
+
+func printObjects(ds *dataset.Dataset, ids []int, limit int) {
+	for i, id := range ids {
+		if i == limit {
+			fmt.Printf("  ... and %d more\n", len(ids)-limit)
+			return
+		}
+		o := ds.ByID(id)
+		fmt.Printf("  object %5d at %v (hc=%d)\n", o.ID, o.P, o.HC)
+	}
+}
+
+func printStats(st broadcast.Stats) {
+	fmt.Printf("cost: access latency %d bytes, tuning time %d bytes (probe slot %d)\n",
+		st.LatencyBytes(), st.TuningBytes(), st.ProbeSlot)
+}

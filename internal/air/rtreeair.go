@@ -1,0 +1,161 @@
+package air
+
+import (
+	"math"
+	"sort"
+
+	"dsi/internal/broadcast"
+	"dsi/internal/dataset"
+	"dsi/internal/rtree"
+	"dsi/internal/spatial"
+)
+
+// RTreeBroadcast is the R-tree baseline on the broadcast channel: an
+// STR-packed R-tree laid out with the distributed indexing scheme, with
+// window and kNN search executed in broadcast order.
+type RTreeBroadcast struct {
+	DS   *dataset.Dataset
+	Tree *rtree.Tree
+	Lay  *Layout
+}
+
+// rtView adapts *rtree.Tree to the layout's TreeView.
+type rtView struct{ t *rtree.Tree }
+
+func (v rtView) RootID() int              { return v.t.Root().ID }
+func (v rtView) Height() int              { return v.t.Height() }
+func (v rtView) Level(id int) int         { return v.t.Node(id).Level }
+func (v rtView) Children(id int) []int    { return v.t.Node(id).Children }
+func (v rtView) LeafObjects(id int) []int { return v.t.Node(id).Objects }
+func (v rtView) NodeBytes() int           { return v.t.NodeBytes() }
+
+// NewRTreeBroadcast builds the R-tree over the dataset and its
+// broadcast layout. It fails at capacities that cannot hold an R-tree
+// entry (the paper's 32-byte limitation).
+func NewRTreeBroadcast(ds *dataset.Dataset, capacity, objectBytes int) (*RTreeBroadcast, error) {
+	t, err := rtree.BuildForCapacity(ds, capacity)
+	if err != nil {
+		return nil, err
+	}
+	lay, err := BuildLayout(rtView{t}, LayoutConfig{
+		Capacity:    capacity,
+		ObjectBytes: objectBytes,
+		AutoCut:     true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RTreeBroadcast{DS: ds, Tree: t, Lay: lay}, nil
+}
+
+// Window executes an on-air window query starting at the given absolute
+// probe slot and returns the matching object IDs in HC (ID) order.
+func (b *RTreeBroadcast) Window(w spatial.Rect, probeSlot int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
+	nav := newNavigator(b.Lay, probeSlot, loss)
+	nav.expand = func(id int, _ uint64) {
+		n := b.Tree.Node(id)
+		if n.Level == 0 {
+			for i, objID := range n.Objects {
+				if w.Intersects(n.MBRs[i]) {
+					nav.scheduleObj(objID)
+				}
+			}
+			return
+		}
+		for i, c := range n.Children {
+			if w.Intersects(n.MBRs[i]) {
+				nav.scheduleNode(c, 0)
+			}
+		}
+	}
+	nav.probe()
+	nav.scheduleNode(b.Tree.Root().ID, 0)
+	nav.run()
+	out := nav.retrievedIDs()
+	sort.Ints(out)
+	return out, nav.tu.Stats()
+}
+
+// KNN executes an on-air k-nearest-neighbor query: a best-effort
+// branch-and-bound served in broadcast order. Leaf entries carry exact
+// object points, so every discovered entry is a candidate that bounds
+// the search space; nodes and objects outside the current bound are
+// pruned when their broadcast slot arrives.
+func (b *RTreeBroadcast) KNN(q spatial.Point, k int, probeSlot int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
+	nav := newNavigator(b.Lay, probeSlot, loss)
+	if k <= 0 {
+		nav.probe()
+		return nil, nav.tu.Stats()
+	}
+	if k > b.DS.N() {
+		k = b.DS.N()
+	}
+
+	type cand struct {
+		id int
+		d2 float64
+	}
+	var cands []cand
+	seen := make(map[int]bool)
+	r2 := math.Inf(1)
+	updateR := func() {
+		if len(cands) < k {
+			return
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].d2 != cands[j].d2 {
+				return cands[i].d2 < cands[j].d2
+			}
+			return cands[i].id < cands[j].id
+		})
+		r2 = cands[k-1].d2
+	}
+
+	nav.expand = func(id int, _ uint64) {
+		n := b.Tree.Node(id)
+		if n.Level == 0 {
+			for i, objID := range n.Objects {
+				if !seen[objID] {
+					seen[objID] = true
+					p := spatial.Point{X: n.MBRs[i].MinX, Y: n.MBRs[i].MinY}
+					cands = append(cands, cand{id: objID, d2: q.Dist2(p)})
+				}
+			}
+			updateR()
+			for i, objID := range n.Objects {
+				p := spatial.Point{X: n.MBRs[i].MinX, Y: n.MBRs[i].MinY}
+				if q.Dist2(p) <= r2 {
+					nav.scheduleObj(objID)
+				}
+			}
+			return
+		}
+		for i, c := range n.Children {
+			if n.MBRs[i].MinDist2(q) <= r2 {
+				nav.scheduleNode(c, 0)
+			}
+		}
+	}
+	nav.keepNode = func(id int, _ uint64) bool {
+		return b.Tree.Node(id).MBR.MinDist2(q) <= r2
+	}
+	nav.keepObj = func(id int) bool {
+		return b.DS.ByID(id).P.Dist2(q) <= r2
+	}
+
+	nav.probe()
+	nav.scheduleNode(b.Tree.Root().ID, 0)
+	nav.run()
+
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d2 != cands[j].d2 {
+			return cands[i].d2 < cands[j].d2
+		}
+		return cands[i].id < cands[j].id
+	})
+	out := make([]int, 0, k)
+	for _, c := range cands[:k] {
+		out = append(out, c.id)
+	}
+	return out, nav.tu.Stats()
+}

@@ -1,0 +1,203 @@
+// Package bptree implements a bulk-loaded B+-tree over Hilbert-curve
+// values. It is the index structure underlying the Hilbert Curve Index
+// (HCI) baseline of Zheng, Lee & Lee ("Spatial index on air",
+// PerCom 2003), which the paper compares DSI against.
+//
+// Nodes are packed so that one node fits in one broadcast packet: the
+// fanout is floor(capacity / 18) with 16 bytes per key (an HC value) and
+// 2 bytes per pointer, the sizes from the paper's evaluation section.
+// The tree is static (data is known a priori in a broadcast system), so
+// it is built bottom-up from the sorted key list with every node full
+// except the last of each level.
+package bptree
+
+import (
+	"fmt"
+	"sort"
+
+	"dsi/internal/broadcast"
+)
+
+// EntryBytes is the size of one node entry: a key plus a pointer.
+const EntryBytes = broadcast.HCBytes + broadcast.PtrBytes
+
+// FanoutFor returns the node fanout for the given packet capacity, or 0
+// when a packet cannot hold even one entry. When only one entry fits,
+// nodes span two packets with the minimum useful fanout of two.
+func FanoutFor(capacity int) int {
+	if capacity < EntryBytes {
+		return 0
+	}
+	f := capacity / EntryBytes
+	if f < 2 {
+		f = 2
+	}
+	return f
+}
+
+// Node is one B+-tree node. Leaves (Level 0) map keys to values (object
+// IDs); internal nodes map separator keys to child node IDs. Keys[i] is
+// the smallest key in the subtree of Children[i] (or exactly the key of
+// Vals[i] in a leaf).
+type Node struct {
+	ID       int
+	Level    int
+	Keys     []uint64
+	Children []int // internal nodes: child node IDs
+	Vals     []int // leaves: object IDs
+}
+
+// MinKey returns the smallest key under the node.
+func (n *Node) MinKey() uint64 { return n.Keys[0] }
+
+// Tree is a bulk-loaded B+-tree. Node IDs are dense: 0..NodeCount()-1,
+// assigned level by level from the leaves up, left to right.
+type Tree struct {
+	Fanout int
+	// Levels[0] is the leaf level; Levels[len-1] holds only the root.
+	Levels [][]*Node
+	nodes  []*Node // by ID
+}
+
+// Build constructs the tree from keys sorted ascending with vals[i]
+// associated to keys[i]. It returns an error when the fanout is too
+// small or the input is invalid.
+func Build(keys []uint64, vals []int, fanout int) (*Tree, error) {
+	if fanout < 2 {
+		return nil, fmt.Errorf("bptree: fanout %d < 2", fanout)
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("bptree: no keys")
+	}
+	if len(keys) != len(vals) {
+		return nil, fmt.Errorf("bptree: %d keys but %d vals", len(keys), len(vals))
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		return nil, fmt.Errorf("bptree: keys not sorted")
+	}
+	t := &Tree{Fanout: fanout}
+
+	// Leaf level.
+	var leaves []*Node
+	for at := 0; at < len(keys); at += fanout {
+		end := at + fanout
+		if end > len(keys) {
+			end = len(keys)
+		}
+		n := &Node{Level: 0, Keys: append([]uint64(nil), keys[at:end]...),
+			Vals: append([]int(nil), vals[at:end]...)}
+		leaves = append(leaves, n)
+	}
+	t.Levels = append(t.Levels, leaves)
+
+	// Internal levels until a single root remains.
+	for len(t.Levels[len(t.Levels)-1]) > 1 {
+		below := t.Levels[len(t.Levels)-1]
+		var level []*Node
+		for at := 0; at < len(below); at += fanout {
+			end := at + fanout
+			if end > len(below) {
+				end = len(below)
+			}
+			n := &Node{Level: len(t.Levels)}
+			for _, child := range below[at:end] {
+				n.Keys = append(n.Keys, child.MinKey())
+				n.Children = append(n.Children, 0) // IDs assigned below
+			}
+			level = append(level, n)
+		}
+		t.Levels = append(t.Levels, level)
+	}
+
+	// Assign dense IDs (leaves first) and wire child pointers.
+	for _, level := range t.Levels {
+		for _, n := range level {
+			n.ID = len(t.nodes)
+			t.nodes = append(t.nodes, n)
+		}
+	}
+	for li := 1; li < len(t.Levels); li++ {
+		childAt := 0
+		for _, n := range t.Levels[li] {
+			for i := range n.Children {
+				n.Children[i] = t.Levels[li-1][childAt].ID
+				childAt++
+			}
+		}
+	}
+	return t, nil
+}
+
+// BuildForCapacity builds the tree with the fanout implied by the packet
+// capacity.
+func BuildForCapacity(keys []uint64, vals []int, capacity int) (*Tree, error) {
+	f := FanoutFor(capacity)
+	if f == 0 {
+		return nil, fmt.Errorf("bptree: capacity %d cannot hold a node", capacity)
+	}
+	return Build(keys, vals, f)
+}
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return t.Levels[len(t.Levels)-1][0] }
+
+// Height returns the number of levels (1 for a single-leaf tree).
+func (t *Tree) Height() int { return len(t.Levels) }
+
+// NodeCount returns the total number of nodes.
+func (t *Tree) NodeCount() int { return len(t.nodes) }
+
+// Node returns the node with the given ID.
+func (t *Tree) Node(id int) *Node { return t.nodes[id] }
+
+// Lookup returns the value for key and whether it exists.
+func (t *Tree) Lookup(key uint64) (int, bool) {
+	n := t.Root()
+	for n.Level > 0 {
+		n = t.nodes[n.Children[childFor(n.Keys, key)]]
+	}
+	i := sort.Search(len(n.Keys), func(i int) bool { return n.Keys[i] >= key })
+	if i < len(n.Keys) && n.Keys[i] == key {
+		return n.Vals[i], true
+	}
+	return 0, false
+}
+
+// childFor returns the index of the child whose subtree may contain key:
+// the last separator <= key (the first child when key precedes all).
+func childFor(keys []uint64, key uint64) int {
+	i := sort.Search(len(keys), func(i int) bool { return keys[i] > key }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// Range calls fn for every (key, val) with lo <= key < hi, ascending.
+func (t *Tree) Range(lo, hi uint64, fn func(key uint64, val int)) {
+	t.rangeNode(t.Root(), lo, hi, fn)
+}
+
+func (t *Tree) rangeNode(n *Node, lo, hi uint64, fn func(uint64, int)) {
+	if n.Level == 0 {
+		for i, k := range n.Keys {
+			if k >= lo && k < hi {
+				fn(k, n.Vals[i])
+			}
+		}
+		return
+	}
+	for i, childID := range n.Children {
+		childLo := n.Keys[i]
+		if childLo >= hi {
+			break
+		}
+		if i+1 < len(n.Keys) && n.Keys[i+1] <= lo {
+			continue
+		}
+		t.rangeNode(t.nodes[childID], lo, hi, fn)
+	}
+}
+
+// NodeBytes returns the payload size of the largest node.
+func (t *Tree) NodeBytes() int { return t.Fanout * EntryBytes }

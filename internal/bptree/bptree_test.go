@@ -1,0 +1,236 @@
+package bptree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortedKeys(n int, seed int64) ([]uint64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	set := make(map[uint64]bool, n)
+	for len(set) < n {
+		set[uint64(rng.Intn(n*20))] = true
+	}
+	keys := make([]uint64, 0, n)
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+	}
+	return keys, vals
+}
+
+func TestFanoutFor(t *testing.T) {
+	cases := []struct{ c, want int }{
+		{64, 3}, {32, 2}, {36, 2}, {128, 7}, {512, 28}, {17, 0}, {18, 2},
+	}
+	for _, tc := range cases {
+		if got := FanoutFor(tc.c); got != tc.want {
+			t.Errorf("FanoutFor(%d) = %d, want %d", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	keys, vals := sortedKeys(10, 1)
+	if _, err := Build(keys, vals, 1); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+	if _, err := Build(nil, nil, 3); err == nil {
+		t.Error("empty keys accepted")
+	}
+	if _, err := Build(keys, vals[:5], 3); err == nil {
+		t.Error("mismatched vals accepted")
+	}
+	unsorted := []uint64{5, 3, 7}
+	if _, err := Build(unsorted, []int{0, 1, 2}, 3); err == nil {
+		t.Error("unsorted keys accepted")
+	}
+}
+
+func TestStructureInvariants(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 10, 100, 1000} {
+		for _, fanout := range []int{2, 3, 7, 28} {
+			keys, vals := sortedKeys(n, int64(n*fanout))
+			tr, err := Build(keys, vals, fanout)
+			if err != nil {
+				t.Fatalf("n=%d f=%d: %v", n, fanout, err)
+			}
+			if len(tr.Levels[tr.Height()-1]) != 1 {
+				t.Fatalf("n=%d f=%d: root level has %d nodes", n, fanout, len(tr.Levels[tr.Height()-1]))
+			}
+			total := 0
+			for li, level := range tr.Levels {
+				for _, node := range level {
+					total++
+					if node.Level != li {
+						t.Fatalf("node level mismatch")
+					}
+					if len(node.Keys) > fanout {
+						t.Fatalf("node overflows fanout")
+					}
+					if li == 0 && len(node.Keys) != len(node.Vals) {
+						t.Fatalf("leaf keys/vals mismatch")
+					}
+					if li > 0 {
+						if len(node.Keys) != len(node.Children) {
+							t.Fatalf("internal keys/children mismatch")
+						}
+						for i, c := range node.Children {
+							if tr.Node(c).MinKey() != node.Keys[i] {
+								t.Fatalf("separator key is not child's min key")
+							}
+						}
+					}
+					if tr.Node(node.ID) != node {
+						t.Fatalf("ID indexing broken")
+					}
+				}
+			}
+			if total != tr.NodeCount() {
+				t.Fatalf("NodeCount mismatch")
+			}
+			// All leaf keys in order must equal the input.
+			var all []uint64
+			for _, leaf := range tr.Levels[0] {
+				all = append(all, leaf.Keys...)
+			}
+			if len(all) != len(keys) {
+				t.Fatalf("leaves hold %d keys, want %d", len(all), len(keys))
+			}
+			for i := range all {
+				if all[i] != keys[i] {
+					t.Fatalf("leaf key order broken at %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	keys, vals := sortedKeys(500, 7)
+	tr, _ := Build(keys, vals, 3)
+	for i, k := range keys {
+		v, ok := tr.Lookup(k)
+		if !ok || v != vals[i] {
+			t.Fatalf("Lookup(%d) = (%d,%v), want (%d,true)", k, v, ok, vals[i])
+		}
+	}
+	// Missing keys.
+	present := make(map[uint64]bool)
+	for _, k := range keys {
+		present[k] = true
+	}
+	for probe := uint64(0); probe < 200; probe++ {
+		if !present[probe] {
+			if _, ok := tr.Lookup(probe); ok {
+				t.Fatalf("Lookup(%d) found a missing key", probe)
+			}
+		}
+	}
+	// Key below the minimum.
+	if _, ok := tr.Lookup(0); ok != present[0] {
+		t.Error("lookup at 0 wrong")
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	keys, vals := sortedKeys(300, 9)
+	tr, _ := Build(keys, vals, 4)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		lo := uint64(rng.Intn(7000))
+		hi := lo + uint64(rng.Intn(2000))
+		var got []uint64
+		prev := uint64(0)
+		first := true
+		tr.Range(lo, hi, func(k uint64, v int) {
+			if !first && k <= prev {
+				t.Fatalf("Range not ascending")
+			}
+			prev, first = k, false
+			got = append(got, k)
+		})
+		var want []uint64
+		for _, k := range keys {
+			if k >= lo && k < hi {
+				want = append(want, k)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Range[%d,%d) returned %d keys, want %d", lo, hi, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("Range mismatch at %d", j)
+			}
+		}
+	}
+}
+
+func TestRangeEmptyAndFull(t *testing.T) {
+	keys, vals := sortedKeys(100, 13)
+	tr, _ := Build(keys, vals, 5)
+	count := 0
+	tr.Range(0, ^uint64(0), func(uint64, int) { count++ })
+	if count != 100 {
+		t.Errorf("full range visited %d, want 100", count)
+	}
+	count = 0
+	tr.Range(5, 5, func(uint64, int) { count++ })
+	if count != 0 {
+		t.Errorf("empty range visited %d", count)
+	}
+}
+
+func TestLookupQuick(t *testing.T) {
+	keys, vals := sortedKeys(1000, 15)
+	tr, _ := Build(keys, vals, 7)
+	idx := make(map[uint64]int, len(keys))
+	for i, k := range keys {
+		idx[k] = vals[i]
+	}
+	f := func(probe uint16) bool {
+		k := uint64(probe)
+		v, ok := tr.Lookup(k)
+		want, exists := idx[k]
+		return ok == exists && (!ok || v == want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeBytesFitsCapacity(t *testing.T) {
+	for _, c := range []int{64, 128, 256, 512} {
+		keys, vals := sortedKeys(200, 17)
+		tr, err := BuildForCapacity(keys, vals, c)
+		if err != nil {
+			t.Fatalf("capacity %d: %v", c, err)
+		}
+		if tr.NodeBytes() > c {
+			t.Errorf("capacity %d: node %dB overflows packet", c, tr.NodeBytes())
+		}
+	}
+	if _, err := BuildForCapacity([]uint64{1}, []int{0}, 10); err == nil {
+		t.Error("tiny capacity accepted")
+	}
+}
+
+func TestSingleKeyTree(t *testing.T) {
+	tr, err := Build([]uint64{42}, []int{7}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 1 || tr.Root().Level != 0 {
+		t.Errorf("single-key tree shape wrong: height %d", tr.Height())
+	}
+	if v, ok := tr.Lookup(42); !ok || v != 7 {
+		t.Error("single-key lookup failed")
+	}
+}

@@ -1,0 +1,256 @@
+// Package broadcast simulates a periodic wireless data broadcast channel.
+//
+// The server broadcasts a fixed cyclic sequence of packets (the broadcast
+// program); time is measured in packet slots. A mobile client is modelled
+// by a Tuner: it tunes in at some slot, alternates between reading packets
+// (active mode) and dozing until a future slot (doze mode), and its two
+// cost metrics are
+//
+//   - access latency: packet slots elapsed between the initial probe and
+//     query completion, and
+//   - tuning time: packets actually received.
+//
+// Both are reported in bytes (slots x packet capacity), matching the
+// paper's evaluation. The package also implements the link-error model of
+// paper section 5: every received packet is corrupted independently with
+// probability theta. See LossModel for how corruption is applied.
+package broadcast
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Paper section 4 constants: sizes of the broadcast payload components.
+const (
+	// ObjectBytes is the size of one data object.
+	ObjectBytes = 1024
+	// CoordBytes is the size of a two-dimensional coordinate
+	// (two 8-byte floating-point numbers).
+	CoordBytes = 16
+	// HCBytes is the size of a Hilbert-curve value (same total size as a
+	// coordinate).
+	HCBytes = 16
+	// PtrBytes is the size of an index-table or tree-node pointer.
+	PtrBytes = 2
+	// MBRBytes is the size of an R-tree minimum bounding rectangle
+	// (four 8-byte floats).
+	MBRBytes = 32
+)
+
+// Kind classifies a packet slot. Index packets carry navigation
+// information; data packets carry object payload.
+type Kind uint8
+
+const (
+	// KindIndex marks packets carrying index information.
+	KindIndex Kind = iota
+	// KindData marks packets carrying data-object payload.
+	KindData
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindIndex:
+		return "index"
+	case KindData:
+		return "data"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Slot describes one packet of the broadcast program. Owner and Part are
+// interpreted by the index structure that built the program (e.g. frame
+// number and packet-within-frame for DSI; node id for tree indexes).
+type Slot struct {
+	Kind  Kind
+	Owner int32
+	Part  int32
+}
+
+// Program is a cyclic broadcast schedule: Slots repeats forever.
+type Program struct {
+	Capacity int // packet capacity in bytes
+	Slots    []Slot
+}
+
+// Len returns the cycle length in packets.
+func (p *Program) Len() int { return len(p.Slots) }
+
+// CycleBytes returns the length of one broadcast cycle in bytes.
+func (p *Program) CycleBytes() int64 { return int64(p.Len()) * int64(p.Capacity) }
+
+// At returns the slot at the given cycle position.
+func (p *Program) At(pos int) Slot { return p.Slots[pos%len(p.Slots)] }
+
+// PacketsFor returns how many packets of the given capacity are needed to
+// carry n bytes (at least one packet for any positive n).
+func PacketsFor(n, capacity int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + capacity - 1) / capacity
+}
+
+// LossModel decides which received packets are corrupted. Theta is the
+// paper's link-error ratio: each packet is lost independently with
+// probability Theta.
+//
+// By default corruption applies to index packets only: the paper's
+// reported deterioration magnitudes (Table 1: at most ~62% latency
+// deterioration at theta = 0.7) are only consistent with link errors
+// affecting navigation, since losing any packet of a 16-packet data
+// object with theta = 0.7 would make object retrieval take thousands of
+// cycles. Set AffectsData to extend corruption to data packets (clients
+// then retry the object on its next broadcast).
+type LossModel struct {
+	Theta       float64
+	AffectsData bool
+	rng         *rand.Rand
+}
+
+// NewLossModel returns a loss model with the given error ratio and seed.
+// Theta outside [0, 1) panics: 1 would mean every packet is lost and no
+// query could ever terminate.
+func NewLossModel(theta float64, seed int64) *LossModel {
+	if theta < 0 || theta >= 1 {
+		panic(fmt.Sprintf("broadcast: theta %v outside [0,1)", theta))
+	}
+	return &LossModel{Theta: theta, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Lost reports whether a packet of the given kind is corrupted on
+// reception. A nil model never loses packets.
+func (l *LossModel) Lost(k Kind) bool {
+	if l == nil || l.Theta == 0 {
+		return false
+	}
+	if k == KindData && !l.AffectsData {
+		return false
+	}
+	return l.rng.Float64() < l.Theta
+}
+
+// Stats are the cost metrics of one query execution.
+type Stats struct {
+	// ProbeSlot is the absolute slot at which the client tuned in.
+	ProbeSlot int64
+	// LatencyPackets is the number of slots elapsed from the initial
+	// probe until the query was satisfied.
+	LatencyPackets int64
+	// TuningPackets is the number of packets the client received
+	// (including corrupted ones: the radio was on).
+	TuningPackets int64
+	// Capacity is the packet capacity used to convert to bytes.
+	Capacity int
+}
+
+// LatencyBytes returns the access latency in bytes.
+func (s Stats) LatencyBytes() int64 { return s.LatencyPackets * int64(s.Capacity) }
+
+// TuningBytes returns the tuning time in bytes.
+func (s Stats) TuningBytes() int64 { return s.TuningPackets * int64(s.Capacity) }
+
+func (s Stats) String() string {
+	return fmt.Sprintf("latency=%dB tuning=%dB", s.LatencyBytes(), s.TuningBytes())
+}
+
+// Tuner is a mobile client's view of the broadcast channel. It tracks an
+// absolute packet clock (monotonically increasing across cycles) and the
+// metrics of the current query.
+type Tuner struct {
+	prog  *Program
+	loss  *LossModel
+	now   int64
+	start int64
+	read  int64
+}
+
+// NewTuner returns a client tuned in at the given absolute slot. A nil
+// loss model means an error-free channel.
+func NewTuner(prog *Program, probeSlot int64, loss *LossModel) *Tuner {
+	if prog.Len() == 0 {
+		panic("broadcast: empty program")
+	}
+	if probeSlot < 0 {
+		panic("broadcast: negative probe slot")
+	}
+	return &Tuner{prog: prog, loss: loss, now: probeSlot, start: probeSlot}
+}
+
+// Program returns the broadcast program the tuner listens to.
+func (t *Tuner) Program() *Program { return t.prog }
+
+// Now returns the absolute packet clock.
+func (t *Tuner) Now() int64 { return t.now }
+
+// Pos returns the current position within the broadcast cycle: the slot
+// about to be broadcast, which Read would receive.
+func (t *Tuner) Pos() int { return int(t.now % int64(t.prog.Len())) }
+
+// Read receives the packet at the current slot. It advances the clock by
+// one slot and accounts one packet of tuning time. The returned slot
+// describes the packet; ok is false when the packet was corrupted by the
+// loss model (its content must not be used, but the cost is still paid).
+func (t *Tuner) Read() (s Slot, ok bool) {
+	s = t.prog.At(t.Pos())
+	t.now++
+	t.read++
+	return s, !t.loss.Lost(s.Kind)
+}
+
+// Doze advances the clock by n slots without receiving anything (the
+// client sleeps). Negative n panics.
+func (t *Tuner) Doze(n int64) {
+	if n < 0 {
+		panic("broadcast: Doze with negative duration")
+	}
+	t.now += n
+}
+
+// DozeUntil advances the clock to the absolute slot abs. Rewinding
+// panics: broadcast time only moves forward.
+func (t *Tuner) DozeUntil(abs int64) {
+	if abs < t.now {
+		panic(fmt.Sprintf("broadcast: DozeUntil(%d) before now=%d", abs, t.now))
+	}
+	t.now = abs
+}
+
+// NextOccurrence returns the earliest absolute slot >= now whose cycle
+// position equals pos.
+func (t *Tuner) NextOccurrence(pos int) int64 {
+	return NextOccurrence(t.now, pos, t.prog.Len())
+}
+
+// DozeUntilPos advances the clock to the next occurrence of the given
+// cycle position (possibly zero slots if the client is already there).
+func (t *Tuner) DozeUntilPos(pos int) {
+	t.DozeUntil(t.NextOccurrence(pos))
+}
+
+// Stats returns the metrics accumulated so far. Latency counts the slots
+// from the probe up to (and including) the last slot consumed.
+func (t *Tuner) Stats() Stats {
+	return Stats{
+		ProbeSlot:      t.start,
+		LatencyPackets: t.now - t.start,
+		TuningPackets:  t.read,
+		Capacity:       t.prog.Capacity,
+	}
+}
+
+// NextOccurrence returns the earliest absolute slot >= now whose position
+// within a cycle of length cycleLen equals pos.
+func NextOccurrence(now int64, pos, cycleLen int) int64 {
+	if pos < 0 || pos >= cycleLen {
+		panic(fmt.Sprintf("broadcast: position %d outside cycle of %d", pos, cycleLen))
+	}
+	cur := int(now % int64(cycleLen))
+	delta := pos - cur
+	if delta < 0 {
+		delta += cycleLen
+	}
+	return now + int64(delta)
+}

@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dsi/internal/hilbert"
+	"dsi/internal/spatial"
+)
+
+// ReadCSV loads a dataset from the CSV format cmd/dsigen emits
+// ("id,x,y,hc" per line; '#'-prefixed lines and the column header are
+// ignored). The HC column is recomputed and validated against the
+// coordinates, IDs are re-assigned in HC order, and duplicate cells are
+// rejected — the invariants every index in this module relies on. Use
+// this to broadcast real point data: convert it to grid cells with the
+// dsigen CSV format, then load it here.
+func ReadCSV(r io.Reader, order uint) (*Dataset, error) {
+	c := hilbert.New(order)
+	side := uint64(c.Side())
+	seen := make(map[uint64]bool)
+	var objs []Object
+
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "id,") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("dataset: line %d: need at least id,x,y", line)
+		}
+		x, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad x: %w", line, err)
+		}
+		y, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad y: %w", line, err)
+		}
+		if x >= side || y >= side {
+			return nil, fmt.Errorf("dataset: line %d: cell (%d,%d) outside order-%d grid", line, x, y, order)
+		}
+		hc := c.Encode(uint32(x), uint32(y))
+		if len(fields) >= 4 && fields[3] != "" {
+			claimed, err := strconv.ParseUint(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad hc: %w", line, err)
+			}
+			if claimed != hc {
+				return nil, fmt.Errorf("dataset: line %d: hc %d does not match cell (%d,%d) (want %d)",
+					line, claimed, x, y, hc)
+			}
+		}
+		if seen[hc] {
+			return nil, fmt.Errorf("dataset: line %d: duplicate cell (%d,%d)", line, x, y)
+		}
+		seen[hc] = true
+		objs = append(objs, Object{P: spatial.Point{X: uint32(x), Y: uint32(y)}, HC: hc})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("dataset: no objects in input")
+	}
+	return finish(c, objs, fmt.Sprintf("CSV(n=%d,order=%d)", len(objs), order)), nil
+}
+
+// WriteCSV emits the dataset in dsigen's CSV format.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %s\nid,x,y,hc\n", d.Name); err != nil {
+		return err
+	}
+	for _, o := range d.Objects {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%d\n", o.ID, o.P.X, o.P.Y, o.HC); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

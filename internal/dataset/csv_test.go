@@ -1,0 +1,75 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	want := Uniform(200, 6, 5)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != want.N() {
+		t.Fatalf("round trip lost objects: %d vs %d", got.N(), want.N())
+	}
+	for i := range want.Objects {
+		if got.Objects[i] != want.Objects[i] {
+			t.Fatalf("object %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReadCSVWithoutHCColumn(t *testing.T) {
+	in := "# comment\nid,x,y,hc\n0,3,5\n1,10,2\n"
+	ds, err := ReadCSV(strings.NewReader(in), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 2 {
+		t.Fatalf("N = %d", ds.N())
+	}
+	// IDs are re-assigned in HC order.
+	if ds.Objects[0].HC >= ds.Objects[1].HC {
+		t.Error("objects not sorted by HC")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"short line", "0,3\n"},
+		{"bad x", "0,abc,5\n"},
+		{"bad y", "0,3,abc\n"},
+		{"bad hc", "0,3,5,zz\n"},
+		{"off grid", "0,64,5\n"},
+		{"wrong hc", "0,3,5,999999\n"},
+		{"duplicate cell", "0,3,5\n1,3,5\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadCSV(strings.NewReader(tc.in), 6); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestReadCSVValidatesClaimedHC(t *testing.T) {
+	ds := Uniform(5, 5, 1)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	// Loading at a different order changes every HC value: the claimed
+	// column must be rejected.
+	if _, err := ReadCSV(bytes.NewReader(buf.Bytes()), 6); err == nil {
+		t.Error("order mismatch accepted")
+	}
+}

@@ -1,0 +1,249 @@
+// Package dataset generates the workload datasets used in the paper's
+// evaluation.
+//
+// Two datasets are provided:
+//
+//   - UNIFORM: points drawn uniformly from the grid (the paper uses
+//     10,000 points in a square Euclidean space).
+//   - REAL-like: the paper uses 5,848 cities and villages of Greece from
+//     rtreeportal.org. That file is proprietary/offline, so we substitute
+//     a seeded synthetic clustered dataset of the same cardinality: a
+//     Gaussian mixture of "city" clusters with Zipf-weighted populations
+//     plus isolated "villages". The substitution preserves the property
+//     the experiment exercises — heavy spatial skew.
+//
+// All generators snap points to distinct Hilbert cells (the paper assumes
+// a 1-1 correspondence between coordinates and HC values) and return
+// objects sorted by HC value, which is the broadcast order.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dsi/internal/hilbert"
+	"dsi/internal/spatial"
+)
+
+// Object is one broadcast data object: a spatial point and its HC value.
+// ID is the object's rank in HC order (assigned by the generators).
+type Object struct {
+	ID int
+	P  spatial.Point
+	HC uint64
+}
+
+// Dataset is a set of objects on a Hilbert grid, sorted by HC value.
+type Dataset struct {
+	Curve   hilbert.Curve
+	Objects []Object
+	Name    string
+}
+
+// N returns the number of objects.
+func (d *Dataset) N() int { return len(d.Objects) }
+
+// MinOrderFor returns the smallest curve order whose grid has at least
+// slack*n cells, so that n distinct cells can be occupied with room to
+// spare. The paper picks the curve order from the object density the
+// same way ("HC of higher order is needed for denser object
+// distribution").
+func MinOrderFor(n int, slack float64) uint {
+	if n <= 0 {
+		return 1
+	}
+	need := float64(n) * slack
+	for order := uint(1); order <= hilbert.MaxOrder; order++ {
+		if math.Pow(4, float64(order)) >= need {
+			return order
+		}
+	}
+	return hilbert.MaxOrder
+}
+
+// Uniform generates n objects uniformly distributed over the grid of the
+// given curve order, each on a distinct cell. It panics if the grid
+// cannot hold n distinct cells.
+func Uniform(n int, order uint, seed int64) *Dataset {
+	c := hilbert.New(order)
+	if uint64(n) > c.Size() {
+		panic(fmt.Sprintf("dataset: %d objects cannot occupy %d cells", n, c.Size()))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	side := c.Side()
+	used := make(map[uint64]bool, n)
+	objs := make([]Object, 0, n)
+	for len(objs) < n {
+		p := spatial.Point{X: uint32(rng.Intn(int(side))), Y: uint32(rng.Intn(int(side)))}
+		hc := c.Encode(p.X, p.Y)
+		if used[hc] {
+			continue
+		}
+		used[hc] = true
+		objs = append(objs, Object{P: p, HC: hc})
+	}
+	return finish(c, objs, fmt.Sprintf("UNIFORM(n=%d,order=%d,seed=%d)", n, order, seed))
+}
+
+// ClusteredConfig controls the REAL-like generator.
+type ClusteredConfig struct {
+	N        int     // total number of objects
+	Order    uint    // curve order
+	Clusters int     // number of city clusters
+	Spread   float64 // cluster standard deviation as a fraction of grid side
+	Isolated float64 // fraction of objects placed uniformly ("villages")
+	Seed     int64
+}
+
+// DefaultRealConfig mirrors the paper's REAL dataset cardinality: 5,848
+// points with strong clustering.
+func DefaultRealConfig(seed int64) ClusteredConfig {
+	return ClusteredConfig{
+		N:        5848,
+		Order:    8,
+		Clusters: 60,
+		Spread:   0.02,
+		Isolated: 0.15,
+		Seed:     seed,
+	}
+}
+
+// Clustered generates a skewed dataset per the config. Cluster sizes
+// follow a Zipf distribution (a few big cities, many small ones), which
+// is the canonical model for population-derived point sets.
+func Clustered(cfg ClusteredConfig) *Dataset {
+	if cfg.N <= 0 {
+		panic("dataset: Clustered requires N > 0")
+	}
+	if cfg.Clusters <= 0 {
+		cfg.Clusters = 1
+	}
+	c := hilbert.New(cfg.Order)
+	if uint64(cfg.N)*2 > c.Size() {
+		panic(fmt.Sprintf("dataset: grid of order %d too small for %d clustered objects", cfg.Order, cfg.N))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	side := float64(c.Side())
+
+	// Cluster centres, uniform over the grid; weights Zipf(s=1).
+	type cluster struct {
+		cx, cy float64
+		weight float64
+	}
+	clusters := make([]cluster, cfg.Clusters)
+	var totalW float64
+	for i := range clusters {
+		clusters[i] = cluster{
+			cx:     rng.Float64() * side,
+			cy:     rng.Float64() * side,
+			weight: 1 / float64(i+1),
+		}
+		totalW += clusters[i].weight
+	}
+
+	used := make(map[uint64]bool, cfg.N)
+	objs := make([]Object, 0, cfg.N)
+	place := func(x, y float64) bool {
+		if x < 0 || y < 0 || x >= side || y >= side {
+			return false
+		}
+		p := spatial.Point{X: uint32(x), Y: uint32(y)}
+		hc := c.Encode(p.X, p.Y)
+		if used[hc] {
+			return false
+		}
+		used[hc] = true
+		objs = append(objs, Object{P: p, HC: hc})
+		return true
+	}
+
+	nIsolated := int(float64(cfg.N) * cfg.Isolated)
+	for len(objs) < nIsolated {
+		place(rng.Float64()*side, rng.Float64()*side)
+	}
+	sigma := cfg.Spread * side
+	for len(objs) < cfg.N {
+		// Pick a cluster proportionally to weight.
+		w := rng.Float64() * totalW
+		var cl cluster
+		for _, cand := range clusters {
+			if w -= cand.weight; w <= 0 {
+				cl = cand
+				break
+			}
+		}
+		place(cl.cx+rng.NormFloat64()*sigma, cl.cy+rng.NormFloat64()*sigma)
+	}
+	name := fmt.Sprintf("REAL-like(n=%d,order=%d,clusters=%d,seed=%d)",
+		cfg.N, cfg.Order, cfg.Clusters, cfg.Seed)
+	return finish(c, objs, name)
+}
+
+func finish(c hilbert.Curve, objs []Object, name string) *Dataset {
+	sort.Slice(objs, func(i, j int) bool { return objs[i].HC < objs[j].HC })
+	for i := range objs {
+		objs[i].ID = i
+	}
+	return &Dataset{Curve: c, Objects: objs, Name: name}
+}
+
+// WindowBrute returns the IDs of objects inside the window, in HC order.
+// It is the ground truth for window-query correctness tests.
+func (d *Dataset) WindowBrute(w spatial.Rect) []int {
+	var out []int
+	for _, o := range d.Objects {
+		if w.Contains(o.P) {
+			out = append(out, o.ID)
+		}
+	}
+	return out
+}
+
+// KNNBrute returns the IDs of the k nearest objects to q (ties broken by
+// HC value so the result is deterministic), plus the distance of the
+// k-th neighbor. It is the ground truth for kNN correctness tests.
+func (d *Dataset) KNNBrute(q spatial.Point, k int) (ids []int, kth float64) {
+	if k <= 0 {
+		return nil, 0
+	}
+	type cand struct {
+		id int
+		d2 float64
+		hc uint64
+	}
+	cands := make([]cand, len(d.Objects))
+	for i, o := range d.Objects {
+		cands[i] = cand{id: o.ID, d2: o.P.Dist2(q), hc: o.HC}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d2 != cands[j].d2 {
+			return cands[i].d2 < cands[j].d2
+		}
+		return cands[i].hc < cands[j].hc
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	ids = make([]int, k)
+	for i := 0; i < k; i++ {
+		ids[i] = cands[i].id
+	}
+	return ids, math.Sqrt(cands[k-1].d2)
+}
+
+// KthDist returns the distance from q to its k-th nearest object.
+func (d *Dataset) KthDist(q spatial.Point, k int) float64 {
+	_, kth := d.KNNBrute(q, k)
+	return kth
+}
+
+// ByID returns the object with the given ID (its HC rank).
+func (d *Dataset) ByID(id int) Object { return d.Objects[id] }
+
+// FindHC returns the index of the first object with HC >= v, which is
+// len(Objects) when v exceeds every object's HC value.
+func (d *Dataset) FindHC(v uint64) int {
+	return sort.Search(len(d.Objects), func(i int) bool { return d.Objects[i].HC >= v })
+}

@@ -1,0 +1,510 @@
+package dsi
+
+import (
+	"sort"
+
+	"dsi/internal/broadcast"
+	"dsi/internal/hilbert"
+)
+
+// knowledge is the client-side knowledge base: everything a client has
+// learned about the broadcast from received index tables and object
+// headers, plus the static catalog (segment split HC values).
+//
+// The key inference DSI clients rely on (paper sections 3.3-3.4, e.g.
+// "the index table shows the next object is O32, ruling out the
+// existence of O28 and O31"): within one broadcast segment, frames
+// appear in ascending HC order, so two known frames at adjacent
+// same-segment positions bound the HC values of everything between them
+// — if the positions are adjacent, nothing exists between their HC
+// values.
+type knowledge struct {
+	x *Index
+
+	frameKnown []bool   // frame id -> minimum HC value known?
+	frameHC    []uint64 // valid when frameKnown
+
+	// knownIdx[j] lists the within-segment indices of known frames in
+	// segment j, sorted ascending. Because frames in a segment are HC
+	// sorted, the list is simultaneously sorted by position and by HC.
+	knownIdx [][]int
+
+	// Per-object state. Objects are identified by their dataset ID
+	// (HC rank); object i belongs to frame i/NO.
+	objLocated []bool   // location (HC value) known to the client
+	objHC      []uint64 // valid when objLocated
+	retrieved  []bool   // full payload received
+
+	// newObjs queues freshly located objects for the kNN candidate set.
+	newObjs []int
+}
+
+func newKnowledge(x *Index) *knowledge {
+	kb := &knowledge{
+		x:          x,
+		frameKnown: make([]bool, x.NF),
+		frameHC:    make([]uint64, x.NF),
+		knownIdx:   make([][]int, x.Cfg.Segments),
+		objLocated: make([]bool, x.DS.N()),
+		objHC:      make([]uint64, x.DS.N()),
+		retrieved:  make([]bool, x.DS.N()),
+	}
+	// Catalog seed: the split HC values are public, so the first frame
+	// of every segment is known a priori.
+	for j := 0; j < x.Cfg.Segments; j++ {
+		kb.addFrameFact(x.segStart[j], x.Splits[j])
+	}
+	return kb
+}
+
+// addFrameFact records that frame f's minimum HC value is hc, locating
+// the frame's first object.
+func (kb *knowledge) addFrameFact(f int, hc uint64) {
+	if kb.frameKnown[f] {
+		return
+	}
+	kb.frameKnown[f] = true
+	kb.frameHC[f] = hc
+	j := kb.x.FrameSegment(f)
+	i := f - kb.x.segStart[j]
+	kl := kb.knownIdx[j]
+	at := sort.SearchInts(kl, i)
+	kl = append(kl, 0)
+	copy(kl[at+1:], kl[at:])
+	kl[at] = i
+	kb.knownIdx[j] = kl
+
+	first, _ := kb.x.FrameObjects(f)
+	kb.locate(first, hc)
+}
+
+// locate records an object's HC value (and thus its exact position on
+// the grid: objects live on cells).
+func (kb *knowledge) locate(id int, hc uint64) {
+	if kb.objLocated[id] {
+		return
+	}
+	kb.objLocated[id] = true
+	kb.objHC[id] = hc
+	kb.newObjs = append(kb.newObjs, id)
+}
+
+// addHeader records that the header of the o-th object of frame f has
+// been received, revealing its HC value.
+func (kb *knowledge) addHeader(f, o int, hc uint64) {
+	first, num := kb.x.FrameObjects(f)
+	if o < 0 || o >= num {
+		panic("dsi: header index outside frame")
+	}
+	kb.locate(first+o, hc)
+}
+
+// markRetrieved records a completed object download.
+func (kb *knowledge) markRetrieved(id int) { kb.retrieved[id] = true }
+
+// drainNew returns the objects located since the previous call.
+func (kb *knowledge) drainNew() []int {
+	out := kb.newObjs
+	kb.newObjs = nil
+	return out
+}
+
+// segSpan returns the HC span [lo, hi) covered by segment j.
+func (kb *knowledge) segSpan(j int) (lo, hi uint64) {
+	lo = kb.x.Splits[j]
+	if j+1 < kb.x.Cfg.Segments {
+		hi = kb.x.Splits[j+1]
+	} else {
+		hi = kb.x.DS.Curve.Size()
+	}
+	return lo, hi
+}
+
+// frameResolved reports whether, as far as [lo, hi) is concerned, frame
+// f requires no further attention: every object of f that could have an
+// HC value in [lo, hi) is either retrieved or certainly outside.
+// The frame's minimum HC must be known (so its first object is
+// located). upper is a known strict upper bound on the HC values in f
+// (the next known same-segment frame's minimum, or the segment span
+// end). Objects whose headers have not been received are bounded by the
+// nearest located objects around them.
+func (kb *knowledge) frameResolved(f int, lo, hi, upper uint64) bool {
+	first, num := kb.x.FrameObjects(f)
+	prev := kb.frameHC[f] // first object is located whenever the frame is known
+	gapOpen := false
+	for t := 0; t < num; t++ {
+		id := first + t
+		if !kb.objLocated[id] {
+			gapOpen = true
+			continue
+		}
+		hc := kb.objHC[id]
+		if gapOpen {
+			// Unlocated objects between prev and hc: HC in (prev, hc).
+			if prev+1 < hi && hc > lo {
+				return false
+			}
+			gapOpen = false
+		}
+		if hc >= lo && hc < hi && !kb.retrieved[id] {
+			return false
+		}
+		prev = hc
+	}
+	if gapOpen && prev+1 < hi && upper > lo {
+		return false
+	}
+	return true
+}
+
+// rangeState walks the client's knowledge about the HC range [lo, hi)
+// within segment j and calls visit for every frame that is not resolved
+// with respect to the range: known frames with pending objects, and
+// unknown frames that could hold objects in the range. For unknown gap
+// frames, visit receives the within-segment index span [gapLo, gapHi]
+// (inclusive) of the gap; for known frames gapLo == gapHi == the frame's
+// index. Returning false from visit stops the walk early.
+func (kb *knowledge) rangeState(j int, lo, hi uint64, visit func(gapLo, gapHi int) bool) {
+	segLo, segHi := kb.segSpan(j)
+	if lo < segLo {
+		lo = segLo
+	}
+	if hi > segHi {
+		hi = segHi
+	}
+	if lo >= hi {
+		return
+	}
+	kl := kb.knownIdx[j]
+	segN := kb.x.SegLen(j)
+	base := kb.x.segStart[j]
+	// Start at the last known frame whose minimum HC is <= lo. Index 0
+	// is always known (catalog) with hc == segLo <= lo.
+	t := sort.Search(len(kl), func(t int) bool {
+		return kb.frameHC[base+kl[t]] > lo
+	}) - 1
+	for ; t < len(kl); t++ {
+		i := kl[t]
+		f := base + i
+		hc := kb.frameHC[f]
+		if hc >= hi {
+			return
+		}
+		// Upper bound on this frame's content and the following gap.
+		nextI := segN
+		upper := segHi
+		if t+1 < len(kl) {
+			nextI = kl[t+1]
+			upper = kb.frameHC[base+nextI]
+		}
+		if !kb.frameResolved(f, lo, hi, upper) {
+			if !visit(i, i) {
+				return
+			}
+		}
+		// Unknown frames between this one and the next known one hold
+		// objects with HC in (hc, upper).
+		if nextI > i+1 && upper > lo && hc+1 < hi {
+			if !visit(i+1, nextI-1) {
+				return
+			}
+		}
+	}
+}
+
+// resolved reports whether every object with an HC value in any of the
+// target ranges has been retrieved, with certainty (no unknown frame
+// could still hold one).
+func (kb *knowledge) resolved(targets []hilbert.Range) bool {
+	for _, r := range targets {
+		for j := 0; j < kb.x.Cfg.Segments; j++ {
+			done := true
+			kb.rangeState(j, r.Lo, r.Hi, func(_, _ int) bool {
+				done = false
+				return false
+			})
+			if !done {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// nextUseful returns the cycle position of the soonest-arriving frame
+// (strictly after nowPos, wrapping) that is not resolved with respect to
+// the targets. ok is false when everything is resolved.
+func (kb *knowledge) nextUseful(nowPos int, targets []hilbert.Range) (pos int, ok bool) {
+	m := kb.x.Cfg.Segments
+	nf := kb.x.NF
+	bestDelta := nf + 1
+	for _, r := range targets {
+		for j := 0; j < m; j++ {
+			kb.rangeState(j, r.Lo, r.Hi, func(gapLo, gapHi int) bool {
+				// Earliest arrival among positions j + m*i,
+				// i in [gapLo, gapHi], strictly after nowPos.
+				if d := arrivalDelta(nowPos, j, m, gapLo, gapHi, nf); d < bestDelta {
+					bestDelta = d
+				}
+				return bestDelta > 1 // delta 1 cannot be beaten
+			})
+			if bestDelta == 1 {
+				break
+			}
+		}
+	}
+	if bestDelta > nf {
+		return 0, false
+	}
+	return (nowPos + bestDelta) % nf, true
+}
+
+// arrivalDelta returns the smallest delta in [1, nf] such that
+// nowPos+delta is a position of the form j + m*i with i in [iLo, iHi].
+func arrivalDelta(nowPos, j, m, iLo, iHi, nf int) int {
+	posLo := j + m*iLo
+	posHi := j + m*iHi
+	// First candidate strictly after nowPos within this cycle.
+	cur := nowPos % nf
+	var cand int
+	if cur < posHi {
+		// Smallest position >= cur+1 congruent to j mod m, at least posLo.
+		c := cur + 1
+		if c < posLo {
+			c = posLo
+		}
+		// Round c up to the next value congruent to j modulo m.
+		r := (j - c%m + m) % m
+		cand = c + r
+		if cand <= posHi {
+			return cand - cur
+		}
+	}
+	// Wrap to the first position of the gap in the next cycle.
+	return posLo + nf - cur
+}
+
+// Client is a mobile client executing one query over a DSI broadcast.
+// Create one per query with NewClient.
+type Client struct {
+	x  *Index
+	tu *broadcast.Tuner
+	kb *knowledge
+
+	// lastTable is the most recently received intact index table, used
+	// by the aggressive kNN hop rule. Nil until a table is received.
+	lastTable *Table
+
+	// trace, when non-nil, receives an Event for every client step.
+	trace func(Event)
+}
+
+// NewClient returns a client that tunes into the broadcast at the given
+// absolute slot. A nil loss model means an error-free channel.
+func NewClient(x *Index, probeSlot int64, loss *broadcast.LossModel) *Client {
+	return &Client{
+		x:  x,
+		tu: broadcast.NewTuner(x.Prog, probeSlot, loss),
+		kb: newKnowledge(x),
+	}
+}
+
+// Stats returns the metrics accumulated so far.
+func (c *Client) Stats() broadcast.Stats { return c.tu.Stats() }
+
+// probe performs the initial probe: receive one intact packet to
+// synchronize with the broadcast, then doze to the next frame start.
+// Returns the cycle position of that frame.
+func (c *Client) probe() int {
+	for {
+		_, ok := c.tu.Read()
+		c.emit(Event{Op: OpProbe, OK: ok})
+		if ok {
+			break
+		}
+	}
+	slot := c.tu.Pos()
+	framePos := slot / c.x.FramePackets
+	if slot%c.x.FramePackets != 0 {
+		framePos = (framePos + 1) % c.x.NF
+		c.tu.DozeUntilPos(c.x.FrameStartSlot(framePos))
+	}
+	return framePos
+}
+
+// readTable receives the index table of the frame at position p (the
+// tuner must be at the frame's first slot). It returns false when any
+// table packet was corrupted, in which case no knowledge is gained but
+// the tuning cost is still paid.
+func (c *Client) readTable(p int) bool {
+	ok := true
+	for i := 0; i < c.x.TablePackets; i++ {
+		if _, good := c.tu.Read(); !good {
+			ok = false
+		}
+	}
+	c.emit(Event{Op: OpTableRead, Pos: p, Frame: c.x.PosToFrame(p), Arg: c.x.TablePackets, OK: ok})
+	if !ok {
+		return false
+	}
+	t := c.x.TableAt(p)
+	c.lastTable = &t
+	c.kb.addFrameFact(c.x.PosToFrame(p), t.OwnHC)
+	for _, e := range t.Entries {
+		c.kb.addFrameFact(c.x.PosToFrame(e.TargetPos), e.MinHC)
+	}
+	return true
+}
+
+// wantTable reports whether visiting the frame at position p should
+// read its index table: yes when the frame's own minimum HC is unknown
+// or the next same-segment frame (needed to bound this frame's content)
+// is unknown. Pure data re-fetches skip the table.
+func (c *Client) wantTable(p int) bool {
+	f := c.x.PosToFrame(p)
+	if !c.kb.frameKnown[f] {
+		return true
+	}
+	j := c.x.FrameSegment(f)
+	if f+1 < c.x.segStart[j+1] {
+		return !c.kb.frameKnown[f+1]
+	}
+	return false
+}
+
+// inTargets reports whether hc lies in any of the sorted target ranges.
+func inTargets(targets []hilbert.Range, hc uint64) bool {
+	i := sort.Search(len(targets), func(i int) bool { return targets[i].Hi > hc })
+	return i < len(targets) && targets[i].Contains(hc)
+}
+
+// maxHi returns the largest range end among targets (they are sorted).
+func maxHi(targets []hilbert.Range) uint64 {
+	if len(targets) == 0 {
+		return 0
+	}
+	return targets[len(targets)-1].Hi
+}
+
+// visit moves the client to the frame at position p, reads its index
+// table when useful, and retrieves the frame's objects selected by the
+// targets. targetsFn is consulted after the table is absorbed, so a kNN
+// client shrinks its search space before deciding what to download.
+//
+// When the table is corrupted (or skipped) and the frame's minimum HC is
+// unknown, the client falls back to reading the first object's header
+// packet — DSI's loss resilience: the broadcast content itself reveals
+// the frame's HC range, so navigation resumes at the very next frame.
+func (c *Client) visit(p int, targetsFn func() []hilbert.Range) {
+	c.tu.DozeUntilPos(c.x.FrameStartSlot(p))
+	f := c.x.PosToFrame(p)
+	headerConsumed := -1
+	if c.wantTable(p) && !c.readTable(p) && !c.kb.frameKnown[f] {
+		// Header fallback: one data packet reveals the first object's
+		// HC value (every object's payload starts with its coordinate).
+		first, _ := c.x.FrameObjects(f)
+		_, ok := c.tu.Read()
+		c.emit(Event{Op: OpHeaderRead, Pos: p, Frame: f, Arg: first, OK: ok})
+		if ok {
+			c.kb.addFrameFact(f, c.x.DS.Objects[first].HC)
+			headerConsumed = 0
+		}
+	}
+	c.fetchData(p, targetsFn(), headerConsumed)
+}
+
+// fetchData retrieves from the frame at position p every object whose
+// HC value lies in the targets and is not yet retrieved. headerConsumed
+// is the index of the object whose header packet was already received
+// during the table fallback (-1 for none). Corrupted objects stay
+// unretrieved; a later cycle retries them.
+func (c *Client) fetchData(p int, targets []hilbert.Range, headerConsumed int) {
+	f := c.x.PosToFrame(p)
+	if !c.kb.frameKnown[f] {
+		return // nothing is known about this frame; nothing to fetch safely
+	}
+	first, num := c.x.FrameObjects(f)
+	hiBound := maxHi(targets)
+	skipFor := func(t int) int {
+		if t == headerConsumed {
+			return 1
+		}
+		return 0
+	}
+
+	prev := c.kb.frameHC[f] // ascending watermark of located HC values
+	for t := 0; t < num; t++ {
+		id := first + t
+		if c.kb.objLocated[id] {
+			prev = c.kb.objHC[id]
+			if !c.kb.retrieved[id] && inTargets(targets, prev) {
+				c.readObject(p, t, id, skipFor(t))
+			}
+			continue
+		}
+		// Unlocated: objects from here on have HC above prev; stop
+		// once nothing in range can remain.
+		if prev+1 >= hiBound {
+			return
+		}
+		// Read the header packet to learn this object's HC value.
+		c.tu.DozeUntilPos(c.x.ObjectSlot(p, t))
+		_, ok := c.tu.Read()
+		c.emit(Event{Op: OpHeaderRead, Pos: p, Frame: f, Arg: id, OK: ok})
+		if !ok {
+			continue // lost header: a later cycle rescans this object
+		}
+		hc := c.x.DS.Objects[id].HC
+		c.kb.addHeader(f, t, hc)
+		prev = hc
+		if inTargets(targets, hc) {
+			c.readObject(p, t, id, 1)
+		}
+	}
+}
+
+// readObject receives object id, the o-th object of the frame at
+// position p, skipping the first skip packets (already received as a
+// header). The object counts as retrieved only if every packet arrives
+// intact.
+func (c *Client) readObject(p, o, id, skip int) {
+	c.tu.DozeUntilPos((c.x.ObjectSlot(p, o) + skip) % c.x.Prog.Len())
+	ok := true
+	for i := skip; i < c.x.ObjPackets; i++ {
+		if _, good := c.tu.Read(); !good {
+			ok = false
+		}
+	}
+	c.emit(Event{Op: OpObjectRead, Pos: p, Frame: c.x.PosToFrame(p), Arg: id, OK: ok})
+	if ok {
+		c.kb.markRetrieved(id)
+	}
+}
+
+// retrieveAll is the generic query engine: it visits frames until every
+// object with an HC value in the current target set has been retrieved
+// with certainty. targetsFn is consulted after every table read and may
+// shrink the target set as knowledge accumulates (kNN); for window
+// queries it is constant. hook, if non-nil, may redirect the next visit
+// (the aggressive kNN hop rule); it returns a cycle position and true
+// to override the default soonest-unresolved-frame choice.
+func (c *Client) retrieveAll(startPos int, targetsFn func() []hilbert.Range, hook func(p int) (int, bool)) {
+	p := startPos
+	for {
+		c.visit(p, targetsFn)
+		targets := targetsFn()
+		if c.kb.resolved(targets) {
+			return
+		}
+		next, ok := c.kb.nextUseful(p, targets)
+		if !ok {
+			return
+		}
+		if hook != nil {
+			if override, use := hook(p); use {
+				next = override
+			}
+		}
+		p = next
+	}
+}

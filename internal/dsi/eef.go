@@ -1,0 +1,72 @@
+package dsi
+
+import (
+	"sort"
+
+	"dsi/internal/broadcast"
+	"dsi/internal/hilbert"
+)
+
+// EEF performs the paper's energy-efficient forwarding (section 3.2):
+// starting from wherever the client tuned in, it follows index-table
+// pointers until it reaches the frame that covers the given HC value —
+// the frame that holds the object at that location, or would hold it if
+// it existed. It returns the frame id and whether an object with
+// exactly that HC value exists there (scanning the reached frame, which
+// makes EEF a point query per the paper).
+func (c *Client) EEF(hc uint64) (frame int, exists bool, stats broadcast.Stats) {
+	if hc >= c.x.DS.Curve.Size() {
+		panic("dsi: EEF target outside the curve")
+	}
+	targets := []hilbert.Range{{Lo: hc, Hi: hc + 1}}
+	p := c.probe()
+	for {
+		c.visit(p, func() []hilbert.Range { return targets })
+		if f, certain := c.kb.coveringFrame(hc); certain && c.x.FrameToPos(f) == p {
+			id := c.x.DS.FindHC(hc)
+			exists = id < c.x.DS.N() && c.x.DS.Objects[id].HC == hc && c.kb.retrieved[id]
+			return f, exists, c.Stats()
+		}
+		next, ok := c.kb.nextUseful(p, targets)
+		if !ok {
+			// The target is resolved: the object was retrieved or is
+			// known not to exist. Forward to the covering frame if the
+			// client is not already there, as EEF "reaches the frame
+			// containing the data object".
+			f, _ := c.kb.coveringFrame(hc)
+			if pos := c.x.FrameToPos(f); pos != p {
+				c.tu.DozeUntilPos(c.x.FrameStartSlot(pos))
+			}
+			id := c.x.DS.FindHC(hc)
+			exists = id < c.x.DS.N() && c.x.DS.Objects[id].HC == hc && c.kb.retrieved[id]
+			return f, exists, c.Stats()
+		}
+		p = next
+	}
+}
+
+// coveringFrame returns the frame with the largest known minimum HC
+// value not exceeding hc (the frame that covers hc), and whether that
+// identification is certain: the next same-segment frame is known to
+// start above hc, so no unknown frame can lie between.
+func (kb *knowledge) coveringFrame(hc uint64) (frame int, certain bool) {
+	j := kb.x.HCSegment(hc)
+	base := kb.x.segStart[j]
+	kl := kb.knownIdx[j]
+	t := sort.Search(len(kl), func(t int) bool {
+		return kb.frameHC[base+kl[t]] > hc
+	}) - 1
+	if t < 0 {
+		// hc precedes every object: the covering frame is the first
+		// frame of segment 0, which the catalog makes always known.
+		return kb.x.segStart[0], true
+	}
+	frame = base + kl[t]
+	i := kl[t]
+	if t+1 < len(kl) {
+		certain = kl[t+1] == i+1
+	} else {
+		certain = i == kb.x.SegLen(j)-1
+	}
+	return frame, certain
+}

@@ -1,0 +1,190 @@
+package dsi
+
+import (
+	"math"
+	"sort"
+
+	"dsi/internal/broadcast"
+	"dsi/internal/hilbert"
+	"dsi/internal/spatial"
+)
+
+// Strategy selects the kNN search-space navigation strategy
+// (paper section 3.4).
+type Strategy int
+
+const (
+	// Conservative retrieves every object that may potentially be in
+	// the answer set and follows the first index entry whose range
+	// overlaps the current search space: small access latency, higher
+	// tuning cost.
+	Conservative Strategy = iota
+	// Aggressive follows the index entry pointing at the frame closest
+	// to the query point to shrink the search space fast: low tuning
+	// cost, but skipped ranges may have to wait for the next cycle.
+	Aggressive
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Conservative:
+		return "conservative"
+	case Aggressive:
+		return "aggressive"
+	default:
+		return "strategy?"
+	}
+}
+
+// Window executes a window query: it returns the IDs of all objects
+// inside w, in HC order, together with the query's cost metrics.
+func (c *Client) Window(w spatial.Rect) ([]int, broadcast.Stats) {
+	curve := c.x.DS.Curve
+	targets := curve.Ranges(w.MinX, w.MinY, w.MaxX, w.MaxY)
+	start := c.probe()
+	c.retrieveAll(start, func() []hilbert.Range { return targets }, nil)
+	return c.collect(targets), c.Stats()
+}
+
+// Point executes a point query: it returns the ID of the object at
+// point p and whether one exists. Either way the client has certainty
+// when the query terminates.
+func (c *Client) Point(p spatial.Point) (id int, found bool, stats broadcast.Stats) {
+	hc := c.x.DS.Curve.Encode(p.X, p.Y)
+	targets := []hilbert.Range{{Lo: hc, Hi: hc + 1}}
+	start := c.probe()
+	c.retrieveAll(start, func() []hilbert.Range { return targets }, nil)
+	ids := c.collect(targets)
+	if len(ids) == 0 {
+		return 0, false, c.Stats()
+	}
+	return ids[0], true, c.Stats()
+}
+
+// collect returns the retrieved object IDs with HC values in the
+// targets, ascending.
+func (c *Client) collect(targets []hilbert.Range) []int {
+	var out []int
+	for _, r := range targets {
+		for i := c.x.DS.FindHC(r.Lo); i < c.x.DS.N() && c.x.DS.Objects[i].HC < r.Hi; i++ {
+			if c.kb.retrieved[i] {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// knnCand is an object known to the client during kNN processing. The
+// 1-1 correspondence between HC values and cells makes index knowledge
+// exact: locating an object means knowing its distance.
+type knnCand struct {
+	id int
+	d2 float64
+	hc uint64
+}
+
+// KNN executes a k-nearest-neighbor query at point q using the given
+// strategy. It returns the IDs of the k nearest objects (all fully
+// retrieved) and the query's cost metrics. On a reorganized broadcast
+// (Segments > 1), Conservative is the strategy the paper evaluates.
+func (c *Client) KNN(q spatial.Point, k int, strat Strategy) ([]int, broadcast.Stats) {
+	if k <= 0 {
+		return nil, c.Stats()
+	}
+	if k > c.x.DS.N() {
+		k = c.x.DS.N()
+	}
+	curve := c.x.DS.Curve
+	full := []hilbert.Range{{Lo: 0, Hi: curve.Size()}}
+
+	var cands []knnCand
+	curR := math.Inf(1)
+	targets := full
+
+	targetsFn := func() []hilbert.Range {
+		for _, id := range c.kb.drainNew() {
+			hc := c.kb.objHC[id]
+			x, y := curve.Decode(hc)
+			cands = append(cands, knnCand{id: id, d2: q.Dist2(spatial.Point{X: x, Y: y}), hc: hc})
+		}
+		if len(cands) < k {
+			return full
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].d2 != cands[j].d2 {
+				return cands[i].d2 < cands[j].d2
+			}
+			return cands[i].hc < cands[j].hc
+		})
+		if r := math.Sqrt(cands[k-1].d2); r != curR {
+			curR = r
+			targets = curve.RangesDisk(float64(q.X), float64(q.Y), r)
+		}
+		return targets
+	}
+
+	var hook func(p int) (int, bool)
+	if strat == Aggressive {
+		// Phase 1 of the aggressive approach: keep following the table
+		// entry whose frame is closest to the query point, until the
+		// current frame is locally closest. Bounded so a pathological
+		// distribution cannot jump forever.
+		maxJumps := 4 * bitsFor(c.x.NF)
+		jumps := 0
+		hook = func(p int) (int, bool) {
+			if jumps >= maxJumps || c.lastTable == nil || c.lastTable.Pos != p {
+				return 0, false
+			}
+			bestD := c.hcDist2(q, c.lastTable.OwnHC)
+			best := -1
+			for _, e := range c.lastTable.Entries {
+				if d := c.hcDist2(q, e.MinHC); d < bestD {
+					bestD = d
+					best = e.TargetPos
+				}
+			}
+			if best < 0 {
+				jumps = maxJumps // vicinity reached: stay conservative
+				return 0, false
+			}
+			jumps++
+			return best, true
+		}
+	}
+
+	start := c.probe()
+	c.retrieveAll(start, targetsFn, hook)
+	targetsFn() // absorb anything located by the final visit
+
+	// The search space is resolved: every object within the k-th
+	// candidate distance has been retrieved, so the k nearest
+	// candidates are the answer.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d2 != cands[j].d2 {
+			return cands[i].d2 < cands[j].d2
+		}
+		return cands[i].hc < cands[j].hc
+	})
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].id
+	}
+	return out, c.Stats()
+}
+
+// hcDist2 returns the squared distance from q to the cell with the
+// given HC value.
+func (c *Client) hcDist2(q spatial.Point, hc uint64) float64 {
+	x, y := c.x.DS.Curve.Decode(hc)
+	return q.Dist2(spatial.Point{X: x, Y: y})
+}
+
+// bitsFor returns ceil(log2(n)) for n >= 1.
+func bitsFor(n int) int {
+	b := 0
+	for v := 1; v < n; v <<= 1 {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,174 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one curve of a figure: a named sequence of Y values over
+// the figure's shared X values.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure is one reproduced paper figure (or sub-figure): a set of
+// series over a common X axis, reported in bytes like the paper.
+type Figure struct {
+	ID     string // e.g. "fig9a"
+	Title  string
+	XLabel string
+	YLabel string
+	XFmt   string // format for X tick labels, default %g
+	X      []float64
+	Series []Series
+}
+
+// AddPoint appends y to the named series, creating it on first use.
+func (f *Figure) AddPoint(series string, y float64) {
+	for i := range f.Series {
+		if f.Series[i].Name == series {
+			f.Series[i].Y = append(f.Series[i].Y, y)
+			return
+		}
+	}
+	f.Series = append(f.Series, Series{Name: series, Y: []float64{y}})
+}
+
+// Format renders the figure as an aligned text table, one row per X
+// value and one column per series.
+func (f *Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "  (%s; values are %s)\n", f.XLabel, f.YLabel)
+	xf := f.XFmt
+	if xf == "" {
+		xf = "%g"
+	}
+
+	header := fmt.Sprintf("  %-14s", f.XLabel)
+	for _, s := range f.Series {
+		header += fmt.Sprintf(" %16s", s.Name)
+	}
+	b.WriteString(header + "\n")
+	b.WriteString("  " + strings.Repeat("-", len(header)-2) + "\n")
+	for i, x := range f.X {
+		row := fmt.Sprintf("  %-14s", fmt.Sprintf(xf, x))
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row += fmt.Sprintf(" %16s", humanBytes(s.Y[i]))
+			} else {
+				row += fmt.Sprintf(" %16s", "-")
+			}
+		}
+		b.WriteString(row + "\n")
+	}
+	return b.String()
+}
+
+// humanBytes renders a byte count compactly (the paper uses 10^4/10^6
+// scales on its axes).
+func humanBytes(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fMB", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fKB", v/1e3)
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
+}
+
+// CSV renders the figure as comma-separated values (one row per X
+// value, one column per series), for plotting with external tools.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.ReplaceAll(f.XLabel, ",", ";"))
+	for _, s := range f.Series {
+		b.WriteString("," + strings.ReplaceAll(s.Name, ",", ";"))
+	}
+	b.WriteString("\n")
+	for i, x := range f.X {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, ",%.0f", s.Y[i])
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table is one reproduced paper table with free-form string cells.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Format renders the table with aligned columns.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		b.WriteString(" ")
+		for i, c := range cells {
+			fmt.Fprintf(&b, " %-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	total := 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(" " + strings.Repeat("-", total) + "\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Result bundles everything one experiment produces.
+type Result struct {
+	Figures []Figure
+	Tables  []Table
+}
+
+// Format renders all artifacts.
+func (r *Result) Format() string {
+	var b strings.Builder
+	for i := range r.Figures {
+		b.WriteString(r.Figures[i].Format())
+		b.WriteString("\n")
+	}
+	for i := range r.Tables {
+		b.WriteString(r.Tables[i].Format())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders all figures as CSV blocks separated by the figure ids.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	for i := range r.Figures {
+		fmt.Fprintf(&b, "# %s\n%s\n", r.Figures[i].ID, r.Figures[i].CSV())
+	}
+	return b.String()
+}

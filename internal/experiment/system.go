@@ -1,0 +1,126 @@
+// Package experiment reproduces the paper's evaluation: every figure
+// (Fig. 8-12) and table (Table 1) of section 4 and 5, plus the REAL-
+// dataset comparisons reported in the text and the ablations called out
+// in DESIGN.md.
+//
+// The package wraps the three air-index implementations behind a common
+// System interface, generates seeded workloads, runs them with identical
+// query sequences against every system, and formats the results as the
+// paper reports them (average access latency and tuning time in bytes).
+package experiment
+
+import (
+	"fmt"
+
+	"dsi/internal/air"
+	"dsi/internal/broadcast"
+	"dsi/internal/dataset"
+	"dsi/internal/dsi"
+	"dsi/internal/spatial"
+)
+
+// System is an air index under evaluation.
+type System interface {
+	// Name identifies the system in tables ("DSI", "R-tree", "HCI", ...).
+	Name() string
+	// Window answers a window query from the given absolute probe slot.
+	Window(w spatial.Rect, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats)
+	// KNN answers a k-nearest-neighbor query.
+	KNN(q spatial.Point, k int, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats)
+	// CycleLen returns the broadcast cycle length in packets, used to
+	// draw uniform probe slots.
+	CycleLen() int
+}
+
+// DSISystem runs queries over a DSI broadcast with a fixed kNN strategy.
+type DSISystem struct {
+	Label    string
+	Index    *dsi.Index
+	Strategy dsi.Strategy
+}
+
+// NewDSI builds a DSI system. The label defaults to "DSI".
+func NewDSI(ds *dataset.Dataset, cfg dsi.Config, strat dsi.Strategy, label string) (*DSISystem, error) {
+	x, err := dsi.Build(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if label == "" {
+		label = "DSI"
+	}
+	return &DSISystem{Label: label, Index: x, Strategy: strat}, nil
+}
+
+func (s *DSISystem) Name() string { return s.Label }
+
+func (s *DSISystem) Window(w spatial.Rect, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
+	return dsi.NewClient(s.Index, probe, loss).Window(w)
+}
+
+func (s *DSISystem) KNN(q spatial.Point, k int, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
+	return dsi.NewClient(s.Index, probe, loss).KNN(q, k, s.Strategy)
+}
+
+func (s *DSISystem) CycleLen() int { return s.Index.Prog.Len() }
+
+// RTreeSystem is the on-air STR R-tree baseline.
+type RTreeSystem struct{ B *air.RTreeBroadcast }
+
+// NewRTree builds the R-tree baseline (fails at 32-byte packets).
+func NewRTree(ds *dataset.Dataset, capacity, objectBytes int) (*RTreeSystem, error) {
+	b, err := air.NewRTreeBroadcast(ds, capacity, objectBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &RTreeSystem{B: b}, nil
+}
+
+func (s *RTreeSystem) Name() string { return "R-tree" }
+
+func (s *RTreeSystem) Window(w spatial.Rect, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
+	return s.B.Window(w, probe, loss)
+}
+
+func (s *RTreeSystem) KNN(q spatial.Point, k int, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
+	return s.B.KNN(q, k, probe, loss)
+}
+
+func (s *RTreeSystem) CycleLen() int { return s.B.Lay.Prog.Len() }
+
+// HCISystem is the on-air Hilbert Curve Index baseline.
+type HCISystem struct{ B *air.HCIBroadcast }
+
+// NewHCI builds the HCI baseline.
+func NewHCI(ds *dataset.Dataset, capacity, objectBytes int) (*HCISystem, error) {
+	b, err := air.NewHCIBroadcast(ds, capacity, objectBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &HCISystem{B: b}, nil
+}
+
+func (s *HCISystem) Name() string { return "HCI" }
+
+func (s *HCISystem) Window(w spatial.Rect, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
+	return s.B.Window(w, probe, loss)
+}
+
+func (s *HCISystem) KNN(q spatial.Point, k int, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
+	return s.B.KNN(q, k, probe, loss)
+}
+
+func (s *HCISystem) CycleLen() int { return s.B.Lay.Prog.Len() }
+
+// dsiVariant builds the DSI configuration the paper evaluates by
+// default after section 4.1: the two-segment reorganized broadcast with
+// the conservative strategy.
+func dsiReorganized(ds *dataset.Dataset, capacity int) (*DSISystem, error) {
+	return NewDSI(ds, dsi.Config{Capacity: capacity, Segments: 2}, dsi.Conservative, "DSI")
+}
+
+func mustSys(s System, err error) System {
+	if err != nil {
+		panic(fmt.Sprintf("experiment: building system: %v", err))
+	}
+	return s
+}

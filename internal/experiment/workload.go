@@ -1,0 +1,164 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dsi/internal/broadcast"
+	"dsi/internal/dataset"
+	"dsi/internal/spatial"
+)
+
+// Workload is a reproducible query mix. The same workload is replayed
+// against every system so comparisons see identical queries, probe
+// positions (scaled to each system's cycle), and loss processes.
+type Workload struct {
+	DS      *dataset.Dataset
+	Queries int
+	Seed    int64
+	// Verify cross-checks every result against brute force and panics
+	// on mismatch; experiments double as end-to-end correctness tests.
+	Verify bool
+	// Theta enables the link-error model.
+	Theta float64
+}
+
+// Metrics are per-query averages in bytes, the unit the paper reports.
+type Metrics struct {
+	LatencyBytes float64
+	TuningBytes  float64
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("latency=%.0fB tuning=%.0fB", m.LatencyBytes, m.TuningBytes)
+}
+
+// windowQuery is one generated window query instance.
+type windowQuery struct {
+	w     spatial.Rect
+	uProb float64 // uniform (0,1) scaled to the system's cycle
+	seed  int64   // loss-model seed
+}
+
+// genWindows generates the window workload for a WinSideRatio.
+func (wl *Workload) genWindows(ratio float64) []windowQuery {
+	rng := rand.New(rand.NewSource(wl.Seed))
+	side := wl.DS.Curve.Side()
+	win := uint32(float64(side) * ratio)
+	if win == 0 {
+		win = 1
+	}
+	out := make([]windowQuery, wl.Queries)
+	for i := range out {
+		out[i] = windowQuery{
+			w: spatial.ClampedWindow(
+				uint32(rng.Intn(int(side))), uint32(rng.Intn(int(side))), win, side),
+			uProb: rng.Float64(),
+			seed:  rng.Int63(),
+		}
+	}
+	return out
+}
+
+type knnQuery struct {
+	q     spatial.Point
+	uProb float64
+	seed  int64
+}
+
+// genKNN generates the kNN workload.
+func (wl *Workload) genKNN() []knnQuery {
+	rng := rand.New(rand.NewSource(wl.Seed + 1))
+	side := int(wl.DS.Curve.Side())
+	out := make([]knnQuery, wl.Queries)
+	for i := range out {
+		out[i] = knnQuery{
+			q:     spatial.Point{X: uint32(rng.Intn(side)), Y: uint32(rng.Intn(side))},
+			uProb: rng.Float64(),
+			seed:  rng.Int63(),
+		}
+	}
+	return out
+}
+
+func (wl *Workload) loss(seed int64) *broadcast.LossModel {
+	if wl.Theta == 0 {
+		return nil
+	}
+	return broadcast.NewLossModel(wl.Theta, seed)
+}
+
+// RunWindow replays the window workload with the given WinSideRatio
+// against the system and returns average metrics.
+func (wl *Workload) RunWindow(sys System, ratio float64) Metrics {
+	var lat, tun float64
+	for _, q := range wl.genWindows(ratio) {
+		probe := int64(q.uProb * float64(sys.CycleLen()))
+		got, st := sys.Window(q.w, probe, wl.loss(q.seed))
+		if wl.Verify {
+			want := wl.DS.WindowBrute(q.w)
+			if !sameIDs(got, want) {
+				panic(fmt.Sprintf("experiment: %s window %v returned %d objects, want %d",
+					sys.Name(), q.w, len(got), len(want)))
+			}
+		}
+		lat += float64(st.LatencyBytes())
+		tun += float64(st.TuningBytes())
+	}
+	n := float64(wl.Queries)
+	return Metrics{LatencyBytes: lat / n, TuningBytes: tun / n}
+}
+
+// RunKNN replays the kNN workload against the system.
+func (wl *Workload) RunKNN(sys System, k int) Metrics {
+	var lat, tun float64
+	for _, q := range wl.genKNN() {
+		probe := int64(q.uProb * float64(sys.CycleLen()))
+		got, st := sys.KNN(q.q, k, probe, wl.loss(q.seed))
+		if wl.Verify {
+			want, _ := wl.DS.KNNBrute(q.q, k)
+			if !sameDistances(wl.DS, q.q, got, want) {
+				panic(fmt.Sprintf("experiment: %s kNN at %v k=%d wrong", sys.Name(), q.q, k))
+			}
+		}
+		lat += float64(st.LatencyBytes())
+		tun += float64(st.TuningBytes())
+	}
+	n := float64(wl.Queries)
+	return Metrics{LatencyBytes: lat / n, TuningBytes: tun / n}
+}
+
+func sameIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sameDistances compares kNN answers by their distance multisets (ties
+// may be broken differently by different systems).
+func sameDistances(ds *dataset.Dataset, q spatial.Point, a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	da := make([]float64, len(a))
+	db := make([]float64, len(b))
+	for i := range a {
+		da[i] = ds.ByID(a[i]).P.Dist2(q)
+		db[i] = ds.ByID(b[i]).P.Dist2(q)
+	}
+	sort.Float64s(da)
+	sort.Float64s(db)
+	for i := range da {
+		if da[i] != db[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,288 @@
+// Package hilbert implements the two-dimensional Hilbert space-filling
+// curve used by DSI and HCI to linearize spatial data for broadcast.
+//
+// A curve of order k visits every cell of a 2^k x 2^k grid exactly once.
+// Encode maps a cell coordinate to its position along the curve (its "HC
+// value") and Decode inverts the mapping. The orientation matches the
+// paper's running example (Figure 2): on an order-3 curve, cell (1, 1)
+// has HC value 2.
+//
+// The package also provides exact decompositions of query regions into
+// maximal contiguous HC ranges (Ranges and RangesFunc), which both the
+// DSI window/kNN algorithms and the HCI baseline rely on.
+package hilbert
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MaxOrder is the largest supported curve order. 2*MaxOrder bits of HC
+// value must fit in a uint64.
+const MaxOrder = 31
+
+// Curve is a Hilbert curve of a fixed order over the grid
+// [0, 2^order) x [0, 2^order).
+type Curve struct {
+	order uint
+}
+
+// New returns a curve of the given order. It panics if order is zero or
+// exceeds MaxOrder; curve order is a static configuration value, so a
+// bad value is a programming error rather than a runtime condition.
+func New(order uint) Curve {
+	if order == 0 || order > MaxOrder {
+		panic(fmt.Sprintf("hilbert: order %d out of range [1,%d]", order, MaxOrder))
+	}
+	return Curve{order: order}
+}
+
+// Order returns the curve order.
+func (c Curve) Order() uint { return c.order }
+
+// Side returns the grid side length 2^order.
+func (c Curve) Side() uint32 { return 1 << c.order }
+
+// Size returns the number of cells on the curve, 4^order.
+func (c Curve) Size() uint64 { return 1 << (2 * c.order) }
+
+// Encode returns the HC value of cell (x, y). Coordinates outside the
+// grid panic: callers are expected to clamp to the grid first.
+func (c Curve) Encode(x, y uint32) uint64 {
+	side := c.Side()
+	if x >= side || y >= side {
+		panic(fmt.Sprintf("hilbert: cell (%d,%d) outside %dx%d grid", x, y, side, side))
+	}
+	var d uint64
+	for s := side >> 1; s > 0; s >>= 1 {
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		// Rotate the quadrant so the recursion sees a canonical sub-curve.
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+	}
+	return d
+}
+
+// Decode returns the cell coordinate of HC value d. Values outside the
+// curve panic.
+func (c Curve) Decode(d uint64) (x, y uint32) {
+	if d >= c.Size() {
+		panic(fmt.Sprintf("hilbert: HC value %d outside curve of size %d", d, c.Size()))
+	}
+	t := d
+	for s := uint32(1); s < c.Side(); s <<= 1 {
+		rx := uint32(t>>1) & 1
+		ry := uint32(t^uint64(rx)) & 1
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+		x += s * rx
+		y += s * ry
+		t >>= 2
+	}
+	return x, y
+}
+
+// Range is a half-open interval [Lo, Hi) of HC values.
+type Range struct {
+	Lo, Hi uint64
+}
+
+// Len returns the number of cells in the range.
+func (r Range) Len() uint64 { return r.Hi - r.Lo }
+
+// Contains reports whether the HC value v lies in the range.
+func (r Range) Contains(v uint64) bool { return v >= r.Lo && v < r.Hi }
+
+// Overlaps reports whether two ranges share at least one value.
+func (r Range) Overlaps(o Range) bool { return r.Lo < o.Hi && o.Lo < r.Hi }
+
+func (r Range) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
+
+// RegionFunc classifies an axis-aligned block of cells
+// [x0,x1] x [y0,y1] (inclusive bounds) against a query region.
+type RegionFunc func(x0, y0, x1, y1 uint32) Region
+
+// Region is the classification of a cell block against a query region.
+type Region int
+
+const (
+	// Outside means no cell of the block can satisfy the query region.
+	Outside Region = iota
+	// Inside means every cell of the block satisfies the query region.
+	Inside
+	// Partial means the block must be subdivided.
+	Partial
+)
+
+// RangesFunc decomposes the set of cells classified Inside by the region
+// function into maximal contiguous HC ranges, sorted ascending. The
+// classifier must be consistent: a block classified Inside (Outside) must
+// have all (no) cells inside. The decomposition recurses over quadrants,
+// so its cost is proportional to the region's perimeter in cells.
+func (c Curve) RangesFunc(region RegionFunc) []Range {
+	var out []Range
+	side := c.Side()
+	out = c.collect(out, region, 0, 0, side, 0)
+	return mergeRanges(out)
+}
+
+// collect appends the HC ranges of in-region cells within the block whose
+// lower corner in *rotated* space maps to curve offset base and whose side
+// is s. To keep the geometry simple we recurse in original grid space and
+// compute each quadrant's HC base by encoding one of its cells.
+func (c Curve) collect(out []Range, region RegionFunc, x0, y0, s uint32, _ uint64) []Range {
+	switch region(x0, y0, x0+s-1, y0+s-1) {
+	case Outside:
+		return out
+	case Inside:
+		lo := c.blockBase(x0, y0, s)
+		return append(out, Range{Lo: lo, Hi: lo + uint64(s)*uint64(s)})
+	}
+	if s == 1 {
+		// A 1x1 block classified Partial is a classifier bug; treat as inside
+		// to stay conservative (never lose a cell).
+		lo := c.Encode(x0, y0)
+		return append(out, Range{Lo: lo, Hi: lo + 1})
+	}
+	h := s >> 1
+	out = c.collect(out, region, x0, y0, h, 0)
+	out = c.collect(out, region, x0+h, y0, h, 0)
+	out = c.collect(out, region, x0, y0+h, h, 0)
+	out = c.collect(out, region, x0+h, y0+h, h, 0)
+	return out
+}
+
+// blockBase returns the smallest HC value within the size-s aligned block
+// whose lower-left corner is (x0, y0). Because an aligned block is visited
+// contiguously by the curve, the smallest value is the block's entry point;
+// it equals the HC value of any cell in the block with the low 2*log2(s)
+// bits cleared.
+func (c Curve) blockBase(x0, y0, s uint32) uint64 {
+	v := c.Encode(x0, y0)
+	mask := uint64(s)*uint64(s) - 1
+	return v &^ mask
+}
+
+// Ranges decomposes the inclusive cell rectangle [x0,x1] x [y0,y1] into
+// maximal contiguous HC ranges, sorted ascending. Bounds are clamped to
+// the grid; an empty rectangle yields nil.
+func (c Curve) Ranges(x0, y0, x1, y1 uint32) []Range {
+	side := c.Side()
+	if x0 >= side {
+		x0 = side - 1
+	}
+	if y0 >= side {
+		y0 = side - 1
+	}
+	if x1 >= side {
+		x1 = side - 1
+	}
+	if y1 >= side {
+		y1 = side - 1
+	}
+	if x1 < x0 || y1 < y0 {
+		return nil
+	}
+	return c.RangesFunc(func(bx0, by0, bx1, by1 uint32) Region {
+		if bx1 < x0 || bx0 > x1 || by1 < y0 || by0 > y1 {
+			return Outside
+		}
+		if bx0 >= x0 && bx1 <= x1 && by0 >= y0 && by1 <= y1 {
+			return Inside
+		}
+		return Partial
+	})
+}
+
+// RangesDisk decomposes the set of cells whose coordinates lie within
+// Euclidean distance r of (qx, qy) into maximal contiguous HC ranges.
+// Distance is measured between cell coordinates (objects live exactly on
+// cells), and the disk is closed: cells at distance exactly r are inside.
+func (c Curve) RangesDisk(qx, qy float64, r float64) []Range {
+	if r < 0 {
+		return nil
+	}
+	r2 := r * r
+	return c.RangesFunc(func(x0, y0, x1, y1 uint32) Region {
+		min := rectPointMinDist2(float64(x0), float64(y0), float64(x1), float64(y1), qx, qy)
+		if min > r2 {
+			return Outside
+		}
+		max := rectPointMaxDist2(float64(x0), float64(y0), float64(x1), float64(y1), qx, qy)
+		if max <= r2 {
+			return Inside
+		}
+		return Partial
+	})
+}
+
+// rectPointMinDist2 returns the squared distance from (qx,qy) to the
+// closest point of the rectangle [x0,x1]x[y0,y1].
+func rectPointMinDist2(x0, y0, x1, y1, qx, qy float64) float64 {
+	dx := 0.0
+	switch {
+	case qx < x0:
+		dx = x0 - qx
+	case qx > x1:
+		dx = qx - x1
+	}
+	dy := 0.0
+	switch {
+	case qy < y0:
+		dy = y0 - qy
+	case qy > y1:
+		dy = qy - y1
+	}
+	return dx*dx + dy*dy
+}
+
+// rectPointMaxDist2 returns the squared distance from (qx,qy) to the
+// farthest corner of the rectangle [x0,x1]x[y0,y1].
+func rectPointMaxDist2(x0, y0, x1, y1, qx, qy float64) float64 {
+	dx := qx - x0
+	if d := x1 - qx; d > dx {
+		dx = d
+	}
+	dy := qy - y0
+	if d := y1 - qy; d > dy {
+		dy = d
+	}
+	return dx*dx + dy*dy
+}
+
+// mergeRanges sorts ranges and coalesces adjacent or overlapping ones.
+func mergeRanges(rs []Range) []Range {
+	if len(rs) == 0 {
+		return nil
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.Lo <= last.Hi {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,326 @@
+package hilbert
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperFigure2Orientation(t *testing.T) {
+	// The paper's Figure 2 (order-3 curve) states that cell (1,1) has HC
+	// value 2. The figure also labels a few other cells we can read off:
+	// the curve starts at (0,0)=0 and ends at (7,0)=63.
+	c := New(3)
+	cases := []struct {
+		x, y uint32
+		want uint64
+	}{
+		{0, 0, 0},
+		{1, 1, 2},
+		{1, 0, 3},
+		{7, 0, 63},
+	}
+	for _, tc := range cases {
+		if got := c.Encode(tc.x, tc.y); got != tc.want {
+			t.Errorf("Encode(%d,%d) = %d, want %d", tc.x, tc.y, got, tc.want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripSmall(t *testing.T) {
+	for order := uint(1); order <= 6; order++ {
+		c := New(order)
+		seen := make(map[uint64]bool, c.Size())
+		for x := uint32(0); x < c.Side(); x++ {
+			for y := uint32(0); y < c.Side(); y++ {
+				d := c.Encode(x, y)
+				if d >= c.Size() {
+					t.Fatalf("order %d: Encode(%d,%d)=%d out of range", order, x, y, d)
+				}
+				if seen[d] {
+					t.Fatalf("order %d: duplicate HC value %d", order, d)
+				}
+				seen[d] = true
+				gx, gy := c.Decode(d)
+				if gx != x || gy != y {
+					t.Fatalf("order %d: Decode(Encode(%d,%d)) = (%d,%d)", order, x, y, gx, gy)
+				}
+			}
+		}
+		if uint64(len(seen)) != c.Size() {
+			t.Fatalf("order %d: curve visited %d cells, want %d", order, len(seen), c.Size())
+		}
+	}
+}
+
+func TestCurveContinuity(t *testing.T) {
+	// Consecutive HC values must be 4-adjacent cells: the defining
+	// property of the Hilbert curve.
+	for order := uint(1); order <= 5; order++ {
+		c := New(order)
+		px, py := c.Decode(0)
+		for d := uint64(1); d < c.Size(); d++ {
+			x, y := c.Decode(d)
+			dx := int64(x) - int64(px)
+			dy := int64(y) - int64(py)
+			if dx*dx+dy*dy != 1 {
+				t.Fatalf("order %d: step %d->%d jumps from (%d,%d) to (%d,%d)",
+					order, d-1, d, px, py, x, y)
+			}
+			px, py = x, y
+		}
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	c := New(16)
+	f := func(x, y uint32) bool {
+		x %= c.Side()
+		y %= c.Side()
+		gx, gy := c.Decode(c.Encode(x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeEncodeQuick(t *testing.T) {
+	c := New(16)
+	f := func(d uint64) bool {
+		d %= c.Size()
+		x, y := c.Decode(d)
+		return c.Encode(x, y) == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPanicsOnBadOrder(t *testing.T) {
+	for _, order := range []uint{0, MaxOrder + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", order)
+				}
+			}()
+			New(order)
+		}()
+	}
+}
+
+func TestEncodePanicsOutsideGrid(t *testing.T) {
+	c := New(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Encode outside grid did not panic")
+		}
+	}()
+	c.Encode(8, 0)
+}
+
+func TestDecodePanicsOutsideCurve(t *testing.T) {
+	c := New(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Decode outside curve did not panic")
+		}
+	}()
+	c.Decode(64)
+}
+
+// bruteRect returns the sorted HC values of cells in the inclusive rect.
+func bruteRect(c Curve, x0, y0, x1, y1 uint32) map[uint64]bool {
+	in := make(map[uint64]bool)
+	for x := x0; x <= x1 && x < c.Side(); x++ {
+		for y := y0; y <= y1 && y < c.Side(); y++ {
+			in[c.Encode(x, y)] = true
+		}
+	}
+	return in
+}
+
+func rangesCover(rs []Range) map[uint64]bool {
+	out := make(map[uint64]bool)
+	for _, r := range rs {
+		for v := r.Lo; v < r.Hi; v++ {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+func sameSet(a, b map[uint64]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRangesExactSmall(t *testing.T) {
+	c := New(4)
+	cases := [][4]uint32{
+		{0, 0, 15, 15}, // whole grid
+		{0, 0, 0, 0},   // single cell
+		{3, 5, 9, 12},
+		{1, 1, 2, 14},
+		{0, 8, 15, 8}, // single row
+		{7, 0, 7, 15}, // single column
+		{14, 14, 15, 15},
+	}
+	for _, tc := range cases {
+		rs := c.Ranges(tc[0], tc[1], tc[2], tc[3])
+		want := bruteRect(c, tc[0], tc[1], tc[2], tc[3])
+		if !sameSet(rangesCover(rs), want) {
+			t.Errorf("Ranges(%v) covers wrong cell set", tc)
+		}
+		// Ranges must be sorted, disjoint and non-adjacent (maximal).
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Lo <= rs[i-1].Hi {
+				t.Errorf("Ranges(%v): ranges %v and %v not maximal/disjoint", tc, rs[i-1], rs[i])
+			}
+		}
+	}
+}
+
+func TestRangesQuick(t *testing.T) {
+	c := New(5)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		x0 := uint32(rng.Intn(int(c.Side())))
+		y0 := uint32(rng.Intn(int(c.Side())))
+		x1 := x0 + uint32(rng.Intn(int(c.Side()-x0)))
+		y1 := y0 + uint32(rng.Intn(int(c.Side()-y0)))
+		rs := c.Ranges(x0, y0, x1, y1)
+		want := bruteRect(c, x0, y0, x1, y1)
+		if !sameSet(rangesCover(rs), want) {
+			t.Fatalf("Ranges(%d,%d,%d,%d) wrong", x0, y0, x1, y1)
+		}
+	}
+}
+
+func TestRangesClampsToGrid(t *testing.T) {
+	c := New(3)
+	rs := c.Ranges(0, 0, 100, 100)
+	if len(rs) != 1 || rs[0].Lo != 0 || rs[0].Hi != c.Size() {
+		t.Errorf("clamped whole-grid Ranges = %v, want [0,%d)", rs, c.Size())
+	}
+}
+
+func TestRangesDiskExact(t *testing.T) {
+	c := New(5)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 150; i++ {
+		qx := rng.Float64() * float64(c.Side())
+		qy := rng.Float64() * float64(c.Side())
+		r := rng.Float64() * float64(c.Side()) / 2
+		rs := c.RangesDisk(qx, qy, r)
+		want := make(map[uint64]bool)
+		for x := uint32(0); x < c.Side(); x++ {
+			for y := uint32(0); y < c.Side(); y++ {
+				dx := float64(x) - qx
+				dy := float64(y) - qy
+				if dx*dx+dy*dy <= r*r {
+					want[c.Encode(x, y)] = true
+				}
+			}
+		}
+		if !sameSet(rangesCover(rs), want) {
+			t.Fatalf("RangesDisk(%.3f,%.3f,%.3f) wrong cell set", qx, qy, r)
+		}
+	}
+}
+
+func TestRangesDiskNegativeRadius(t *testing.T) {
+	c := New(4)
+	if rs := c.RangesDisk(3, 3, -1); rs != nil {
+		t.Errorf("negative radius gave %v, want nil", rs)
+	}
+}
+
+func TestRangesDiskZeroRadiusOnCell(t *testing.T) {
+	c := New(4)
+	rs := c.RangesDisk(5, 9, 0)
+	want := c.Encode(5, 9)
+	if len(rs) != 1 || rs[0].Lo != want || rs[0].Hi != want+1 {
+		t.Errorf("zero radius on cell gave %v, want [%d,%d)", rs, want, want+1)
+	}
+}
+
+func TestRangeHelpers(t *testing.T) {
+	r := Range{Lo: 10, Hi: 20}
+	if r.Len() != 10 {
+		t.Errorf("Len = %d, want 10", r.Len())
+	}
+	if !r.Contains(10) || r.Contains(20) || r.Contains(9) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+	if !r.Overlaps(Range{19, 25}) || r.Overlaps(Range{20, 25}) || r.Overlaps(Range{0, 10}) {
+		t.Error("Overlaps boundary behaviour wrong")
+	}
+	if r.String() != "[10,20)" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestBlockBaseMatchesMinimum(t *testing.T) {
+	c := New(4)
+	for _, s := range []uint32{1, 2, 4, 8} {
+		for x0 := uint32(0); x0 < c.Side(); x0 += s {
+			for y0 := uint32(0); y0 < c.Side(); y0 += s {
+				min := uint64(math.MaxUint64)
+				for x := x0; x < x0+s; x++ {
+					for y := y0; y < y0+s; y++ {
+						if v := c.Encode(x, y); v < min {
+							min = v
+						}
+					}
+				}
+				if got := c.blockBase(x0, y0, s); got != min {
+					t.Fatalf("blockBase(%d,%d,%d) = %d, want %d", x0, y0, s, got, min)
+				}
+			}
+		}
+	}
+}
+
+func TestMergeRanges(t *testing.T) {
+	got := mergeRanges([]Range{{5, 7}, {0, 2}, {2, 4}, {6, 9}, {12, 13}})
+	want := []Range{{0, 4}, {5, 9}, {12, 13}}
+	if len(got) != len(want) {
+		t.Fatalf("mergeRanges = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mergeRanges = %v, want %v", got, want)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	c := New(16)
+	for i := 0; i < b.N; i++ {
+		c.Encode(uint32(i)%c.Side(), uint32(i*7)%c.Side())
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	c := New(16)
+	for i := 0; i < b.N; i++ {
+		c.Decode(uint64(i) % c.Size())
+	}
+}
+
+func BenchmarkRangesWindow(b *testing.B) {
+	c := New(10)
+	for i := 0; i < b.N; i++ {
+		c.Ranges(100, 100, 200, 200)
+	}
+}

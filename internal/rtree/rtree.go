@@ -1,0 +1,223 @@
+// Package rtree implements an STR-packed R-tree over point data, the
+// second baseline the paper compares DSI against.
+//
+// Because the broadcast data set is known a priori, the tree is bulk
+// loaded with the Sort-Tile-Recursive packing of Leutenegger et al.
+// (ICDE 1997), which the paper uses "to provide an optimal performance".
+// Nodes are packed so one node fits in one broadcast packet: each entry
+// needs an MBR (32 bytes) plus a pointer (2 bytes), so the fanout is
+// floor(capacity / 34). A 32-byte packet therefore cannot hold an R-tree
+// node at all — the limitation the paper notes in section 4.
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dsi/internal/broadcast"
+	"dsi/internal/dataset"
+	"dsi/internal/spatial"
+)
+
+// EntryBytes is the size of one node entry: an MBR plus a pointer.
+const EntryBytes = broadcast.MBRBytes + broadcast.PtrBytes
+
+// FanoutFor returns the node fanout for the given packet capacity. A
+// packet that cannot even hold one entry makes the R-tree infeasible
+// (returns 0) — the paper's 32-byte limitation. When a packet holds
+// only one entry, nodes span two packets with the minimum useful fanout
+// of two (the paper evaluates R-tree at 64-byte packets, where a
+// one-entry node would be degenerate).
+func FanoutFor(capacity int) int {
+	if capacity < EntryBytes {
+		return 0
+	}
+	f := capacity / EntryBytes
+	if f < 2 {
+		f = 2
+	}
+	return f
+}
+
+// Node is one R-tree node. Leaves (Level 0) reference objects; internal
+// nodes reference child nodes. Entry i covers MBRs[i]: for leaves that
+// is the object's point, for internal nodes the child's MBR.
+type Node struct {
+	ID       int
+	Level    int
+	MBR      spatial.Rect
+	MBRs     []spatial.Rect
+	Children []int // internal: child node IDs
+	Objects  []int // leaves: object IDs
+}
+
+// Tree is a bulk-loaded R-tree. Node IDs are dense, assigned level by
+// level from the leaves up, left to right.
+type Tree struct {
+	Fanout int
+	Levels [][]*Node // Levels[0] = leaves
+	nodes  []*Node
+}
+
+// Build packs the dataset's objects into an R-tree with the given
+// fanout using STR.
+func Build(ds *dataset.Dataset, fanout int) (*Tree, error) {
+	if fanout < 2 {
+		return nil, fmt.Errorf("rtree: fanout %d < 2", fanout)
+	}
+	if ds.N() == 0 {
+		return nil, fmt.Errorf("rtree: empty dataset")
+	}
+	t := &Tree{Fanout: fanout}
+
+	type item struct {
+		mbr spatial.Rect
+		ref int // object ID at leaf build, node ID above
+	}
+	items := make([]item, ds.N())
+	for i, o := range ds.Objects {
+		items[i] = item{mbr: spatial.Rect{MinX: o.P.X, MinY: o.P.Y, MaxX: o.P.X, MaxY: o.P.Y}, ref: o.ID}
+	}
+
+	level := 0
+	for {
+		// STR tiling: sort by center x, cut into vertical slabs, sort
+		// each slab by center y, pack runs of `fanout`.
+		nGroups := (len(items) + fanout - 1) / fanout
+		slabs := int(math.Ceil(math.Sqrt(float64(nGroups))))
+		perSlab := slabs * fanout
+		sort.Slice(items, func(i, j int) bool {
+			xi, _ := items[i].mbr.Center()
+			xj, _ := items[j].mbr.Center()
+			return xi < xj
+		})
+		var nodes []*Node
+		for s := 0; s < len(items); s += perSlab {
+			end := s + perSlab
+			if end > len(items) {
+				end = len(items)
+			}
+			slab := items[s:end]
+			sort.Slice(slab, func(i, j int) bool {
+				_, yi := slab[i].mbr.Center()
+				_, yj := slab[j].mbr.Center()
+				return yi < yj
+			})
+			for g := 0; g < len(slab); g += fanout {
+				ge := g + fanout
+				if ge > len(slab) {
+					ge = len(slab)
+				}
+				n := &Node{Level: level}
+				for _, it := range slab[g:ge] {
+					n.MBRs = append(n.MBRs, it.mbr)
+					if level == 0 {
+						n.Objects = append(n.Objects, it.ref)
+					} else {
+						n.Children = append(n.Children, it.ref)
+					}
+				}
+				n.MBR = n.MBRs[0]
+				for _, m := range n.MBRs[1:] {
+					n.MBR = n.MBR.Union(m)
+				}
+				nodes = append(nodes, n)
+			}
+		}
+		t.Levels = append(t.Levels, nodes)
+		if len(nodes) == 1 {
+			break
+		}
+		items = items[:0]
+		for _, n := range nodes {
+			items = append(items, item{mbr: n.MBR, ref: len(t.Levels)}) // ref fixed below
+		}
+		// refs for the next level are indices into this level; record
+		// them as positions, converted to IDs after ID assignment.
+		for i := range items {
+			items[i].ref = i
+		}
+		level++
+	}
+
+	// Assign dense IDs and convert child position references to IDs.
+	for _, lvl := range t.Levels {
+		for _, n := range lvl {
+			n.ID = len(t.nodes)
+			t.nodes = append(t.nodes, n)
+		}
+	}
+	for li := 1; li < len(t.Levels); li++ {
+		for _, n := range t.Levels[li] {
+			for i, pos := range n.Children {
+				n.Children[i] = t.Levels[li-1][pos].ID
+			}
+		}
+	}
+	return t, nil
+}
+
+// BuildForCapacity builds the tree with the fanout implied by the packet
+// capacity (an error at 32 bytes, matching the paper).
+func BuildForCapacity(ds *dataset.Dataset, capacity int) (*Tree, error) {
+	f := FanoutFor(capacity)
+	if f == 0 {
+		return nil, fmt.Errorf("rtree: capacity %d cannot hold an R-tree node (needs %d bytes per entry)",
+			capacity, EntryBytes)
+	}
+	return Build(ds, f)
+}
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return t.Levels[len(t.Levels)-1][0] }
+
+// Height returns the number of levels.
+func (t *Tree) Height() int { return len(t.Levels) }
+
+// NodeCount returns the total number of nodes.
+func (t *Tree) NodeCount() int { return len(t.nodes) }
+
+// Node returns the node with the given ID.
+func (t *Tree) Node(id int) *Node { return t.nodes[id] }
+
+// Window returns the object IDs inside w (in-memory search, used as the
+// reference for the on-air search and by tests).
+func (t *Tree) Window(w spatial.Rect) []int {
+	var out []int
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if !n.MBR.Intersects(w) {
+			return
+		}
+		if n.Level == 0 {
+			for i, m := range n.MBRs {
+				if w.Intersects(m) {
+					out = append(out, n.Objects[i])
+				}
+			}
+			return
+		}
+		for i, c := range n.Children {
+			if w.Intersects(n.MBRs[i]) {
+				walk(t.nodes[c])
+			}
+		}
+	}
+	walk(t.Root())
+	sort.Ints(out)
+	return out
+}
+
+// NodeBytes returns the payload size of the largest node.
+func (t *Tree) NodeBytes() int { return t.Fanout * EntryBytes }
+
+// LeafOrderObjects returns all object IDs in leaf (broadcast) order:
+// the order in which the on-air layout schedules the data.
+func (t *Tree) LeafOrderObjects() []int {
+	var out []int
+	for _, leaf := range t.Levels[0] {
+		out = append(out, leaf.Objects...)
+	}
+	return out
+}

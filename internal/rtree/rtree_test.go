@@ -1,0 +1,189 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dsi/internal/dataset"
+	"dsi/internal/spatial"
+)
+
+func TestFanoutFor(t *testing.T) {
+	cases := []struct{ c, want int }{
+		{32, 0}, // the paper's limitation: no R-tree at 32-byte packets
+		{33, 0},
+		{64, 2}, // one entry per packet: bump to fanout 2, node spans 2 packets
+		{68, 2},
+		{128, 3},
+		{256, 7},
+		{512, 15},
+	}
+	for _, tc := range cases {
+		if got := FanoutFor(tc.c); got != tc.want {
+			t.Errorf("FanoutFor(%d) = %d, want %d", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	ds := dataset.Uniform(10, 5, 1)
+	if _, err := Build(ds, 1); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+	if _, err := Build(&dataset.Dataset{Curve: ds.Curve}, 3); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := BuildForCapacity(ds, 32); err == nil {
+		t.Error("32-byte capacity must be rejected")
+	}
+}
+
+func TestStructureInvariants(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 100, 1000} {
+		for _, fanout := range []int{2, 3, 7, 15} {
+			ds := dataset.Uniform(n, 6, int64(n+fanout))
+			tr, err := Build(ds, fanout)
+			if err != nil {
+				t.Fatalf("n=%d f=%d: %v", n, fanout, err)
+			}
+			if len(tr.Levels[tr.Height()-1]) != 1 {
+				t.Fatalf("n=%d f=%d: no single root", n, fanout)
+			}
+			seen := make(map[int]bool)
+			for li, level := range tr.Levels {
+				for _, node := range level {
+					if node.Level != li {
+						t.Fatal("level mismatch")
+					}
+					if len(node.MBRs) == 0 || len(node.MBRs) > fanout {
+						t.Fatalf("node entry count %d out of [1,%d]", len(node.MBRs), fanout)
+					}
+					// Node MBR must cover all entry MBRs exactly.
+					cover := node.MBRs[0]
+					for _, m := range node.MBRs[1:] {
+						cover = cover.Union(m)
+					}
+					if cover != node.MBR {
+						t.Fatal("node MBR is not the union of entries")
+					}
+					if li == 0 {
+						for _, id := range node.Objects {
+							if seen[id] {
+								t.Fatalf("object %d in two leaves", id)
+							}
+							seen[id] = true
+						}
+					} else {
+						for i, c := range node.Children {
+							child := tr.Node(c)
+							if child.MBR != node.MBRs[i] {
+								t.Fatal("child MBR mismatch")
+							}
+							if child.Level != li-1 {
+								t.Fatal("child level mismatch")
+							}
+						}
+					}
+				}
+			}
+			if len(seen) != n {
+				t.Fatalf("leaves cover %d objects, want %d", len(seen), n)
+			}
+		}
+	}
+}
+
+func TestLeafEntriesArePoints(t *testing.T) {
+	ds := dataset.Uniform(200, 6, 3)
+	tr, _ := Build(ds, 7)
+	for _, leaf := range tr.Levels[0] {
+		for i, id := range leaf.Objects {
+			p := ds.ByID(id).P
+			want := spatial.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+			if leaf.MBRs[i] != want {
+				t.Fatalf("leaf entry MBR %v does not match object point %v", leaf.MBRs[i], p)
+			}
+		}
+	}
+}
+
+func TestWindowMatchesBruteForce(t *testing.T) {
+	ds := dataset.Uniform(500, 6, 5)
+	tr, _ := Build(ds, 7)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		w := spatial.ClampedWindow(uint32(rng.Intn(64)), uint32(rng.Intn(64)),
+			uint32(rng.Intn(30)+1), 64)
+		got := tr.Window(w)
+		want := ds.WindowBrute(w)
+		if len(got) != len(want) {
+			t.Fatalf("window %v: %d objects, want %d", w, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("window %v mismatch at %d", w, j)
+			}
+		}
+	}
+}
+
+func TestLeafOrderObjectsCoversAll(t *testing.T) {
+	ds := dataset.Uniform(300, 6, 9)
+	tr, _ := Build(ds, 7)
+	objs := tr.LeafOrderObjects()
+	if len(objs) != 300 {
+		t.Fatalf("LeafOrderObjects returned %d", len(objs))
+	}
+	sorted := append([]int(nil), objs...)
+	sort.Ints(sorted)
+	for i, id := range sorted {
+		if id != i {
+			t.Fatalf("missing object %d", i)
+		}
+	}
+}
+
+func TestSTRSpatialLocality(t *testing.T) {
+	// STR packing should produce leaves with small MBRs: the average
+	// leaf MBR area must be a small fraction of the grid.
+	ds := dataset.Uniform(1000, 7, 11)
+	tr, _ := Build(ds, 7)
+	var total float64
+	for _, leaf := range tr.Levels[0] {
+		total += float64(leaf.MBR.Area())
+	}
+	avg := total / float64(len(tr.Levels[0]))
+	grid := float64(uint64(128) * 128)
+	if avg > grid/50 {
+		t.Errorf("average leaf MBR area %v too large (grid %v)", avg, grid)
+	}
+}
+
+func TestNodeBytesFitsCapacity(t *testing.T) {
+	ds := dataset.Uniform(100, 6, 13)
+	for _, c := range []int{68, 128, 256, 512} {
+		tr, err := BuildForCapacity(ds, c)
+		if err != nil {
+			t.Fatalf("capacity %d: %v", c, err)
+		}
+		if tr.NodeBytes() > c {
+			t.Errorf("capacity %d: node %dB overflows", c, tr.NodeBytes())
+		}
+	}
+}
+
+func TestSingleObjectTree(t *testing.T) {
+	ds := dataset.Uniform(1, 5, 1)
+	tr, err := Build(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 1 || tr.NodeCount() != 1 {
+		t.Errorf("single-object tree: height %d, nodes %d", tr.Height(), tr.NodeCount())
+	}
+	w := spatial.Rect{MinX: 0, MinY: 0, MaxX: 31, MaxY: 31}
+	if got := tr.Window(w); len(got) != 1 {
+		t.Errorf("window on single-object tree: %v", got)
+	}
+}

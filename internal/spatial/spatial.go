@@ -1,0 +1,217 @@
+// Package spatial provides the geometric primitives shared by the index
+// structures and query algorithms: points on the broadcast grid, axis-
+// aligned rectangles, and distance computations.
+//
+// Following the paper's model, data objects live exactly on the cells of
+// a 2^order x 2^order Hilbert grid, so a point's coordinates are integer
+// cell coordinates and there is a 1-1 correspondence between a point and
+// its HC value. Query geometry (window rectangles, kNN disks) is computed
+// in the same cell coordinate space.
+package spatial
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a grid cell coordinate.
+type Point struct {
+	X, Y uint32
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Dist2 returns the squared Euclidean distance to q.
+func (p Point) Dist2(q Point) float64 {
+	dx := float64(p.X) - float64(q.X)
+	dy := float64(p.Y) - float64(q.Y)
+	return dx*dx + dy*dy
+}
+
+// Dist returns the Euclidean distance to q.
+func (p Point) Dist(q Point) float64 { return math.Sqrt(p.Dist2(q)) }
+
+// Rect is an axis-aligned rectangle with inclusive integer bounds
+// [MinX, MaxX] x [MinY, MaxY]. The zero value is the single cell (0,0).
+type Rect struct {
+	MinX, MinY, MaxX, MaxY uint32
+}
+
+// NewRect returns the rectangle spanning the two corner points in either
+// order.
+func NewRect(a, b Point) Rect {
+	r := Rect{MinX: a.X, MinY: a.Y, MaxX: b.X, MaxY: b.Y}
+	if r.MinX > r.MaxX {
+		r.MinX, r.MaxX = r.MaxX, r.MinX
+	}
+	if r.MinY > r.MaxY {
+		r.MinY, r.MaxY = r.MaxY, r.MinY
+	}
+	return r
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d]x[%d,%d]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}
+
+// Valid reports whether the rectangle's bounds are ordered.
+func (r Rect) Valid() bool { return r.MinX <= r.MaxX && r.MinY <= r.MaxY }
+
+// Contains reports whether p lies inside the rectangle.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// ContainsRect reports whether o lies entirely inside r.
+func (r Rect) ContainsRect(o Rect) bool {
+	return o.MinX >= r.MinX && o.MaxX <= r.MaxX && o.MinY >= r.MinY && o.MaxY <= r.MaxY
+}
+
+// Intersects reports whether the two rectangles share at least one cell.
+func (r Rect) Intersects(o Rect) bool {
+	return r.MinX <= o.MaxX && o.MinX <= r.MaxX && r.MinY <= o.MaxY && o.MinY <= r.MaxY
+}
+
+// Union returns the smallest rectangle covering both r and o.
+func (r Rect) Union(o Rect) Rect {
+	if o.MinX < r.MinX {
+		r.MinX = o.MinX
+	}
+	if o.MinY < r.MinY {
+		r.MinY = o.MinY
+	}
+	if o.MaxX > r.MaxX {
+		r.MaxX = o.MaxX
+	}
+	if o.MaxY > r.MaxY {
+		r.MaxY = o.MaxY
+	}
+	return r
+}
+
+// Expand returns the smallest rectangle covering r and p.
+func (r Rect) Expand(p Point) Rect {
+	return r.Union(Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y})
+}
+
+// Area returns the number of cells covered by the rectangle.
+func (r Rect) Area() uint64 {
+	if !r.Valid() {
+		return 0
+	}
+	return uint64(r.MaxX-r.MinX+1) * uint64(r.MaxY-r.MinY+1)
+}
+
+// Width returns the number of cells spanned horizontally.
+func (r Rect) Width() uint32 { return r.MaxX - r.MinX + 1 }
+
+// Height returns the number of cells spanned vertically.
+func (r Rect) Height() uint32 { return r.MaxY - r.MinY + 1 }
+
+// Center returns the rectangle's center in continuous cell coordinates.
+func (r Rect) Center() (x, y float64) {
+	return (float64(r.MinX) + float64(r.MaxX)) / 2, (float64(r.MinY) + float64(r.MaxY)) / 2
+}
+
+// MinDist2 returns the squared distance from p to the nearest point of
+// the rectangle (zero when p is inside).
+func (r Rect) MinDist2(p Point) float64 {
+	dx := 0.0
+	switch {
+	case p.X < r.MinX:
+		dx = float64(r.MinX) - float64(p.X)
+	case p.X > r.MaxX:
+		dx = float64(p.X) - float64(r.MaxX)
+	}
+	dy := 0.0
+	switch {
+	case p.Y < r.MinY:
+		dy = float64(r.MinY) - float64(p.Y)
+	case p.Y > r.MaxY:
+		dy = float64(p.Y) - float64(r.MaxY)
+	}
+	return dx*dx + dy*dy
+}
+
+// MinDist returns the distance from p to the nearest point of the
+// rectangle.
+func (r Rect) MinDist(p Point) float64 { return math.Sqrt(r.MinDist2(p)) }
+
+// MaxDist2 returns the squared distance from p to the farthest corner of
+// the rectangle.
+func (r Rect) MaxDist2(p Point) float64 {
+	dx := float64(p.X) - float64(r.MinX)
+	if d := float64(r.MaxX) - float64(p.X); d > dx {
+		dx = d
+	}
+	dy := float64(p.Y) - float64(r.MinY)
+	if d := float64(r.MaxY) - float64(p.Y); d > dy {
+		dy = d
+	}
+	return dx*dx + dy*dy
+}
+
+// ClampedWindow returns a rectangle of the given side length whose lower
+// corner is at (x, y), clamped so that it stays within a grid of the
+// given side. It is the helper used by workload generators to build
+// window queries from a WinSideRatio.
+func ClampedWindow(x, y, winSide, gridSide uint32) Rect {
+	if winSide == 0 {
+		winSide = 1
+	}
+	if winSide > gridSide {
+		winSide = gridSide
+	}
+	if x > gridSide-winSide {
+		x = gridSide - winSide
+	}
+	if y > gridSide-winSide {
+		y = gridSide - winSide
+	}
+	return Rect{MinX: x, MinY: y, MaxX: x + winSide - 1, MaxY: y + winSide - 1}
+}
+
+// Disk is a closed disk in cell coordinate space, used as the kNN search
+// space: it contains all cells within distance R of the center.
+type Disk struct {
+	CX, CY float64
+	R      float64
+}
+
+// Contains reports whether the point lies inside the closed disk.
+func (d Disk) Contains(p Point) bool {
+	dx := float64(p.X) - d.CX
+	dy := float64(p.Y) - d.CY
+	return dx*dx+dy*dy <= d.R*d.R
+}
+
+// BoundingRect returns the smallest cell rectangle covering the disk,
+// clamped to a grid of the given side.
+func (d Disk) BoundingRect(gridSide uint32) Rect {
+	lo := func(v float64) uint32 {
+		v = math.Ceil(v)
+		if v < 0 {
+			return 0
+		}
+		if v > float64(gridSide-1) {
+			return gridSide - 1
+		}
+		return uint32(v)
+	}
+	hi := func(v float64) uint32 {
+		v = math.Floor(v)
+		if v < 0 {
+			return 0
+		}
+		if v > float64(gridSide-1) {
+			return gridSide - 1
+		}
+		return uint32(v)
+	}
+	return Rect{
+		MinX: lo(d.CX - d.R),
+		MinY: lo(d.CY - d.R),
+		MaxX: hi(d.CX + d.R),
+		MaxY: hi(d.CY + d.R),
+	}
+}

@@ -1,0 +1,264 @@
+package spatial
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	a := Point{0, 0}
+	b := Point{3, 4}
+	if got := a.Dist(b); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := a.Dist2(b); got != 25 {
+		t.Errorf("Dist2 = %v, want 25", got)
+	}
+	if a.Dist(a) != 0 {
+		t.Error("self distance nonzero")
+	}
+}
+
+func TestDistSymmetricQuick(t *testing.T) {
+	f := func(ax, ay, bx, by uint16) bool {
+		a := Point{uint32(ax), uint32(ay)}
+		b := Point{uint32(bx), uint32(by)}
+		return a.Dist2(b) == b.Dist2(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(Point{9, 2}, Point{3, 8})
+	want := Rect{MinX: 3, MinY: 2, MaxX: 9, MaxY: 8}
+	if r != want {
+		t.Errorf("NewRect = %v, want %v", r, want)
+	}
+	if !r.Valid() {
+		t.Error("normalized rect not valid")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{MinX: 2, MinY: 3, MaxX: 5, MaxY: 7}
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{2, 3}, true},
+		{Point{5, 7}, true},
+		{Point{3, 5}, true},
+		{Point{1, 5}, false},
+		{Point{6, 5}, false},
+		{Point{3, 2}, false},
+		{Point{3, 8}, false},
+	}
+	for _, tc := range cases {
+		if got := r.Contains(tc.p); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	r := Rect{MinX: 2, MinY: 2, MaxX: 5, MaxY: 5}
+	cases := []struct {
+		o    Rect
+		want bool
+	}{
+		{Rect{0, 0, 1, 1}, false},
+		{Rect{0, 0, 2, 2}, true}, // corner touch counts (inclusive bounds)
+		{Rect{5, 5, 9, 9}, true},
+		{Rect{6, 2, 8, 5}, false},
+		{Rect{3, 3, 4, 4}, true},
+		{Rect{0, 0, 9, 9}, true},
+	}
+	for _, tc := range cases {
+		if got := r.Intersects(tc.o); got != tc.want {
+			t.Errorf("Intersects(%v) = %v, want %v", tc.o, got, tc.want)
+		}
+		if got := tc.o.Intersects(r); got != tc.want {
+			t.Errorf("Intersects not symmetric for %v", tc.o)
+		}
+	}
+}
+
+func TestRectContainsRect(t *testing.T) {
+	r := Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	if !r.ContainsRect(Rect{2, 2, 5, 5}) {
+		t.Error("inner rect not contained")
+	}
+	if !r.ContainsRect(r) {
+		t.Error("rect must contain itself")
+	}
+	if r.ContainsRect(Rect{2, 2, 11, 5}) {
+		t.Error("overflowing rect contained")
+	}
+}
+
+func TestRectUnionExpandArea(t *testing.T) {
+	a := Rect{MinX: 2, MinY: 2, MaxX: 4, MaxY: 4}
+	b := Rect{MinX: 6, MinY: 1, MaxX: 7, MaxY: 3}
+	u := a.Union(b)
+	want := Rect{MinX: 2, MinY: 1, MaxX: 7, MaxY: 4}
+	if u != want {
+		t.Errorf("Union = %v, want %v", u, want)
+	}
+	if got := u.Area(); got != 6*4 {
+		t.Errorf("Area = %d, want 24", got)
+	}
+	e := a.Expand(Point{0, 9})
+	if e != (Rect{MinX: 0, MinY: 2, MaxX: 4, MaxY: 9}) {
+		t.Errorf("Expand = %v", e)
+	}
+	if got := a.Width(); got != 3 {
+		t.Errorf("Width = %d, want 3", got)
+	}
+	if got := a.Height(); got != 3 {
+		t.Errorf("Height = %d, want 3", got)
+	}
+}
+
+func TestRectCenter(t *testing.T) {
+	r := Rect{MinX: 2, MinY: 0, MaxX: 4, MaxY: 5}
+	x, y := r.Center()
+	if x != 3 || y != 2.5 {
+		t.Errorf("Center = (%v,%v), want (3,2.5)", x, y)
+	}
+}
+
+func TestRectMinMaxDist(t *testing.T) {
+	r := Rect{MinX: 2, MinY: 2, MaxX: 4, MaxY: 4}
+	cases := []struct {
+		p        Point
+		min, max float64
+	}{
+		{Point{3, 3}, 0, math.Sqrt2},           // inside: farthest corner is one diagonal step away
+		{Point{0, 3}, 2, 0},                    // left of rect
+		{Point{6, 6}, math.Sqrt(8), 0},         // diagonal away
+		{Point{3, 0}, 2, 0},                    // below
+		{Point{2, 2}, 0, math.Sqrt(4 + 4)},     // on corner
+		{Point{10, 2}, 6, math.Sqrt(64 + 2*2)}, // far right
+	}
+	for _, tc := range cases {
+		if got := r.MinDist(tc.p); math.Abs(got-tc.min) > 1e-12 {
+			t.Errorf("MinDist(%v) = %v, want %v", tc.p, got, tc.min)
+		}
+		if tc.max != 0 {
+			if got := math.Sqrt(r.MaxDist2(tc.p)); math.Abs(got-tc.max) > 1e-12 {
+				t.Errorf("MaxDist(%v) = %v, want %v", tc.p, got, tc.max)
+			}
+		}
+	}
+}
+
+func TestMinDistLEMaxDistQuick(t *testing.T) {
+	f := func(px, py, ax, ay, bx, by uint16) bool {
+		r := NewRect(Point{uint32(ax), uint32(ay)}, Point{uint32(bx), uint32(by)})
+		p := Point{uint32(px), uint32(py)}
+		return r.MinDist2(p) <= r.MaxDist2(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinDistZeroInsideQuick(t *testing.T) {
+	f := func(px, py, ax, ay, bx, by uint16) bool {
+		r := NewRect(Point{uint32(ax), uint32(ay)}, Point{uint32(bx), uint32(by)})
+		p := Point{uint32(px), uint32(py)}
+		if r.Contains(p) {
+			return r.MinDist2(p) == 0
+		}
+		return r.MinDist2(p) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClampedWindow(t *testing.T) {
+	cases := []struct {
+		x, y, win, grid uint32
+		want            Rect
+	}{
+		{10, 10, 5, 64, Rect{10, 10, 14, 14}},
+		{62, 62, 5, 64, Rect{59, 59, 63, 63}}, // clamped at far edge
+		{0, 0, 0, 64, Rect{0, 0, 0, 0}},       // zero side becomes 1
+		{0, 0, 100, 64, Rect{0, 0, 63, 63}},   // side larger than grid
+	}
+	for _, tc := range cases {
+		got := ClampedWindow(tc.x, tc.y, tc.win, tc.grid)
+		if got != tc.want {
+			t.Errorf("ClampedWindow(%d,%d,%d,%d) = %v, want %v",
+				tc.x, tc.y, tc.win, tc.grid, got, tc.want)
+		}
+	}
+}
+
+func TestClampedWindowAlwaysInGridQuick(t *testing.T) {
+	f := func(x, y uint16, win uint8) bool {
+		const grid = 256
+		r := ClampedWindow(uint32(x), uint32(y), uint32(win), grid)
+		return r.Valid() && r.MaxX < grid && r.MaxY < grid
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskContains(t *testing.T) {
+	d := Disk{CX: 5, CY: 5, R: 2}
+	if !d.Contains(Point{5, 7}) {
+		t.Error("point at exactly R not contained (disk must be closed)")
+	}
+	if d.Contains(Point{5, 8}) {
+		t.Error("point beyond R contained")
+	}
+	if !d.Contains(Point{5, 5}) {
+		t.Error("center not contained")
+	}
+}
+
+func TestDiskBoundingRect(t *testing.T) {
+	d := Disk{CX: 5, CY: 5, R: 2.5}
+	r := d.BoundingRect(64)
+	want := Rect{MinX: 3, MinY: 3, MaxX: 7, MaxY: 7}
+	if r != want {
+		t.Errorf("BoundingRect = %v, want %v", r, want)
+	}
+	// Near the grid edge the rect clamps.
+	d = Disk{CX: 1, CY: 62, R: 5}
+	r = d.BoundingRect(64)
+	want = Rect{MinX: 0, MinY: 57, MaxX: 6, MaxY: 63}
+	if r != want {
+		t.Errorf("clamped BoundingRect = %v, want %v", r, want)
+	}
+}
+
+func TestDiskBoundingRectCoversDiskQuick(t *testing.T) {
+	const grid = 128
+	f := func(cx, cy uint8, r uint8, px, py uint8) bool {
+		d := Disk{CX: float64(cx % grid), CY: float64(cy % grid), R: float64(r%32) + 0.5}
+		p := Point{uint32(px) % grid, uint32(py) % grid}
+		if d.Contains(p) {
+			return d.BoundingRect(grid).Contains(p)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if got := (Point{1, 2}).String(); got != "(1,2)" {
+		t.Errorf("Point.String = %q", got)
+	}
+	if got := (Rect{1, 2, 3, 4}).String(); got != "[1,3]x[2,4]" {
+		t.Errorf("Rect.String = %q", got)
+	}
+}

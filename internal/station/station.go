@@ -1,0 +1,182 @@
+// Package station prototypes the transmitter side of a location-based
+// wireless broadcast system — the paper's stated future work
+// (section 6). Where the simulator accounts packet costs symbolically,
+// the station materializes the actual byte stream: every packet of the
+// DSI broadcast cycle with its index-table or object payload encoded by
+// internal/wire, framed with the position header clients use to
+// synchronize.
+//
+// The package also provides the receiving side needed to prove the
+// stream is self-describing: Scan rebuilds the complete broadcast
+// metadata (frame boundaries, minimum HC values, object headers) from
+// one cycle of raw packets alone, which is the property all of DSI's
+// client algorithms rest on.
+package station
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dsi/internal/dsi"
+	"dsi/internal/wire"
+)
+
+// Every packet on air is framed with its cycle slot and flags: how a
+// client that tunes in mid-cycle knows where it is. The simulator's
+// capacity figures address payload only (the paper likewise treats
+// capacity as usable payload), so the framing is carried in addition to
+// Capacity bytes.
+const (
+	flagIndex byte = 1 << iota
+	flagObjectStart
+)
+
+// Packet is one on-air packet: framing plus payload.
+type Packet struct {
+	Slot    uint32 // cycle slot
+	Flags   byte
+	Payload []byte // at most Capacity bytes
+}
+
+// Transmitter materializes the byte stream of a DSI broadcast.
+type Transmitter struct {
+	x      *dsi.Index
+	tables [][]byte
+}
+
+// NewTransmitter prepares the per-frame table encodings.
+func NewTransmitter(x *dsi.Index) (*Transmitter, error) {
+	tables, err := wire.EncodeFrameTables(x)
+	if err != nil {
+		return nil, err
+	}
+	return &Transmitter{x: x, tables: tables}, nil
+}
+
+// Packet returns the packet broadcast at the given cycle slot. Object
+// payloads are the wire header followed by deterministic filler (a real
+// deployment would carry the application payload).
+func (t *Transmitter) Packet(slot int) Packet {
+	x := t.x
+	slot %= x.Prog.Len()
+	pos := slot / x.FramePackets
+	within := slot % x.FramePackets
+	p := Packet{Slot: uint32(slot)}
+
+	if within < x.TablePackets {
+		p.Flags = flagIndex
+		tab := t.tables[pos]
+		from := within * x.Cfg.Capacity
+		if from < len(tab) {
+			to := from + x.Cfg.Capacity
+			if to > len(tab) {
+				to = len(tab)
+			}
+			p.Payload = tab[from:to]
+		}
+		return p
+	}
+
+	o := (within - x.TablePackets) / x.ObjPackets
+	part := (within - x.TablePackets) % x.ObjPackets
+	first, num := x.FrameObjects(x.PosToFrame(pos))
+	if o >= num {
+		return p // padding slot of a partial last frame
+	}
+	obj := x.DS.Objects[first+o]
+	payload := objectBytes(wire.ObjectHeader{X: obj.P.X, Y: obj.P.Y, HC: obj.HC},
+		obj.ID, x.Cfg.ObjectBytes)
+	from := part * x.Cfg.Capacity
+	to := from + x.Cfg.Capacity
+	if to > len(payload) {
+		to = len(payload)
+	}
+	if part == 0 {
+		p.Flags = flagObjectStart
+	}
+	if from < len(payload) {
+		p.Payload = payload[from:to]
+	}
+	return p
+}
+
+// Cycle streams one full broadcast cycle into the channel and closes it.
+func (t *Transmitter) Cycle(out chan<- Packet) {
+	for slot := 0; slot < t.x.Prog.Len(); slot++ {
+		out <- t.Packet(slot)
+	}
+	close(out)
+}
+
+// objectBytes builds an object payload: wire header + deterministic
+// filler derived from the object ID, padded to size.
+func objectBytes(h wire.ObjectHeader, id, size int) []byte {
+	buf := make([]byte, size)
+	copy(buf, wire.EncodeHeader(h))
+	for at := wire.HeaderSize; at+8 <= size; at += 8 {
+		binary.BigEndian.PutUint64(buf[at:], uint64(id)*0x9e3779b97f4a7c15+uint64(at))
+	}
+	return buf
+}
+
+// FrameInfo is what Scan reconstructs per frame from the raw stream.
+type FrameInfo struct {
+	Pos     int
+	MinHC   uint64
+	Headers []wire.ObjectHeader
+}
+
+// Scan consumes one cycle of packets and reconstructs the broadcast
+// metadata: per-position index tables (validated) and every object
+// header. It fails on any inconsistency between the stream and the
+// catalog geometry (capacity, frame packets) — the checks a receiver
+// would apply.
+func Scan(x *dsi.Index, in <-chan Packet) ([]FrameInfo, error) {
+	frames := make([]FrameInfo, 0, x.NF)
+	var cur *FrameInfo
+	var tableBuf []byte
+	expect := 0
+
+	for p := range in {
+		if int(p.Slot) != expect {
+			return nil, fmt.Errorf("station: slot %d arrived, want %d", p.Slot, expect)
+		}
+		expect++
+		if len(p.Payload) > x.Cfg.Capacity {
+			return nil, fmt.Errorf("station: slot %d payload %dB exceeds capacity", p.Slot, len(p.Payload))
+		}
+		slot := int(p.Slot)
+		pos := slot / x.FramePackets
+		within := slot % x.FramePackets
+
+		if within == 0 {
+			frames = append(frames, FrameInfo{Pos: pos})
+			cur = &frames[len(frames)-1]
+			tableBuf = tableBuf[:0]
+		}
+		switch {
+		case within < x.TablePackets:
+			if p.Flags&flagIndex == 0 {
+				return nil, fmt.Errorf("station: slot %d: table packet not flagged", p.Slot)
+			}
+			tableBuf = append(tableBuf, p.Payload...)
+			if within == x.TablePackets-1 {
+				tab, err := wire.DecodeTable(tableBuf[:x.TableBytes()], pos, x.NF)
+				if err != nil {
+					return nil, fmt.Errorf("station: position %d: %w", pos, err)
+				}
+				cur.MinHC = tab.OwnHC
+			}
+		case p.Flags&flagObjectStart != 0:
+			h, err := wire.DecodeHeader(p.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("station: slot %d: %w", p.Slot, err)
+			}
+			cur.Headers = append(cur.Headers, h)
+		}
+	}
+	if len(frames) != x.NF {
+		return nil, fmt.Errorf("station: scanned %d frames, want %d", len(frames), x.NF)
+	}
+	return frames, nil
+}

@@ -1,0 +1,136 @@
+// Package wire defines the on-air binary formats for DSI broadcast
+// content: index tables and data-object headers. The simulator proper
+// accounts costs by size without materializing bytes (packets carry
+// structured metadata), but the encodings here prove that the sizes the
+// accounting uses — 16-byte HC values and coordinates, 2-byte pointers
+// (paper section 4) — actually carry the structures the algorithms
+// need, and they are what a real broadcast server/receiver pair built
+// on this library would put on air.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dsi/internal/broadcast"
+	"dsi/internal/dsi"
+)
+
+// HC values and coordinates occupy 16 bytes on air (the paper sizes a
+// two-dimensional coordinate as two 8-byte floats and gives the HC
+// value "the same total size"). Our HC values fit in 8 bytes; the
+// encoding zero-pads to the paper's width so byte accounting matches.
+const (
+	hcBytes  = broadcast.HCBytes
+	ptrBytes = broadcast.PtrBytes
+)
+
+// putHC writes a Hilbert-curve value in the paper's 16-byte width.
+func putHC(b []byte, v uint64) {
+	binary.BigEndian.PutUint64(b[:8], 0)
+	binary.BigEndian.PutUint64(b[8:16], v)
+}
+
+// getHC reads a 16-byte Hilbert-curve value.
+func getHC(b []byte) uint64 { return binary.BigEndian.Uint64(b[8:16]) }
+
+// EncodeTable serializes a DSI index table: the frame's own minimum HC
+// value followed by one (HC value, pointer) entry per table entry. The
+// pointer is the forward distance in frames, which fits the paper's
+// 2 bytes for any cycle up to 65,536 frames.
+func EncodeTable(t dsi.Table, nf int) ([]byte, error) {
+	buf := make([]byte, hcBytes+len(t.Entries)*(hcBytes+ptrBytes))
+	putHC(buf[0:], t.OwnHC)
+	at := hcBytes
+	for i, e := range t.Entries {
+		dist := e.TargetPos - t.Pos
+		if dist <= 0 {
+			dist += nf
+		}
+		if dist > 0xffff {
+			return nil, fmt.Errorf("wire: entry %d distance %d exceeds the 2-byte pointer", i, dist)
+		}
+		putHC(buf[at:], e.MinHC)
+		binary.BigEndian.PutUint16(buf[at+hcBytes:], uint16(dist))
+		at += hcBytes + ptrBytes
+	}
+	return buf, nil
+}
+
+// DecodeTable parses an index table received at cycle position pos.
+func DecodeTable(buf []byte, pos, nf int) (dsi.Table, error) {
+	if len(buf) < hcBytes || (len(buf)-hcBytes)%(hcBytes+ptrBytes) != 0 {
+		return dsi.Table{}, fmt.Errorf("wire: table payload of %d bytes is malformed", len(buf))
+	}
+	t := dsi.Table{Pos: pos, OwnHC: getHC(buf)}
+	for at := hcBytes; at < len(buf); at += hcBytes + ptrBytes {
+		dist := int(binary.BigEndian.Uint16(buf[at+hcBytes:]))
+		if dist == 0 || dist > nf {
+			return dsi.Table{}, fmt.Errorf("wire: pointer distance %d outside (0,%d]", dist, nf)
+		}
+		t.Entries = append(t.Entries, dsi.TableEntry{
+			TargetPos: (pos + dist) % nf,
+			MinHC:     getHC(buf[at:]),
+		})
+	}
+	return t, nil
+}
+
+// TableSize returns the encoded size of a table with e entries; it must
+// agree with (*dsi.Index).TableBytes, which the frame sizing uses.
+func TableSize(e int) int { return hcBytes + e*(hcBytes+ptrBytes) }
+
+// ObjectHeader is the leading bytes of every data object on air: the
+// object's coordinate (which doubles as its HC value under the 1-1
+// mapping) so that a client scanning a frame can identify objects from
+// their first packet — the basis of DSI's in-frame selectivity and its
+// loss-recovery fallback.
+type ObjectHeader struct {
+	X, Y uint32
+	HC   uint64
+}
+
+// HeaderSize is the encoded size of an object header: a 16-byte
+// coordinate pair plus the 16-byte HC value.
+const HeaderSize = broadcast.CoordBytes + broadcast.HCBytes
+
+// EncodeHeader serializes an object header.
+func EncodeHeader(h ObjectHeader) []byte {
+	buf := make([]byte, HeaderSize)
+	binary.BigEndian.PutUint64(buf[0:8], uint64(h.X))
+	binary.BigEndian.PutUint64(buf[8:16], uint64(h.Y))
+	putHC(buf[16:], h.HC)
+	return buf
+}
+
+// DecodeHeader parses an object header.
+func DecodeHeader(buf []byte) (ObjectHeader, error) {
+	if len(buf) < HeaderSize {
+		return ObjectHeader{}, fmt.Errorf("wire: header needs %d bytes, got %d", HeaderSize, len(buf))
+	}
+	return ObjectHeader{
+		X:  uint32(binary.BigEndian.Uint64(buf[0:8])),
+		Y:  uint32(binary.BigEndian.Uint64(buf[8:16])),
+		HC: getHC(buf[16:]),
+	}, nil
+}
+
+// EncodeFrameTables materializes every index table of the broadcast,
+// verifying that each fits the frame sizing's packet budget. It returns
+// the per-position payloads (used by tests and by a real transmitter).
+func EncodeFrameTables(x *dsi.Index) ([][]byte, error) {
+	out := make([][]byte, x.NF)
+	budget := x.TablePackets * x.Cfg.Capacity
+	for pos := 0; pos < x.NF; pos++ {
+		buf, err := EncodeTable(x.TableAt(pos), x.NF)
+		if err != nil {
+			return nil, fmt.Errorf("wire: position %d: %w", pos, err)
+		}
+		if len(buf) > budget {
+			return nil, fmt.Errorf("wire: position %d: table %dB exceeds %d packet budget %dB",
+				pos, len(buf), x.TablePackets, budget)
+		}
+		out[pos] = buf
+	}
+	return out, nil
+}
