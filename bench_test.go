@@ -15,6 +15,7 @@ import (
 
 	"dsi/internal/dsi"
 	"dsi/internal/experiment"
+	"dsi/internal/spatial"
 )
 
 // dsiConfig is the configuration the paper evaluates after section 4.1:
@@ -23,10 +24,24 @@ func dsiConfig(capacity int) dsi.Config {
 	return dsi.Config{Capacity: capacity, Segments: 2}
 }
 
+// shortScale drops params to a smoke-test scale under -short so the
+// whole suite finishes in seconds (CI runs it on every push).
+func shortScale(p *experiment.Params) {
+	if testing.Short() {
+		p.N = 1000
+		p.Order = 7
+	}
+}
+
 // benchParams keeps benchmark iterations affordable while staying at
 // the paper's dataset scale.
 func benchParams() experiment.Params {
-	return experiment.Params{Queries: 5, Verify: true}
+	p := experiment.Params{Queries: 5, Verify: true}
+	shortScale(&p)
+	if testing.Short() {
+		p.Queries = 2
+	}
+	return p
 }
 
 // reportFigure publishes the final X point of every series as custom
@@ -116,9 +131,13 @@ func BenchmarkAblationIndexBase(b *testing.B) {
 }
 
 // BenchmarkQueryThroughput measures raw simulated queries per second on
-// the paper's default configuration, per query type and capacity.
+// the paper's default configuration, per query type and capacity. The
+// allocation metrics are part of the contract: steady-state queries
+// must not allocate anything dataset-sized (the session pool recycles
+// client knowledge bases across iterations).
 func BenchmarkQueryThroughput(b *testing.B) {
 	p := experiment.Params{Queries: 1, Verify: false}
+	shortScale(&p)
 	ds := p.Dataset()
 	for _, capacity := range []int{64, 512} {
 		sys, err := experiment.NewDSI(ds, dsiConfig(capacity), 0, "")
@@ -126,6 +145,7 @@ func BenchmarkQueryThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run("window/C="+strconv.Itoa(capacity), func(b *testing.B) {
+			b.ReportAllocs()
 			wl := &experiment.Workload{DS: ds, Queries: 1, Seed: 1}
 			for i := 0; i < b.N; i++ {
 				wl.Seed = int64(i)
@@ -133,6 +153,7 @@ func BenchmarkQueryThroughput(b *testing.B) {
 			}
 		})
 		b.Run("knn10/C="+strconv.Itoa(capacity), func(b *testing.B) {
+			b.ReportAllocs()
 			wl := &experiment.Workload{DS: ds, Queries: 1, Seed: 1}
 			for i := 0; i < b.N; i++ {
 				wl.Seed = int64(i)
@@ -140,4 +161,53 @@ func BenchmarkQueryThroughput(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkClientReuse isolates the zero-allocation client engine: the
+// same query answered by a freshly constructed client per iteration
+// versus one long-lived client Reset between iterations. The reused
+// variant must report zero dataset-sized bytes per query.
+func BenchmarkClientReuse(b *testing.B) {
+	p := experiment.Params{Queries: 1, Verify: false}
+	shortScale(&p)
+	ds := p.Dataset()
+	x, err := dsi.Build(ds, dsiConfig(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	side := ds.Curve.Side()
+	w := spatial.ClampedWindow(side/3, side/2, side/10, side)
+	q := spatial.Point{X: side / 2, Y: side / 3}
+	probe := func(i int) int64 { return int64((i * 7919) % x.Prog.Len()) }
+
+	b.Run("window/fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dsi.NewClient(x, probe(i), nil).Window(w)
+		}
+	})
+	b.Run("window/reused", func(b *testing.B) {
+		b.ReportAllocs()
+		c := dsi.NewClient(x, 0, nil)
+		var buf []int
+		for i := 0; i < b.N; i++ {
+			c.Reset(probe(i), nil)
+			buf, _ = c.WindowAppend(buf[:0], w)
+		}
+	})
+	b.Run("knn10/fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dsi.NewClient(x, probe(i), nil).KNN(q, 10, dsi.Conservative)
+		}
+	})
+	b.Run("knn10/reused", func(b *testing.B) {
+		b.ReportAllocs()
+		c := dsi.NewClient(x, 0, nil)
+		var buf []int
+		for i := 0; i < b.N; i++ {
+			c.Reset(probe(i), nil)
+			buf, _ = c.KNNAppend(buf[:0], q, 10, dsi.Conservative)
+		}
+	})
 }

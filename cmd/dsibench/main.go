@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,16 +25,19 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (see -list) or 'all'")
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		queries = flag.Int("queries", 100, "queries averaged per data point")
-		n       = flag.Int("n", 0, "dataset cardinality (0 = paper default)")
-		order   = flag.Uint("order", 0, "Hilbert curve order (0 = paper default)")
-		seed    = flag.Int64("seed", 1, "dataset and workload seed")
-		verify  = flag.Bool("verify", true, "cross-check every query against brute force")
-		csv     = flag.Bool("csv", false, "emit figures as CSV instead of text tables")
+		exp      = flag.String("exp", "all", "experiment to run (see -list) or 'all'")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		queries  = flag.Int("queries", 100, "queries averaged per data point")
+		n        = flag.Int("n", 0, "dataset cardinality (0 = paper default)")
+		order    = flag.Uint("order", 0, "Hilbert curve order (0 = paper default)")
+		seed     = flag.Int64("seed", 1, "dataset and workload seed")
+		verify   = flag.Bool("verify", true, "cross-check every query against brute force")
+		csv      = flag.Bool("csv", false, "emit figures as CSV instead of text tables")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"worker bound for sharding data points and queries (results are identical at any value; 1 = sequential)")
 	)
 	flag.Parse()
+	experiment.SetParallelism(*parallel)
 
 	if *list {
 		fmt.Println("available experiments:")
@@ -67,8 +71,8 @@ func main() {
 	for _, name := range names {
 		start := time.Now()
 		res := experiment.Registry[name](params)
-		fmt.Printf("=== %s (queries/point=%d, seed=%d, %.1fs) ===\n\n",
-			name, params.Queries, params.Seed, time.Since(start).Seconds())
+		fmt.Printf("=== %s (queries/point=%d, seed=%d, workers=%d, %.1fs) ===\n\n",
+			name, params.Queries, params.Seed, experiment.Parallelism(), time.Since(start).Seconds())
 		if *csv {
 			fmt.Print(res.CSV())
 			for i := range res.Tables {

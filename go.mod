@@ -1,0 +1,3 @@
+module dsi
+
+go 1.24

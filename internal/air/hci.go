@@ -211,7 +211,12 @@ func (b *HCIBroadcast) KNN(q spatial.Point, k int, probeSlot int64, loss *broadc
 			r2 = d2
 		}
 	}
-	targets = curve.RangesDisk(float64(q.X), float64(q.Y), math.Sqrt(r2))
+	// Classify against the exact squared bound: squared distances
+	// between grid cells are integers (exact in float64), while
+	// sqrt-then-resquare can round below r2 and exclude the k-th
+	// phase-1 object sitting exactly on the boundary.
+	disk := hilbert.DiskRegion{QX: float64(q.X), QY: float64(q.Y), R2: r2}
+	targets = curve.RangesFunc(disk.Classify)
 
 	// Phase 2: retrieve everything inside the fixed bound (re-expanding
 	// cached path nodes is free).

@@ -18,7 +18,7 @@ package broadcast
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 )
 
 // Paper section 4 constants: sizes of the broadcast payload components.
@@ -112,12 +112,13 @@ type LossModel struct {
 
 // NewLossModel returns a loss model with the given error ratio and seed.
 // Theta outside [0, 1) panics: 1 would mean every packet is lost and no
-// query could ever terminate.
+// query could ever terminate. Construction is cheap (O(1) seeding), so
+// simulations can afford a fresh, independently seeded model per query.
 func NewLossModel(theta float64, seed int64) *LossModel {
 	if theta < 0 || theta >= 1 {
 		panic(fmt.Sprintf("broadcast: theta %v outside [0,1)", theta))
 	}
-	return &LossModel{Theta: theta, rng: rand.New(rand.NewSource(seed))}
+	return &LossModel{Theta: theta, rng: rand.New(rand.NewPCG(uint64(seed), 0xda3e39cb94b95bdb))}
 }
 
 // Lost reports whether a packet of the given kind is corrupted on
@@ -181,6 +182,19 @@ func NewTuner(prog *Program, probeSlot int64, loss *LossModel) *Tuner {
 
 // Program returns the broadcast program the tuner listens to.
 func (t *Tuner) Program() *Program { return t.prog }
+
+// Reset re-tunes the client at the given absolute slot with fresh
+// metrics, reusing the tuner: after Reset the tuner is indistinguishable
+// from one newly constructed with NewTuner(prog, probeSlot, loss).
+func (t *Tuner) Reset(probeSlot int64, loss *LossModel) {
+	if probeSlot < 0 {
+		panic("broadcast: negative probe slot")
+	}
+	t.loss = loss
+	t.now = probeSlot
+	t.start = probeSlot
+	t.read = 0
+}
 
 // Now returns the absolute packet clock.
 func (t *Tuner) Now() int64 { return t.now }

@@ -5,6 +5,7 @@ import (
 
 	"dsi/internal/broadcast"
 	"dsi/internal/hilbert"
+	"dsi/internal/ordset"
 )
 
 // knowledge is the client-side knowledge base: everything a client has
@@ -18,61 +19,94 @@ import (
 // same-segment positions bound the HC values of everything between them
 // — if the positions are adjacent, nothing exists between their HC
 // values.
+//
+// All per-frame and per-object state is epoch-stamped: a fact is
+// current only when its stamp equals the knowledge base's epoch, so
+// reset clears the whole base in O(known facts) — it bumps the epoch
+// and recycles the known-frame sets — instead of reallocating six
+// dataset-sized slices per query.
 type knowledge struct {
 	x *Index
 
-	frameKnown []bool   // frame id -> minimum HC value known?
-	frameHC    []uint64 // valid when frameKnown
+	// epoch stamps current facts; entries with any other stamp are
+	// unknown. Starts at 1 so zeroed stamp arrays mean "nothing known".
+	epoch uint32
 
-	// knownIdx[j] lists the within-segment indices of known frames in
-	// segment j, sorted ascending. Because frames in a segment are HC
-	// sorted, the list is simultaneously sorted by position and by HC.
-	knownIdx [][]int
+	frameEp []uint32 // frameEp[f] == epoch -> minimum HC value known
+	frameHC []uint64 // valid when the frame is known
+
+	// known[j] is the set of within-segment indices of known frames in
+	// segment j. Because frames in a segment are HC sorted, the set is
+	// simultaneously ordered by position and by HC.
+	known []ordset.Set
 
 	// Per-object state. Objects are identified by their dataset ID
 	// (HC rank); object i belongs to frame i/NO.
-	objLocated []bool   // location (HC value) known to the client
-	objHC      []uint64 // valid when objLocated
-	retrieved  []bool   // full payload received
+	objEp []uint32 // objEp[id] == epoch -> location (HC value) known
+	objHC []uint64 // valid when located
+	retEp []uint32 // retEp[id] == epoch -> full payload received
 
 	// newObjs queues freshly located objects for the kNN candidate set.
+	// Its backing array is reused across drains and queries.
 	newObjs []int
 }
 
 func newKnowledge(x *Index) *knowledge {
 	kb := &knowledge{
-		x:          x,
-		frameKnown: make([]bool, x.NF),
-		frameHC:    make([]uint64, x.NF),
-		knownIdx:   make([][]int, x.Cfg.Segments),
-		objLocated: make([]bool, x.DS.N()),
-		objHC:      make([]uint64, x.DS.N()),
-		retrieved:  make([]bool, x.DS.N()),
+		x:       x,
+		epoch:   1,
+		frameEp: make([]uint32, x.NF),
+		frameHC: make([]uint64, x.NF),
+		known:   make([]ordset.Set, x.Cfg.Segments),
+		objEp:   make([]uint32, x.DS.N()),
+		objHC:   make([]uint64, x.DS.N()),
+		retEp:   make([]uint32, x.DS.N()),
 	}
-	// Catalog seed: the split HC values are public, so the first frame
-	// of every segment is known a priori.
-	for j := 0; j < x.Cfg.Segments; j++ {
-		kb.addFrameFact(x.segStart[j], x.Splits[j])
-	}
+	kb.seedCatalog()
 	return kb
 }
+
+// reset forgets everything and re-seeds the catalog, in time
+// proportional to what was known rather than the dataset size.
+func (kb *knowledge) reset() {
+	kb.epoch++
+	if kb.epoch == 0 {
+		// Stamp wraparound: stale stamps from 2^32 resets ago could
+		// alias the new epoch, so clear them once per wrap.
+		clear(kb.frameEp)
+		clear(kb.objEp)
+		clear(kb.retEp)
+		kb.epoch = 1
+	}
+	for j := range kb.known {
+		kb.known[j].Reset()
+	}
+	kb.newObjs = kb.newObjs[:0]
+	kb.seedCatalog()
+}
+
+// seedCatalog records the public split HC values: the first frame of
+// every segment is known a priori.
+func (kb *knowledge) seedCatalog() {
+	for j := 0; j < kb.x.Cfg.Segments; j++ {
+		kb.addFrameFact(kb.x.segStart[j], kb.x.Splits[j])
+	}
+}
+
+func (kb *knowledge) frameKnown(f int) bool  { return kb.frameEp[f] == kb.epoch }
+func (kb *knowledge) objLocated(id int) bool { return kb.objEp[id] == kb.epoch }
+func (kb *knowledge) retrieved(id int) bool  { return kb.retEp[id] == kb.epoch }
 
 // addFrameFact records that frame f's minimum HC value is hc, locating
 // the frame's first object.
 func (kb *knowledge) addFrameFact(f int, hc uint64) {
-	if kb.frameKnown[f] {
+	if kb.frameKnown(f) {
 		return
 	}
-	kb.frameKnown[f] = true
+	kb.frameEp[f] = kb.epoch
 	kb.frameHC[f] = hc
 	j := kb.x.FrameSegment(f)
-	i := f - kb.x.segStart[j]
-	kl := kb.knownIdx[j]
-	at := sort.SearchInts(kl, i)
-	kl = append(kl, 0)
-	copy(kl[at+1:], kl[at:])
-	kl[at] = i
-	kb.knownIdx[j] = kl
+	kb.known[j].Insert(f - kb.x.segStart[j])
 
 	first, _ := kb.x.FrameObjects(f)
 	kb.locate(first, hc)
@@ -81,10 +115,10 @@ func (kb *knowledge) addFrameFact(f int, hc uint64) {
 // locate records an object's HC value (and thus its exact position on
 // the grid: objects live on cells).
 func (kb *knowledge) locate(id int, hc uint64) {
-	if kb.objLocated[id] {
+	if kb.objLocated(id) {
 		return
 	}
-	kb.objLocated[id] = true
+	kb.objEp[id] = kb.epoch
 	kb.objHC[id] = hc
 	kb.newObjs = append(kb.newObjs, id)
 }
@@ -100,12 +134,17 @@ func (kb *knowledge) addHeader(f, o int, hc uint64) {
 }
 
 // markRetrieved records a completed object download.
-func (kb *knowledge) markRetrieved(id int) { kb.retrieved[id] = true }
+func (kb *knowledge) markRetrieved(id int) { kb.retEp[id] = kb.epoch }
 
-// drainNew returns the objects located since the previous call.
+// drainNew returns the objects located since the previous call. The
+// returned slice is only valid until the next locate: its backing array
+// is reused.
 func (kb *knowledge) drainNew() []int {
+	if len(kb.newObjs) == 0 {
+		return nil
+	}
 	out := kb.newObjs
-	kb.newObjs = nil
+	kb.newObjs = kb.newObjs[:0]
 	return out
 }
 
@@ -134,7 +173,7 @@ func (kb *knowledge) frameResolved(f int, lo, hi, upper uint64) bool {
 	gapOpen := false
 	for t := 0; t < num; t++ {
 		id := first + t
-		if !kb.objLocated[id] {
+		if !kb.objLocated(id) {
 			gapOpen = true
 			continue
 		}
@@ -146,7 +185,7 @@ func (kb *knowledge) frameResolved(f int, lo, hi, upper uint64) bool {
 			}
 			gapOpen = false
 		}
-		if hc >= lo && hc < hi && !kb.retrieved[id] {
+		if hc >= lo && hc < hi && !kb.retrieved(id) {
 			return false
 		}
 		prev = hc
@@ -175,16 +214,19 @@ func (kb *knowledge) rangeState(j int, lo, hi uint64, visit func(gapLo, gapHi in
 	if lo >= hi {
 		return
 	}
-	kl := kb.knownIdx[j]
 	segN := kb.x.SegLen(j)
 	base := kb.x.segStart[j]
 	// Start at the last known frame whose minimum HC is <= lo. Index 0
 	// is always known (catalog) with hc == segLo <= lo.
-	t := sort.Search(len(kl), func(t int) bool {
-		return kb.frameHC[base+kl[t]] > lo
-	}) - 1
-	for ; t < len(kl); t++ {
-		i := kl[t]
+	it, ok := kb.known[j].FloorKey(kb.frameHC, base, lo)
+	if !ok {
+		return // unreachable: the catalog seeds index 0
+	}
+	// Single forward pass with one-element lookahead: i is the current
+	// known index, it has already advanced to its successor.
+	i := it.Value()
+	it.Next()
+	for {
 		f := base + i
 		hc := kb.frameHC[f]
 		if hc >= hi {
@@ -193,8 +235,9 @@ func (kb *knowledge) rangeState(j int, lo, hi uint64, visit func(gapLo, gapHi in
 		// Upper bound on this frame's content and the following gap.
 		nextI := segN
 		upper := segHi
-		if t+1 < len(kl) {
-			nextI = kl[t+1]
+		hasNext := it.Valid()
+		if hasNext {
+			nextI = it.Value()
 			upper = kb.frameHC[base+nextI]
 		}
 		if !kb.frameResolved(f, lo, hi, upper) {
@@ -209,6 +252,11 @@ func (kb *knowledge) rangeState(j int, lo, hi uint64, visit func(gapLo, gapHi in
 				return
 			}
 		}
+		if !hasNext {
+			return
+		}
+		i = nextI
+		it.Next()
 	}
 }
 
@@ -233,14 +281,32 @@ func (kb *knowledge) resolved(targets []hilbert.Range) bool {
 
 // nextUseful returns the cycle position of the soonest-arriving frame
 // (strictly after nowPos, wrapping) that is not resolved with respect to
-// the targets. ok is false when everything is resolved.
+// the targets. ok is false when everything is resolved (so !ok is
+// equivalent to resolved(targets): a query terminates exactly when no
+// useful frame remains).
 func (kb *knowledge) nextUseful(nowPos int, targets []hilbert.Range) (pos int, ok bool) {
+	return kb.nextUsefulMarked(nowPos, targets, nil)
+}
+
+// nextUsefulMarked is nextUseful with a resolution cache: marks, when
+// non-nil, has one slot per (target range, segment) pair, flattened as
+// rangeIdx*Segments + segment. Resolution is monotone — knowledge and
+// retrievals only grow, so a pair that is once resolved with respect to
+// a fixed range can never become unresolved — which makes a set mark
+// permanently valid for unchanged targets. Marked pairs are skipped;
+// pairs observed fully resolved are marked.
+func (kb *knowledge) nextUsefulMarked(nowPos int, targets []hilbert.Range, marks []bool) (pos int, ok bool) {
 	m := kb.x.Cfg.Segments
 	nf := kb.x.NF
 	bestDelta := nf + 1
-	for _, r := range targets {
+	for ri, r := range targets {
 		for j := 0; j < m; j++ {
+			if marks != nil && marks[ri*m+j] {
+				continue
+			}
+			found := false
 			kb.rangeState(j, r.Lo, r.Hi, func(gapLo, gapHi int) bool {
+				found = true
 				// Earliest arrival among positions j + m*i,
 				// i in [gapLo, gapHi], strictly after nowPos.
 				if d := arrivalDelta(nowPos, j, m, gapLo, gapHi, nf); d < bestDelta {
@@ -248,8 +314,11 @@ func (kb *knowledge) nextUseful(nowPos int, targets []hilbert.Range) (pos int, o
 				}
 				return bestDelta > 1 // delta 1 cannot be beaten
 			})
+			if !found && marks != nil {
+				marks[ri*m+j] = true
+			}
 			if bestDelta == 1 {
-				break
+				return (nowPos + 1) % nf, true
 			}
 		}
 	}
@@ -266,7 +335,6 @@ func arrivalDelta(nowPos, j, m, iLo, iHi, nf int) int {
 	posHi := j + m*iHi
 	// First candidate strictly after nowPos within this cycle.
 	cur := nowPos % nf
-	var cand int
 	if cur < posHi {
 		// Smallest position >= cur+1 congruent to j mod m, at least posLo.
 		c := cur + 1
@@ -275,8 +343,7 @@ func arrivalDelta(nowPos, j, m, iLo, iHi, nf int) int {
 		}
 		// Round c up to the next value congruent to j modulo m.
 		r := (j - c%m + m) % m
-		cand = c + r
-		if cand <= posHi {
+		if cand := c + r; cand <= posHi {
 			return cand - cur
 		}
 	}
@@ -284,19 +351,29 @@ func arrivalDelta(nowPos, j, m, iLo, iHi, nf int) int {
 	return posLo + nf - cur
 }
 
-// Client is a mobile client executing one query over a DSI broadcast.
-// Create one per query with NewClient.
+// Client is a mobile client executing queries over a DSI broadcast.
+// Create one with NewClient; a client answers one query per
+// (construction or Reset), and Reset is cheap — proportional to what
+// the previous query learned, not to the dataset — so long-running
+// simulations reuse one client per worker instead of allocating
+// dataset-sized state per query.
 type Client struct {
 	x  *Index
 	tu *broadcast.Tuner
 	kb *knowledge
 
-	// lastTable is the most recently received intact index table, used
-	// by the aggressive kNN hop rule. Nil until a table is received.
+	// lastTable is the most recently received intact index table
+	// (pointing into the index's precomputed tables), used by the
+	// aggressive kNN hop rule. Nil until a table is received.
 	lastTable *Table
 
 	// trace, when non-nil, receives an Event for every client step.
 	trace func(Event)
+
+	// scr holds per-query scratch reused across queries (see
+	// queries.go); its buffers grow to a steady state after which warm
+	// queries allocate nothing dataset-sized.
+	scr scratch
 }
 
 // NewClient returns a client that tunes into the broadcast at the given
@@ -307,6 +384,16 @@ func NewClient(x *Index, probeSlot int64, loss *broadcast.LossModel) *Client {
 		tu: broadcast.NewTuner(x.Prog, probeSlot, loss),
 		kb: newKnowledge(x),
 	}
+}
+
+// Reset forgets everything the client learned and re-tunes it at the
+// given absolute slot, recycling all internal state: the reused client
+// behaves exactly like a freshly constructed one (identical results and
+// identical cost metrics) at a fraction of the setup cost.
+func (c *Client) Reset(probeSlot int64, loss *broadcast.LossModel) {
+	c.tu.Reset(probeSlot, loss)
+	c.kb.reset()
+	c.lastTable = nil
 }
 
 // Stats returns the metrics accumulated so far.
@@ -347,8 +434,8 @@ func (c *Client) readTable(p int) bool {
 	if !ok {
 		return false
 	}
-	t := c.x.TableAt(p)
-	c.lastTable = &t
+	t := &c.x.tables[p]
+	c.lastTable = t
 	c.kb.addFrameFact(c.x.PosToFrame(p), t.OwnHC)
 	for _, e := range t.Entries {
 		c.kb.addFrameFact(c.x.PosToFrame(e.TargetPos), e.MinHC)
@@ -362,12 +449,12 @@ func (c *Client) readTable(p int) bool {
 // is unknown. Pure data re-fetches skip the table.
 func (c *Client) wantTable(p int) bool {
 	f := c.x.PosToFrame(p)
-	if !c.kb.frameKnown[f] {
+	if !c.kb.frameKnown(f) {
 		return true
 	}
 	j := c.x.FrameSegment(f)
 	if f+1 < c.x.segStart[j+1] {
-		return !c.kb.frameKnown[f+1]
+		return !c.kb.frameKnown(f + 1)
 	}
 	return false
 }
@@ -399,7 +486,7 @@ func (c *Client) visit(p int, targetsFn func() []hilbert.Range) {
 	c.tu.DozeUntilPos(c.x.FrameStartSlot(p))
 	f := c.x.PosToFrame(p)
 	headerConsumed := -1
-	if c.wantTable(p) && !c.readTable(p) && !c.kb.frameKnown[f] {
+	if c.wantTable(p) && !c.readTable(p) && !c.kb.frameKnown(f) {
 		// Header fallback: one data packet reveals the first object's
 		// HC value (every object's payload starts with its coordinate).
 		first, _ := c.x.FrameObjects(f)
@@ -420,25 +507,23 @@ func (c *Client) visit(p int, targetsFn func() []hilbert.Range) {
 // unretrieved; a later cycle retries them.
 func (c *Client) fetchData(p int, targets []hilbert.Range, headerConsumed int) {
 	f := c.x.PosToFrame(p)
-	if !c.kb.frameKnown[f] {
+	if !c.kb.frameKnown(f) {
 		return // nothing is known about this frame; nothing to fetch safely
 	}
 	first, num := c.x.FrameObjects(f)
 	hiBound := maxHi(targets)
-	skipFor := func(t int) int {
-		if t == headerConsumed {
-			return 1
-		}
-		return 0
-	}
 
 	prev := c.kb.frameHC[f] // ascending watermark of located HC values
 	for t := 0; t < num; t++ {
 		id := first + t
-		if c.kb.objLocated[id] {
+		if c.kb.objLocated(id) {
 			prev = c.kb.objHC[id]
-			if !c.kb.retrieved[id] && inTargets(targets, prev) {
-				c.readObject(p, t, id, skipFor(t))
+			if !c.kb.retrieved(id) && inTargets(targets, prev) {
+				skip := 0
+				if t == headerConsumed {
+					skip = 1
+				}
+				c.readObject(p, t, id, skip)
 			}
 			continue
 		}
@@ -490,13 +575,28 @@ func (c *Client) readObject(p, o, id, skip int) {
 // to override the default soonest-unresolved-frame choice.
 func (c *Client) retrieveAll(startPos int, targetsFn func() []hilbert.Range, hook func(p int) (int, bool)) {
 	p := startPos
+	m := c.x.Cfg.Segments
+	ver := c.scr.targetsVer - 1 // force a mark (re)build on entry
 	for {
 		c.visit(p, targetsFn)
 		targets := targetsFn()
-		if c.kb.resolved(targets) {
-			return
+		// (Re)build the resolution cache whenever the target set
+		// changes (kNN shrinks it as candidates accumulate); marks for
+		// an unchanged target set stay valid because resolution is
+		// monotone in the growing knowledge base.
+		if ver != c.scr.targetsVer {
+			ver = c.scr.targetsVer
+			need := len(targets) * m
+			if cap(c.scr.marks) < need {
+				c.scr.marks = make([]bool, need)
+			} else {
+				c.scr.marks = c.scr.marks[:need]
+				clear(c.scr.marks)
+			}
 		}
-		next, ok := c.kb.nextUseful(p, targets)
+		// nextUseful reporting nothing doubles as the termination test:
+		// the query is done exactly when no unresolved frame remains.
+		next, ok := c.kb.nextUsefulMarked(p, targets, c.scr.marks)
 		if !ok {
 			return
 		}

@@ -124,9 +124,9 @@ func TestKnowledgeDuplicateFactsIgnored(t *testing.T) {
 	x, _ := Build(ds, Config{})
 	kb := newKnowledge(x)
 	kb.addFrameFact(5, x.MinHC(5))
-	n := len(kb.knownIdx[0])
+	n := kb.known[0].Len()
 	kb.addFrameFact(5, x.MinHC(5))
-	if len(kb.knownIdx[0]) != n {
+	if kb.known[0].Len() != n {
 		t.Fatal("duplicate fact extended the known list")
 	}
 	if got := len(kb.drainNew()); got != 2 { // catalog seed + frame 5

@@ -164,6 +164,12 @@ type Index struct {
 	// segStart[m] = NF is a sentinel. Splits[j] = minHC[segStart[j]].
 	segStart []int
 	Splits   []uint64
+
+	// tables[pos] is the index table broadcast with the frame at cycle
+	// position pos, precomputed at Build time (entry slices share one
+	// backing array) so per-query simulation reads tables instead of
+	// regenerating them. Treated as immutable.
+	tables []Table
 }
 
 // Build constructs the DSI broadcast program for the dataset.
@@ -274,6 +280,21 @@ func Build(ds *dataset.Dataset, cfg Config) (*Index, error) {
 		}
 	}
 	x.Prog = &broadcast.Program{Capacity: cfg.Capacity, Slots: slots}
+
+	x.tables = make([]Table, x.NF)
+	entries := make([]TableEntry, x.NF*x.E)
+	for pos := 0; pos < x.NF; pos++ {
+		t := &x.tables[pos]
+		t.Pos = pos
+		t.OwnHC = x.minHC[x.PosToFrame(pos)]
+		t.Entries = entries[pos*x.E : (pos+1)*x.E : (pos+1)*x.E]
+		dist := 1
+		for i := 0; i < x.E; i++ {
+			tp := (pos + dist) % x.NF
+			t.Entries[i] = TableEntry{TargetPos: tp, MinHC: x.minHC[x.PosToFrame(tp)]}
+			dist *= x.Base
+		}
+	}
 	return x, nil
 }
 
@@ -404,18 +425,10 @@ type Table struct {
 }
 
 // TableAt returns the index table broadcast with the frame at the given
-// cycle position. This simulates reception of the table's packets.
-func (x *Index) TableAt(pos int) Table {
-	t := Table{Pos: pos, OwnHC: x.minHC[x.PosToFrame(pos)]}
-	t.Entries = make([]TableEntry, x.E)
-	dist := 1
-	for i := 0; i < x.E; i++ {
-		tp := (pos + dist) % x.NF
-		t.Entries[i] = TableEntry{TargetPos: tp, MinHC: x.minHC[x.PosToFrame(tp)]}
-		dist *= x.Base
-	}
-	return t
-}
+// cycle position. This simulates reception of the table's packets. The
+// returned table's entry slice is shared, precomputed state: callers
+// must not modify it.
+func (x *Index) TableAt(pos int) Table { return x.tables[pos] }
 
 // IndexOverheadBytes returns the total index bytes added per cycle.
 func (x *Index) IndexOverheadBytes() int64 {

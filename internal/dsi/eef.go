@@ -1,8 +1,6 @@
 package dsi
 
 import (
-	"sort"
-
 	"dsi/internal/broadcast"
 	"dsi/internal/hilbert"
 )
@@ -18,13 +16,14 @@ func (c *Client) EEF(hc uint64) (frame int, exists bool, stats broadcast.Stats) 
 	if hc >= c.x.DS.Curve.Size() {
 		panic("dsi: EEF target outside the curve")
 	}
-	targets := []hilbert.Range{{Lo: hc, Hi: hc + 1}}
+	targetsFn := c.constTargets(append(c.scr.targets[:0], hilbert.Range{Lo: hc, Hi: hc + 1}))
+	targets := c.scr.targets
 	p := c.probe()
 	for {
-		c.visit(p, func() []hilbert.Range { return targets })
+		c.visit(p, targetsFn)
 		if f, certain := c.kb.coveringFrame(hc); certain && c.x.FrameToPos(f) == p {
 			id := c.x.DS.FindHC(hc)
-			exists = id < c.x.DS.N() && c.x.DS.Objects[id].HC == hc && c.kb.retrieved[id]
+			exists = id < c.x.DS.N() && c.x.DS.Objects[id].HC == hc && c.kb.retrieved(id)
 			return f, exists, c.Stats()
 		}
 		next, ok := c.kb.nextUseful(p, targets)
@@ -38,7 +37,7 @@ func (c *Client) EEF(hc uint64) (frame int, exists bool, stats broadcast.Stats) 
 				c.tu.DozeUntilPos(c.x.FrameStartSlot(pos))
 			}
 			id := c.x.DS.FindHC(hc)
-			exists = id < c.x.DS.N() && c.x.DS.Objects[id].HC == hc && c.kb.retrieved[id]
+			exists = id < c.x.DS.N() && c.x.DS.Objects[id].HC == hc && c.kb.retrieved(id)
 			return f, exists, c.Stats()
 		}
 		p = next
@@ -52,19 +51,18 @@ func (c *Client) EEF(hc uint64) (frame int, exists bool, stats broadcast.Stats) 
 func (kb *knowledge) coveringFrame(hc uint64) (frame int, certain bool) {
 	j := kb.x.HCSegment(hc)
 	base := kb.x.segStart[j]
-	kl := kb.knownIdx[j]
-	t := sort.Search(len(kl), func(t int) bool {
-		return kb.frameHC[base+kl[t]] > hc
-	}) - 1
-	if t < 0 {
+	it, ok := kb.known[j].FloorKey(kb.frameHC, base, hc)
+	if !ok {
 		// hc precedes every object: the covering frame is the first
 		// frame of segment 0, which the catalog makes always known.
 		return kb.x.segStart[0], true
 	}
-	frame = base + kl[t]
-	i := kl[t]
-	if t+1 < len(kl) {
-		certain = kl[t+1] == i+1
+	i := it.Value()
+	frame = base + i
+	peek := it
+	peek.Next()
+	if peek.Valid() {
+		certain = peek.Value() == i+1
 	} else {
 		certain = i == kb.x.SegLen(j)-1
 	}

@@ -2,7 +2,7 @@ package dsi
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"dsi/internal/broadcast"
 	"dsi/internal/hilbert"
@@ -36,14 +36,73 @@ func (s Strategy) String() string {
 	}
 }
 
+// scratch is the per-query working state a client reuses across
+// queries. The closures are created once per client and read their
+// inputs from the scratch fields, so a warm query installs new
+// parameters without allocating.
+type scratch struct {
+	// targets is the current HC target decomposition (window rectangle,
+	// EEF point, or kNN search disk).
+	targets []hilbert.Range
+	// targetsVer is bumped whenever targets are (re)installed, telling
+	// the query engine to rebuild its resolution cache.
+	targetsVer int
+	// marks is the engine's per-(range, segment) resolution cache.
+	marks []bool
+	// constFn returns targets unchanged; the target function of window
+	// and point queries.
+	constFn func() []hilbert.Range
+
+	// win is the clamped window rectangle winRegion classifies against.
+	win       hilbert.RectRegion
+	winRegion hilbert.RegionFunc
+
+	knn knnScratch
+}
+
+// constTargets installs targets as the fixed target set and returns the
+// constant target function.
+func (c *Client) constTargets(targets []hilbert.Range) func() []hilbert.Range {
+	c.scr.targets = targets
+	c.scr.targetsVer++
+	if c.scr.constFn == nil {
+		c.scr.constFn = func() []hilbert.Range { return c.scr.targets }
+	}
+	return c.scr.constFn
+}
+
+// windowTargets decomposes w (clamped to the grid) into HC ranges using
+// the reusable target buffer.
+func (c *Client) windowTargets(w spatial.Rect) []hilbert.Range {
+	curve := c.x.DS.Curve
+	s := &c.scr
+	rect, ok := curve.ClampRect(w.MinX, w.MinY, w.MaxX, w.MaxY)
+	if !ok {
+		return s.targets[:0]
+	}
+	s.win = rect
+	if s.winRegion == nil {
+		s.winRegion = func(x0, y0, x1, y1 uint32) hilbert.Region {
+			return c.scr.win.Classify(x0, y0, x1, y1)
+		}
+	}
+	return curve.AppendRangesFunc(s.targets[:0], s.winRegion)
+}
+
 // Window executes a window query: it returns the IDs of all objects
 // inside w, in HC order, together with the query's cost metrics.
 func (c *Client) Window(w spatial.Rect) ([]int, broadcast.Stats) {
-	curve := c.x.DS.Curve
-	targets := curve.Ranges(w.MinX, w.MinY, w.MaxX, w.MaxY)
+	return c.WindowAppend(nil, w)
+}
+
+// WindowAppend is Window appending the result IDs into dst (which may
+// be nil or a recycled buffer), avoiding the per-query result
+// allocation on reused clients.
+func (c *Client) WindowAppend(dst []int, w spatial.Rect) ([]int, broadcast.Stats) {
+	targetsFn := c.constTargets(c.windowTargets(w))
 	start := c.probe()
-	c.retrieveAll(start, func() []hilbert.Range { return targets }, nil)
-	return c.collect(targets), c.Stats()
+	c.retrieveAll(start, targetsFn, nil)
+	return c.collect(dst, c.scr.targets), c.Stats()
 }
 
 // Point executes a point query: it returns the ID of the object at
@@ -51,28 +110,28 @@ func (c *Client) Window(w spatial.Rect) ([]int, broadcast.Stats) {
 // when the query terminates.
 func (c *Client) Point(p spatial.Point) (id int, found bool, stats broadcast.Stats) {
 	hc := c.x.DS.Curve.Encode(p.X, p.Y)
-	targets := []hilbert.Range{{Lo: hc, Hi: hc + 1}}
+	targetsFn := c.constTargets(append(c.scr.targets[:0], hilbert.Range{Lo: hc, Hi: hc + 1}))
 	start := c.probe()
-	c.retrieveAll(start, func() []hilbert.Range { return targets }, nil)
-	ids := c.collect(targets)
-	if len(ids) == 0 {
-		return 0, false, c.Stats()
+	c.retrieveAll(start, targetsFn, nil)
+	for i := c.x.DS.FindHC(hc); i < c.x.DS.N() && c.x.DS.Objects[i].HC == hc; i++ {
+		if c.kb.retrieved(i) {
+			return i, true, c.Stats()
+		}
 	}
-	return ids[0], true, c.Stats()
+	return 0, false, c.Stats()
 }
 
-// collect returns the retrieved object IDs with HC values in the
-// targets, ascending.
-func (c *Client) collect(targets []hilbert.Range) []int {
-	var out []int
+// collect appends the retrieved object IDs with HC values in the
+// targets to dst, ascending.
+func (c *Client) collect(dst []int, targets []hilbert.Range) []int {
 	for _, r := range targets {
 		for i := c.x.DS.FindHC(r.Lo); i < c.x.DS.N() && c.x.DS.Objects[i].HC < r.Hi; i++ {
-			if c.kb.retrieved[i] {
-				out = append(out, i)
+			if c.kb.retrieved(i) {
+				dst = append(dst, i)
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // knnCand is an object known to the client during kNN processing. The
@@ -84,44 +143,130 @@ type knnCand struct {
 	hc uint64
 }
 
+// candLess orders candidates by distance, ties broken by HC value so
+// results are deterministic.
+func candLess(a, b knnCand) bool {
+	if a.d2 != b.d2 {
+		return a.d2 < b.d2
+	}
+	return a.hc < b.hc
+}
+
+// knnScratch is the kNN working state: the query parameters, the
+// current squared search radius, and a bounded max-heap holding the k
+// best candidates seen so far (the heap root is the current k-th
+// nearest, whose distance bounds the search space). Keeping only k
+// candidates replaces the full candidate list and its repeated
+// O(n log n) sorts. The radius is kept squared end to end: cell
+// distances squared are integers (exact in float64), and a
+// sqrt-then-resquare round-trip could misclassify boundary cells.
+type knnScratch struct {
+	q     spatial.Point
+	k     int
+	curR2 float64
+	heap  []knnCand
+	full  [1]hilbert.Range
+	disk  hilbert.DiskRegion
+
+	fn     func() []hilbert.Range
+	diskFn hilbert.RegionFunc
+}
+
+// push offers a candidate to the bounded heap.
+func (ks *knnScratch) push(cand knnCand) {
+	h := ks.heap
+	if len(h) < ks.k {
+		h = append(h, cand)
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !candLess(h[p], h[i]) {
+				break
+			}
+			h[p], h[i] = h[i], h[p]
+			i = p
+		}
+		ks.heap = h
+		return
+	}
+	if !candLess(cand, h[0]) {
+		return
+	}
+	h[0] = cand
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h) && candLess(h[big], h[l]) {
+			big = l
+		}
+		if r < len(h) && candLess(h[big], h[r]) {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}
+
+// knnTargets is the kNN target function: absorb freshly located
+// objects into the candidate heap, and once k candidates are known,
+// shrink the target set to the disk of the k-th candidate distance.
+func (c *Client) knnTargets() []hilbert.Range {
+	ks := &c.scr.knn
+	curve := c.x.DS.Curve
+	for _, id := range c.kb.drainNew() {
+		hc := c.kb.objHC[id]
+		x, y := curve.Decode(hc)
+		ks.push(knnCand{id: id, d2: ks.q.Dist2(spatial.Point{X: x, Y: y}), hc: hc})
+	}
+	if len(ks.heap) < ks.k {
+		return ks.full[:]
+	}
+	if d2 := ks.heap[0].d2; d2 != ks.curR2 {
+		ks.curR2 = d2
+		ks.disk.R2 = d2
+		c.scr.targets = curve.AppendRangesFunc(c.scr.targets[:0], ks.diskFn)
+		c.scr.targetsVer++
+	}
+	return c.scr.targets
+}
+
 // KNN executes a k-nearest-neighbor query at point q using the given
 // strategy. It returns the IDs of the k nearest objects (all fully
 // retrieved) and the query's cost metrics. On a reorganized broadcast
 // (Segments > 1), Conservative is the strategy the paper evaluates.
 func (c *Client) KNN(q spatial.Point, k int, strat Strategy) ([]int, broadcast.Stats) {
+	return c.KNNAppend(nil, q, k, strat)
+}
+
+// KNNAppend is KNN appending the result IDs into dst (which may be nil
+// or a recycled buffer).
+func (c *Client) KNNAppend(dst []int, q spatial.Point, k int, strat Strategy) ([]int, broadcast.Stats) {
 	if k <= 0 {
-		return nil, c.Stats()
+		return dst, c.Stats()
 	}
 	if k > c.x.DS.N() {
 		k = c.x.DS.N()
 	}
 	curve := c.x.DS.Curve
-	full := []hilbert.Range{{Lo: 0, Hi: curve.Size()}}
 
-	var cands []knnCand
-	curR := math.Inf(1)
-	targets := full
-
-	targetsFn := func() []hilbert.Range {
-		for _, id := range c.kb.drainNew() {
-			hc := c.kb.objHC[id]
-			x, y := curve.Decode(hc)
-			cands = append(cands, knnCand{id: id, d2: q.Dist2(spatial.Point{X: x, Y: y}), hc: hc})
+	ks := &c.scr.knn
+	ks.q = q
+	ks.k = k
+	ks.curR2 = math.Inf(1)
+	ks.heap = ks.heap[:0]
+	ks.full[0] = hilbert.Range{Lo: 0, Hi: curve.Size()}
+	ks.disk = hilbert.DiskRegion{QX: float64(q.X), QY: float64(q.Y), R2: math.Inf(1)}
+	if ks.diskFn == nil {
+		ks.diskFn = func(x0, y0, x1, y1 uint32) hilbert.Region {
+			return c.scr.knn.disk.Classify(x0, y0, x1, y1)
 		}
-		if len(cands) < k {
-			return full
-		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].d2 != cands[j].d2 {
-				return cands[i].d2 < cands[j].d2
-			}
-			return cands[i].hc < cands[j].hc
-		})
-		if r := math.Sqrt(cands[k-1].d2); r != curR {
-			curR = r
-			targets = curve.RangesDisk(float64(q.X), float64(q.Y), r)
-		}
-		return targets
+	}
+	if ks.fn == nil {
+		ks.fn = c.knnTargets
 	}
 
 	var hook func(p int) (int, bool)
@@ -154,23 +299,25 @@ func (c *Client) KNN(q spatial.Point, k int, strat Strategy) ([]int, broadcast.S
 	}
 
 	start := c.probe()
-	c.retrieveAll(start, targetsFn, hook)
-	targetsFn() // absorb anything located by the final visit
+	c.retrieveAll(start, ks.fn, hook)
+	c.knnTargets() // absorb anything located by the final visit
 
 	// The search space is resolved: every object within the k-th
-	// candidate distance has been retrieved, so the k nearest
-	// candidates are the answer.
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].d2 != cands[j].d2 {
-			return cands[i].d2 < cands[j].d2
+	// candidate distance has been retrieved, so the heap holds the
+	// answer.
+	slices.SortFunc(ks.heap, func(a, b knnCand) int {
+		if candLess(a, b) {
+			return -1
 		}
-		return cands[i].hc < cands[j].hc
+		if candLess(b, a) {
+			return 1
+		}
+		return 0
 	})
-	out := make([]int, k)
 	for i := 0; i < k; i++ {
-		out[i] = cands[i].id
+		dst = append(dst, ks.heap[i].id)
 	}
-	return out, c.Stats()
+	return dst, c.Stats()
 }
 
 // hcDist2 returns the squared distance from q to the cell with the

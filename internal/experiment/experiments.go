@@ -2,7 +2,6 @@ package experiment
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"dsi/internal/broadcast"
@@ -92,30 +91,35 @@ func Fig8(p Params) Result {
 		mk("fig8c", "Broadcast reorganization: 10NN access latency", "access latency (bytes)"),
 		mk("fig8d", "Broadcast reorganization: 10NN tuning time", "tuning time (bytes)"),
 	}
-	for _, c := range CapacitiesAll {
+	type point struct{ mo, mr, kc, ka, kr Metrics }
+	pts := sweep(len(CapacitiesAll), func(i int) point {
+		c := CapacitiesAll[i]
 		orig := mustSys(NewDSI(ds, dsi.Config{Capacity: c}, dsi.Conservative, "Original"))
 		agg := mustSys(NewDSI(ds, dsi.Config{Capacity: c}, dsi.Aggressive, "Aggressive"))
 		reorg := mustSys(NewDSI(ds, dsi.Config{Capacity: c, Segments: 2}, dsi.Conservative, "Reorganized"))
-
-		for i := range figs {
-			figs[i].X = append(figs[i].X, float64(c))
+		return point{
+			mo: wl.RunWindow(orig, DefaultWinSideRatio),
+			mr: wl.RunWindow(reorg, DefaultWinSideRatio),
+			kc: wl.RunKNN(orig, 10),
+			ka: wl.RunKNN(agg, 10),
+			kr: wl.RunKNN(reorg, 10),
 		}
-		mo := wl.RunWindow(orig, DefaultWinSideRatio)
-		mr := wl.RunWindow(reorg, DefaultWinSideRatio)
-		figs[0].AddPoint("Original", mo.LatencyBytes)
-		figs[0].AddPoint("Reorganized", mr.LatencyBytes)
-		figs[1].AddPoint("Original", mo.TuningBytes)
-		figs[1].AddPoint("Reorganized", mr.TuningBytes)
-
-		kc := wl.RunKNN(orig, 10)
-		ka := wl.RunKNN(agg, 10)
-		kr := wl.RunKNN(reorg, 10)
-		figs[2].AddPoint("Conservative", kc.LatencyBytes)
-		figs[2].AddPoint("Aggressive", ka.LatencyBytes)
-		figs[2].AddPoint("Reorganized", kr.LatencyBytes)
-		figs[3].AddPoint("Conservative", kc.TuningBytes)
-		figs[3].AddPoint("Aggressive", ka.TuningBytes)
-		figs[3].AddPoint("Reorganized", kr.TuningBytes)
+	})
+	for i, c := range CapacitiesAll {
+		for f := range figs {
+			figs[f].X = append(figs[f].X, float64(c))
+		}
+		pt := pts[i]
+		figs[0].AddPoint("Original", pt.mo.LatencyBytes)
+		figs[0].AddPoint("Reorganized", pt.mr.LatencyBytes)
+		figs[1].AddPoint("Original", pt.mo.TuningBytes)
+		figs[1].AddPoint("Reorganized", pt.mr.TuningBytes)
+		figs[2].AddPoint("Conservative", pt.kc.LatencyBytes)
+		figs[2].AddPoint("Aggressive", pt.ka.LatencyBytes)
+		figs[2].AddPoint("Reorganized", pt.kr.LatencyBytes)
+		figs[3].AddPoint("Conservative", pt.kc.TuningBytes)
+		figs[3].AddPoint("Aggressive", pt.ka.TuningBytes)
+		figs[3].AddPoint("Reorganized", pt.kr.TuningBytes)
 	}
 	return Result{Figures: figs}
 }
@@ -140,16 +144,43 @@ func Fig9(p Params) Result {
 		XLabel: "capacity(B)", YLabel: "access latency (bytes)", XFmt: "%.0f"}
 	tun := Figure{ID: "fig9b", Title: "Window queries vs. packet capacity: tuning time",
 		XLabel: "capacity(B)", YLabel: "tuning time (bytes)", XFmt: "%.0f"}
-	for _, c := range CapacitiesThree {
-		lat.X = append(lat.X, float64(c))
-		tun.X = append(tun.X, float64(c))
-		for _, sys := range threeSystems(ds, c, p.ObjectBytes) {
-			m := wl.RunWindow(sys, DefaultWinSideRatio)
-			lat.AddPoint(sys.Name(), m.LatencyBytes)
-			tun.AddPoint(sys.Name(), m.TuningBytes)
+	sweepPoints(&lat, &tun, xsOf(CapacitiesThree), func(i int) []namedMetrics {
+		var out []namedMetrics
+		for _, sys := range threeSystems(ds, CapacitiesThree[i], p.ObjectBytes) {
+			out = append(out, namedMetrics{sys.Name(), wl.RunWindow(sys, DefaultWinSideRatio)})
+		}
+		return out
+	})
+	return Result{Figures: []Figure{lat, tun}}
+}
+
+// namedMetrics carries one system's metrics out of a parallel sweep.
+type namedMetrics struct {
+	name string
+	m    Metrics
+}
+
+// sweepPoints computes one set of per-system metrics per X value on
+// the worker pool and fills the latency/tuning figure pair in order.
+func sweepPoints(lat, tun *Figure, xs []float64, point func(i int) []namedMetrics) {
+	pts := sweep(len(xs), point)
+	for i, x := range xs {
+		lat.X = append(lat.X, x)
+		tun.X = append(tun.X, x)
+		for _, nm := range pts[i] {
+			lat.AddPoint(nm.name, nm.m.LatencyBytes)
+			tun.AddPoint(nm.name, nm.m.TuningBytes)
 		}
 	}
-	return Result{Figures: []Figure{lat, tun}}
+}
+
+// xsOf converts sweep positions to figure X values.
+func xsOf[T int | float64](vs []T) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = float64(v)
+	}
+	return out
 }
 
 // Fig10 reproduces Figure 10: window-query performance versus the
@@ -164,15 +195,13 @@ func Fig10(p Params) Result {
 	tun := Figure{ID: "fig10b", Title: "Window queries vs. WinSideRatio: tuning time",
 		XLabel: "WinSideRatio", YLabel: "tuning time (bytes)"}
 	systems := threeSystems(ds, 64, p.ObjectBytes)
-	for _, r := range ratios {
-		lat.X = append(lat.X, r)
-		tun.X = append(tun.X, r)
+	sweepPoints(&lat, &tun, ratios, func(i int) []namedMetrics {
+		var out []namedMetrics
 		for _, sys := range systems {
-			m := wl.RunWindow(sys, r)
-			lat.AddPoint(sys.Name(), m.LatencyBytes)
-			tun.AddPoint(sys.Name(), m.TuningBytes)
+			out = append(out, namedMetrics{sys.Name(), wl.RunWindow(sys, ratios[i])})
 		}
-	}
+		return out
+	})
 	return Result{Figures: []Figure{lat, tun}}
 }
 
@@ -191,17 +220,30 @@ func Fig11(p Params) Result {
 		mk("fig11c", "10NN queries: access latency", "access latency (bytes)"),
 		mk("fig11d", "10NN queries: tuning time", "tuning time (bytes)"),
 	}
-	for _, c := range CapacitiesThree {
-		for i := range figs {
-			figs[i].X = append(figs[i].X, float64(c))
+	type sysPoint struct {
+		name    string
+		m1, m10 Metrics
+	}
+	pts := sweep(len(CapacitiesThree), func(i int) []sysPoint {
+		var out []sysPoint
+		for _, sys := range threeSystems(ds, CapacitiesThree[i], p.ObjectBytes) {
+			out = append(out, sysPoint{
+				name: sys.Name(),
+				m1:   wl.RunKNN(sys, 1),
+				m10:  wl.RunKNN(sys, 10),
+			})
 		}
-		for _, sys := range threeSystems(ds, c, p.ObjectBytes) {
-			m1 := wl.RunKNN(sys, 1)
-			m10 := wl.RunKNN(sys, 10)
-			figs[0].AddPoint(sys.Name(), m1.LatencyBytes)
-			figs[1].AddPoint(sys.Name(), m1.TuningBytes)
-			figs[2].AddPoint(sys.Name(), m10.LatencyBytes)
-			figs[3].AddPoint(sys.Name(), m10.TuningBytes)
+		return out
+	})
+	for i, c := range CapacitiesThree {
+		for f := range figs {
+			figs[f].X = append(figs[f].X, float64(c))
+		}
+		for _, sp := range pts[i] {
+			figs[0].AddPoint(sp.name, sp.m1.LatencyBytes)
+			figs[1].AddPoint(sp.name, sp.m1.TuningBytes)
+			figs[2].AddPoint(sp.name, sp.m10.LatencyBytes)
+			figs[3].AddPoint(sp.name, sp.m10.TuningBytes)
 		}
 	}
 	return Result{Figures: figs}
@@ -219,15 +261,13 @@ func Fig12(p Params) Result {
 	tun := Figure{ID: "fig12b", Title: "kNN queries vs. k: tuning time",
 		XLabel: "k", YLabel: "tuning time (bytes)", XFmt: "%.0f"}
 	systems := threeSystems(ds, 64, p.ObjectBytes)
-	for _, k := range ks {
-		lat.X = append(lat.X, float64(k))
-		tun.X = append(tun.X, float64(k))
+	sweepPoints(&lat, &tun, xsOf(ks), func(i int) []namedMetrics {
+		var out []namedMetrics
 		for _, sys := range systems {
-			m := wl.RunKNN(sys, k)
-			lat.AddPoint(sys.Name(), m.LatencyBytes)
-			tun.AddPoint(sys.Name(), m.TuningBytes)
+			out = append(out, namedMetrics{sys.Name(), wl.RunKNN(sys, ks[i])})
 		}
-	}
+		return out
+	})
 	return Result{Figures: []Figure{lat, tun}}
 }
 
@@ -252,10 +292,12 @@ func Table1(p Params) Result {
 		mustSys(NewRTree(ds, 64, p.ObjectBytes)),
 		mustSys(NewDSI(ds, dsi.Config{Capacity: 64, Segments: 2, ObjectBytes: p.ObjectBytes}, dsi.Conservative, "DSI")),
 	}
-	for _, sys := range systems {
+	rows := sweep(len(systems), func(i int) [][]string {
+		sys := systems[i]
 		base := p.workload(ds)
 		bw := base.RunWindow(sys, DefaultWinSideRatio)
 		bk := base.RunKNN(sys, 10)
+		var out [][]string
 		for _, theta := range thetas {
 			wl := p.workload(ds)
 			wl.Theta = theta
@@ -264,7 +306,7 @@ func Table1(p Params) Result {
 			pct := func(now, was float64) string {
 				return fmt.Sprintf("%.2f%%", (now-was)/was*100)
 			}
-			t.Rows = append(t.Rows, []string{
+			out = append(out, []string{
 				sys.Name(), fmt.Sprintf("%.1f", theta),
 				pct(w.LatencyBytes, bw.LatencyBytes),
 				pct(w.TuningBytes, bw.TuningBytes),
@@ -272,6 +314,10 @@ func Table1(p Params) Result {
 				pct(k.TuningBytes, bk.TuningBytes),
 			})
 		}
+		return out
+	})
+	for _, r := range rows {
+		t.Rows = append(t.Rows, r...)
 	}
 	return Result{Tables: []Table{t}}
 }
@@ -286,10 +332,17 @@ func RealDataset(p Params) Result {
 	wl := p.workload(ds)
 	systems := threeSystems(ds, 64, p.ObjectBytes)
 
+	type pair struct{ win, knn Metrics }
+	pts := sweep(len(systems), func(i int) pair {
+		return pair{
+			win: wl.RunWindow(systems[i], DefaultWinSideRatio),
+			knn: wl.RunKNN(systems[i], 10),
+		}
+	})
 	var win, knn []Metrics
-	for _, sys := range systems {
-		win = append(win, wl.RunWindow(sys, DefaultWinSideRatio))
-		knn = append(knn, wl.RunKNN(sys, 10))
+	for _, pt := range pts {
+		win = append(win, pt.win)
+		knn = append(knn, pt.knn)
 	}
 	pct := func(dsiV, other float64) string { return fmt.Sprintf("%.1f%%", dsiV/other*100) }
 	t := Table{
@@ -318,19 +371,18 @@ func AblationSizing(p Params) Result {
 		XLabel: "capacity(B)", YLabel: "tuning time (bytes)", XFmt: "%.0f"}
 	// 32-byte packets cannot hold a one-packet paper table (own HC value
 	// plus at least one 18-byte entry), so the sweep starts at 64.
-	for _, c := range CapacitiesThree {
-		lat.X = append(lat.X, float64(c))
-		tun.X = append(tun.X, float64(c))
+	sweepPoints(&lat, &tun, xsOf(CapacitiesThree), func(i int) []namedMetrics {
+		c := CapacitiesThree[i]
 		auto := mustSys(NewDSI(ds, dsi.Config{Capacity: c, Segments: 2, ObjectBytes: p.ObjectBytes},
 			dsi.Conservative, "Auto"))
 		paper := mustSys(NewDSI(ds, dsi.Config{Capacity: c, Segments: 2, ObjectBytes: p.ObjectBytes,
 			Sizing: dsi.SizingPaperTable}, dsi.Conservative, "PaperTable"))
+		var out []namedMetrics
 		for _, sys := range []System{auto, paper} {
-			m := wl.RunKNN(sys, 10)
-			lat.AddPoint(sys.Name(), m.LatencyBytes)
-			tun.AddPoint(sys.Name(), m.TuningBytes)
+			out = append(out, namedMetrics{sys.Name(), wl.RunKNN(sys, 10)})
 		}
-	}
+		return out
+	})
 	return Result{Figures: []Figure{lat, tun}}
 }
 
@@ -344,17 +396,19 @@ func AblationReorgM(p Params) Result {
 		Title:  "Reorganization factor m (64B packets, UNIFORM)",
 		Header: []string{"m", "Win Latency", "Win Tuning", "10NN Latency", "10NN Tuning"},
 	}
-	for _, m := range []int{1, 2, 4, 8} {
+	ms := []int{1, 2, 4, 8}
+	t.Rows = sweep(len(ms), func(i int) []string {
+		m := ms[i]
 		sys := mustSys(NewDSI(ds, dsi.Config{Capacity: 64, Segments: m, ObjectBytes: p.ObjectBytes},
 			dsi.Conservative, fmt.Sprintf("m=%d", m)))
 		w := wl.RunWindow(sys, DefaultWinSideRatio)
 		k := wl.RunKNN(sys, 10)
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprintf("%d", m),
 			humanBytes(w.LatencyBytes), humanBytes(w.TuningBytes),
 			humanBytes(k.LatencyBytes), humanBytes(k.TuningBytes),
-		})
-	}
+		}
+	})
 	return Result{Tables: []Table{t}}
 }
 
@@ -368,7 +422,9 @@ func AblationIndexBase(p Params) Result {
 		Title:  "Index base r (64B packets, UNIFORM, original broadcast)",
 		Header: []string{"r", "Table bytes", "Win Latency", "Win Tuning", "10NN Latency", "10NN Tuning"},
 	}
-	for _, r := range []int{2, 4, 8} {
+	rs := []int{2, 4, 8}
+	t.Rows = sweep(len(rs), func(i int) []string {
+		r := rs[i]
 		x, err := dsi.Build(ds, dsi.Config{Capacity: 64, IndexBase: r, ObjectBytes: p.ObjectBytes,
 			Sizing: dsi.SizingUnitFactor})
 		if err != nil {
@@ -377,12 +433,12 @@ func AblationIndexBase(p Params) Result {
 		sys := &DSISystem{Label: fmt.Sprintf("r=%d", r), Index: x, Strategy: dsi.Conservative}
 		w := wl.RunWindow(sys, DefaultWinSideRatio)
 		k := wl.RunKNN(sys, 10)
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprintf("%d", r), fmt.Sprintf("%d", x.TableBytes()),
 			humanBytes(w.LatencyBytes), humanBytes(w.TuningBytes),
 			humanBytes(k.LatencyBytes), humanBytes(k.TuningBytes),
-		})
-	}
+		}
+	})
 	return Result{Tables: []Table{t}}
 }
 
@@ -399,23 +455,32 @@ func CostModel(p Params) Result {
 		Header: []string{"capacity", "nF", "nO", "E", "r", "overhead",
 			"model latency", "sim latency", "model tuning", "sim tuning"},
 	}
-	rng := rand.New(rand.NewSource(p.Seed + 7))
-	for _, capacity := range CapacitiesAll {
+	t.Rows = sweep(len(CapacitiesAll), func(ci int) []string {
+		capacity := CapacitiesAll[ci]
 		x, err := dsi.Build(ds, dsi.Config{Capacity: capacity, ObjectBytes: p.ObjectBytes})
 		if err != nil {
 			panic(err)
 		}
 		cost := model.AnalyzeDSI(x)
+		// Each capacity draws from its own deterministic stream so the
+		// sweep can run its data points in any order (or in parallel).
+		rng := newWorkloadRNG(p.Seed + 7 + 1000*int64(ci))
+		var c *dsi.Client
 		var lat, tun float64
 		for i := 0; i < p.Queries; i++ {
-			o := ds.Objects[rng.Intn(ds.N())]
-			c := dsi.NewClient(x, rng.Int63n(int64(x.Prog.Len())), nil)
+			o := ds.Objects[rng.IntN(ds.N())]
+			probe := rng.Int64N(int64(x.Prog.Len()))
+			if c == nil {
+				c = dsi.NewClient(x, probe, nil)
+			} else {
+				c.Reset(probe, nil)
+			}
 			_, _, st := c.EEF(o.HC)
 			lat += float64(st.LatencyBytes())
 			tun += float64(st.TuningBytes())
 		}
 		q := float64(p.Queries)
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprintf("%d", capacity),
 			fmt.Sprintf("%d", x.NF), fmt.Sprintf("%d", x.NO),
 			fmt.Sprintf("%d", x.E), fmt.Sprintf("%d", x.Base),
@@ -424,8 +489,8 @@ func CostModel(p Params) Result {
 			humanBytes(lat / q),
 			humanBytes(cost.ExpPointTuningPackets * float64(capacity)),
 			humanBytes(tun / q),
-		})
-	}
+		}
+	})
 	return Result{Tables: []Table{t}}
 }
 

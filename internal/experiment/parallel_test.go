@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"dsi/internal/dsi"
+)
+
+// TestParallelBitIdentical is the parallel harness's core guarantee:
+// for a fixed seed, the figure series produced on many workers are
+// bit-identical to the fully sequential run.
+func TestParallelBitIdentical(t *testing.T) {
+	p := Params{N: 300, Order: 6, Seed: 11, Queries: 6, Verify: true}
+	defer SetParallelism(Parallelism())
+
+	cases := []struct {
+		name string
+		fn   func(Params) Result
+	}{
+		{"fig8", Fig8},
+		{"fig10", Fig10},
+		{"table1", Table1},
+		{"costmodel", CostModel},
+	}
+	for _, tc := range cases {
+		SetParallelism(1)
+		seq := tc.fn(p)
+		SetParallelism(8)
+		par := tc.fn(p)
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%s: parallel result differs from sequential:\nseq:\n%s\npar:\n%s",
+				tc.name, seq.Format(), par.Format())
+		}
+	}
+}
+
+// TestWorkloadParallelMatchesSequential checks raw metrics equality at
+// the workload level across several parallelism settings, including
+// under the loss model (whose per-query seeds must make corruption
+// independent of scheduling).
+func TestWorkloadParallelMatchesSequential(t *testing.T) {
+	p := Params{N: 300, Order: 6, Seed: 5, Queries: 16, Verify: true}
+	ds := p.Dataset()
+	defer SetParallelism(Parallelism())
+
+	for _, theta := range []float64{0, 0.3} {
+		wl := p.workload(ds)
+		wl.Theta = theta
+		sys := mustSys(NewDSI(ds, dsi.Config{Capacity: 64, Segments: 2}, dsi.Conservative, ""))
+
+		SetParallelism(1)
+		seqW := wl.RunWindow(sys, 0.1)
+		seqK := wl.RunKNN(sys, 5)
+		for _, workers := range []int{2, 4, 16} {
+			SetParallelism(workers)
+			if got := wl.RunWindow(sys, 0.1); got != seqW {
+				t.Errorf("theta=%v workers=%d: window %v != sequential %v", theta, workers, got, seqW)
+			}
+			if got := wl.RunKNN(sys, 5); got != seqK {
+				t.Errorf("theta=%v workers=%d: kNN %v != sequential %v", theta, workers, got, seqK)
+			}
+		}
+	}
+}
+
+// TestHCIKNNBoundaryExact runs the paper-scale HCI kNN workload that
+// once crashed with "slice bounds out of range": the k-th phase-1
+// object sat exactly on the search bound, and the sqrt-then-resquare
+// radius round-trip excluded it from the closed disk. The bound is now
+// kept squared end to end; Verify cross-checks every answer.
+func TestHCIKNNBoundaryExact(t *testing.T) {
+	p := Params{Queries: 10, Verify: true}.withDefaults() // paper scale: N=10000, order 8
+	ds := p.Dataset()
+	wl := p.workload(ds)
+	sys := mustSys(NewHCI(ds, 64, p.ObjectBytes))
+	m := wl.RunKNN(sys, 3)
+	if m.LatencyBytes <= 0 || m.TuningBytes <= 0 {
+		t.Fatalf("degenerate metrics %v", m)
+	}
+}
+
+// TestSessionReuseAcrossWorkload verifies sessions actually get reused:
+// the DSI session pool must mint far fewer clients than queries, and
+// sessions must survive from one workload run to the next.
+func TestSessionReuseAcrossWorkload(t *testing.T) {
+	p := Params{N: 300, Order: 6, Seed: 9, Queries: 32, Verify: true}
+	ds := p.Dataset()
+	sys, err := NewDSI(ds, dsi.Config{Capacity: 64, Segments: 2}, dsi.Conservative, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wl := p.workload(ds)
+	before := dsiSessionsMinted.Load()
+	wl.RunWindow(sys, 0.1)
+	first := dsiSessionsMinted.Load() - before
+	if first == 0 {
+		t.Fatal("no sessions minted")
+	}
+	wl.RunKNN(sys, 5)
+	total := dsiSessionsMinted.Load() - before
+	// Under the race detector sync.Pool deliberately randomizes reuse,
+	// so the tight bounds only hold in normal builds.
+	if !raceEnabled {
+		if first > int64(Parallelism()+2) {
+			t.Errorf("minted %d sessions for %d queries (parallelism %d)", first, p.Queries, Parallelism())
+		}
+		if total > first {
+			t.Errorf("second workload run minted %d extra sessions; wanted full reuse", total-first)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiment
+
+// raceEnabled reports whether the race detector is on, which changes
+// sync.Pool reuse behavior.
+const raceEnabled = true

@@ -11,6 +11,8 @@ package experiment
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"dsi/internal/air"
 	"dsi/internal/broadcast"
@@ -32,11 +34,45 @@ type System interface {
 	CycleLen() int
 }
 
+// QuerySession answers queries one at a time with reusable state: a
+// worker holds one session and replays queries through it, so per-query
+// setup (client knowledge bases, scratch buffers) is recycled instead
+// of reallocated. Result slices are only valid until the session's next
+// query. Sessions are not safe for concurrent use; mint one per worker.
+type QuerySession interface {
+	Window(w spatial.Rect, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats)
+	KNN(q spatial.Point, k int, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats)
+}
+
+// SessionSystem is a System that pools reusable query sessions. The
+// workload runner acquires a session per worker and releases it after
+// the run, so session state (and its pooled client) survives across
+// workload runs; systems without sessions are queried statelessly.
+type SessionSystem interface {
+	System
+	AcquireSession() QuerySession
+	ReleaseSession(QuerySession)
+}
+
+// statelessSession adapts a plain System to the session interface.
+type statelessSession struct{ sys System }
+
+func (s statelessSession) Window(w spatial.Rect, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
+	return s.sys.Window(w, probe, loss)
+}
+
+func (s statelessSession) KNN(q spatial.Point, k int, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
+	return s.sys.KNN(q, k, probe, loss)
+}
+
 // DSISystem runs queries over a DSI broadcast with a fixed kNN strategy.
+// Use it by pointer: it carries a session pool.
 type DSISystem struct {
 	Label    string
 	Index    *dsi.Index
 	Strategy dsi.Strategy
+
+	sessions sync.Pool // of *dsiSession
 }
 
 // NewDSI builds a DSI system. The label defaults to "DSI".
@@ -62,6 +98,52 @@ func (s *DSISystem) KNN(q spatial.Point, k int, probe int64, loss *broadcast.Los
 }
 
 func (s *DSISystem) CycleLen() int { return s.Index.Prog.Len() }
+
+// dsiSessionsMinted counts sessions constructed from scratch, so tests
+// can assert that workloads reuse sessions instead of re-minting them.
+var dsiSessionsMinted atomic.Int64
+
+// AcquireSession returns a session around one long-lived dsi.Client
+// that is Reset between queries: identical results and metrics to
+// fresh clients, without the per-query dataset-sized allocations.
+func (s *DSISystem) AcquireSession() QuerySession {
+	if v := s.sessions.Get(); v != nil {
+		return v.(*dsiSession)
+	}
+	dsiSessionsMinted.Add(1)
+	return &dsiSession{sys: s}
+}
+
+// ReleaseSession returns a session to the pool for the next worker.
+func (s *DSISystem) ReleaseSession(q QuerySession) { s.sessions.Put(q) }
+
+type dsiSession struct {
+	sys *DSISystem
+	c   *dsi.Client
+	buf []int
+}
+
+// client returns the session's client tuned to the probe slot.
+func (s *dsiSession) client(probe int64, loss *broadcast.LossModel) *dsi.Client {
+	if s.c == nil {
+		s.c = dsi.NewClient(s.sys.Index, probe, loss)
+	} else {
+		s.c.Reset(probe, loss)
+	}
+	return s.c
+}
+
+func (s *dsiSession) Window(w spatial.Rect, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
+	ids, st := s.client(probe, loss).WindowAppend(s.buf[:0], w)
+	s.buf = ids
+	return ids, st
+}
+
+func (s *dsiSession) KNN(q spatial.Point, k int, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
+	ids, st := s.client(probe, loss).KNNAppend(s.buf[:0], q, k, s.sys.Strategy)
+	s.buf = ids
+	return ids, st
+}
 
 // RTreeSystem is the on-air STR R-tree baseline.
 type RTreeSystem struct{ B *air.RTreeBroadcast }

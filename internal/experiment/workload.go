@@ -2,7 +2,7 @@ package experiment
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"sort"
 
 	"dsi/internal/broadcast"
@@ -41,9 +41,16 @@ type windowQuery struct {
 	seed  int64   // loss-model seed
 }
 
+// newWorkloadRNG returns the deterministic stream for a workload seed.
+// PCG seeding is O(1), unlike the legacy math/rand source whose 607-word
+// seeding dominated short workload generations.
+func newWorkloadRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(seed), 0x9e3779b97f4a7c15))
+}
+
 // genWindows generates the window workload for a WinSideRatio.
 func (wl *Workload) genWindows(ratio float64) []windowQuery {
-	rng := rand.New(rand.NewSource(wl.Seed))
+	rng := newWorkloadRNG(wl.Seed)
 	side := wl.DS.Curve.Side()
 	win := uint32(float64(side) * ratio)
 	if win == 0 {
@@ -53,9 +60,9 @@ func (wl *Workload) genWindows(ratio float64) []windowQuery {
 	for i := range out {
 		out[i] = windowQuery{
 			w: spatial.ClampedWindow(
-				uint32(rng.Intn(int(side))), uint32(rng.Intn(int(side))), win, side),
+				uint32(rng.IntN(int(side))), uint32(rng.IntN(int(side))), win, side),
 			uProb: rng.Float64(),
-			seed:  rng.Int63(),
+			seed:  int64(rng.Uint64() >> 1),
 		}
 	}
 	return out
@@ -69,14 +76,14 @@ type knnQuery struct {
 
 // genKNN generates the kNN workload.
 func (wl *Workload) genKNN() []knnQuery {
-	rng := rand.New(rand.NewSource(wl.Seed + 1))
+	rng := newWorkloadRNG(wl.Seed + 1)
 	side := int(wl.DS.Curve.Side())
 	out := make([]knnQuery, wl.Queries)
 	for i := range out {
 		out[i] = knnQuery{
-			q:     spatial.Point{X: uint32(rng.Intn(side)), Y: uint32(rng.Intn(side))},
+			q:     spatial.Point{X: uint32(rng.IntN(side)), Y: uint32(rng.IntN(side))},
 			uProb: rng.Float64(),
-			seed:  rng.Int63(),
+			seed:  int64(rng.Uint64() >> 1),
 		}
 	}
 	return out
@@ -91,11 +98,19 @@ func (wl *Workload) loss(seed int64) *broadcast.LossModel {
 
 // RunWindow replays the window workload with the given WinSideRatio
 // against the system and returns average metrics.
+//
+// Queries are sharded across the package worker pool (SetParallelism),
+// each worker replaying through its own reusable session against the
+// shared immutable index. Every query is fully determined by its
+// precomputed workload entry (window, probe fraction, loss seed) and
+// per-query stats are accumulated in query order, so the averages are
+// bit-identical at any parallelism setting.
 func (wl *Workload) RunWindow(sys System, ratio float64) Metrics {
-	var lat, tun float64
-	for _, q := range wl.genWindows(ratio) {
+	qs := wl.genWindows(ratio)
+	return wl.run(sys, len(qs), func(s QuerySession, i int) broadcast.Stats {
+		q := qs[i]
 		probe := int64(q.uProb * float64(sys.CycleLen()))
-		got, st := sys.Window(q.w, probe, wl.loss(q.seed))
+		got, st := s.Window(q.w, probe, wl.loss(q.seed))
 		if wl.Verify {
 			want := wl.DS.WindowBrute(q.w)
 			if !sameIDs(got, want) {
@@ -103,30 +118,52 @@ func (wl *Workload) RunWindow(sys System, ratio float64) Metrics {
 					sys.Name(), q.w, len(got), len(want)))
 			}
 		}
-		lat += float64(st.LatencyBytes())
-		tun += float64(st.TuningBytes())
-	}
-	n := float64(wl.Queries)
-	return Metrics{LatencyBytes: lat / n, TuningBytes: tun / n}
+		return st
+	})
 }
 
-// RunKNN replays the kNN workload against the system.
+// RunKNN replays the kNN workload against the system. Sharding and
+// determinism are as for RunWindow.
 func (wl *Workload) RunKNN(sys System, k int) Metrics {
-	var lat, tun float64
-	for _, q := range wl.genKNN() {
+	qs := wl.genKNN()
+	return wl.run(sys, len(qs), func(s QuerySession, i int) broadcast.Stats {
+		q := qs[i]
 		probe := int64(q.uProb * float64(sys.CycleLen()))
-		got, st := sys.KNN(q.q, k, probe, wl.loss(q.seed))
+		got, st := s.KNN(q.q, k, probe, wl.loss(q.seed))
 		if wl.Verify {
 			want, _ := wl.DS.KNNBrute(q.q, k)
 			if !sameDistances(wl.DS, q.q, got, want) {
 				panic(fmt.Sprintf("experiment: %s kNN at %v k=%d wrong", sys.Name(), q.q, k))
 			}
 		}
+		return st
+	})
+}
+
+// run executes n queries on the worker pool and averages their metrics
+// in query order. Each worker owns one reusable session for its whole
+// lifetime, and every query execution holds a global token, so total
+// in-flight query work stays within SetParallelism even when a figure
+// sweep runs several workloads concurrently.
+func (wl *Workload) run(sys System, n int, query func(s QuerySession, i int) broadcast.Stats) Metrics {
+	stats := make([]broadcast.Stats, n)
+	toks := queryTokens()
+	parallelWorkers(n, func(next func() (int, bool)) {
+		s := acquireSession(sys)
+		defer releaseSession(sys, s)
+		for i, ok := next(); ok; i, ok = next() {
+			toks <- struct{}{}
+			stats[i] = query(s, i)
+			<-toks
+		}
+	})
+	var lat, tun float64
+	for _, st := range stats {
 		lat += float64(st.LatencyBytes())
 		tun += float64(st.TuningBytes())
 	}
-	n := float64(wl.Queries)
-	return Metrics{LatencyBytes: lat / n, TuningBytes: tun / n}
+	q := float64(wl.Queries)
+	return Metrics{LatencyBytes: lat / q, TuningBytes: tun / q}
 }
 
 func sameIDs(a, b []int) bool {

@@ -14,7 +14,8 @@ package hilbert
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 )
 
 // MaxOrder is the largest supported curve order. 2*MaxOrder bits of HC
@@ -53,8 +54,23 @@ func (c Curve) Encode(x, y uint32) uint64 {
 	if x >= side || y >= side {
 		panic(fmt.Sprintf("hilbert: cell (%d,%d) outside %dx%d grid", x, y, side, side))
 	}
+	nc, st := chunksFor(c.order)
 	var d uint64
-	for s := side >> 1; s > 0; s >>= 1 {
+	for i := nc - 1; i >= 0; i-- {
+		sh := uint(i * 4)
+		xy := (x>>sh&15)<<4 | y>>sh&15
+		e := encLUT[st][xy]
+		d = d<<8 | uint64(e.v)
+		st = e.next
+	}
+	return d
+}
+
+// encodeScalar is the bit-at-a-time reference implementation Encode's
+// lookup tables are generated from (and verified against in tests).
+func (c Curve) encodeScalar(x, y uint32) uint64 {
+	var d uint64
+	for s := c.Side() >> 1; s > 0; s >>= 1 {
 		var rx, ry uint32
 		if x&s > 0 {
 			rx = 1
@@ -81,6 +97,19 @@ func (c Curve) Decode(d uint64) (x, y uint32) {
 	if d >= c.Size() {
 		panic(fmt.Sprintf("hilbert: HC value %d outside curve of size %d", d, c.Size()))
 	}
+	nc, st := chunksFor(c.order)
+	for i := nc - 1; i >= 0; i-- {
+		e := decLUT[st][uint8(d>>(8*uint(i)))]
+		x = x<<4 | uint32(e.v>>4)
+		y = y<<4 | uint32(e.v&15)
+		st = e.next
+	}
+	return x, y
+}
+
+// decodeScalar is the bit-at-a-time reference implementation Decode is
+// verified against in tests.
+func (c Curve) decodeScalar(d uint64) (x, y uint32) {
 	t := d
 	for s := uint32(1); s < c.Side(); s <<= 1 {
 		rx := uint32(t>>1) & 1
@@ -134,39 +163,61 @@ const (
 // RangesFunc decomposes the set of cells classified Inside by the region
 // function into maximal contiguous HC ranges, sorted ascending. The
 // classifier must be consistent: a block classified Inside (Outside) must
-// have all (no) cells inside. The decomposition recurses over quadrants,
+// have all (no) cells inside. The decomposition subdivides quadrants,
 // so its cost is proportional to the region's perimeter in cells.
 func (c Curve) RangesFunc(region RegionFunc) []Range {
-	var out []Range
-	side := c.Side()
-	out = c.collect(out, region, 0, 0, side, 0)
-	return mergeRanges(out)
+	return c.AppendRangesFunc(nil, region)
 }
 
-// collect appends the HC ranges of in-region cells within the block whose
-// lower corner in *rotated* space maps to curve offset base and whose side
-// is s. To keep the geometry simple we recurse in original grid space and
-// compute each quadrant's HC base by encoding one of its cells.
-func (c Curve) collect(out []Range, region RegionFunc, x0, y0, s uint32, _ uint64) []Range {
-	switch region(x0, y0, x0+s-1, y0+s-1) {
-	case Outside:
-		return out
-	case Inside:
-		lo := c.blockBase(x0, y0, s)
-		return append(out, Range{Lo: lo, Hi: lo + uint64(s)*uint64(s)})
+// qblock is a pending block of the iterative quadrant subdivision.
+type qblock struct {
+	x0, y0, s uint32
+}
+
+// stackPool recycles subdivision stacks across decompositions, so a
+// warm query path allocates nothing beyond growth of the caller's
+// destination buffer.
+var stackPool = sync.Pool{New: func() any {
+	s := make([]qblock, 0, 4*MaxOrder)
+	return &s
+}}
+
+// AppendRangesFunc is RangesFunc appending into dst (which may be nil
+// or a recycled buffer): the new ranges occupy dst[len(dst):]. Only the
+// appended tail is sorted and merged; previously present elements are
+// left untouched.
+func (c Curve) AppendRangesFunc(dst []Range, region RegionFunc) []Range {
+	base := len(dst)
+	sp := stackPool.Get().(*[]qblock)
+	stack := append((*sp)[:0], qblock{0, 0, c.Side()})
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		switch region(b.x0, b.y0, b.x0+b.s-1, b.y0+b.s-1) {
+		case Outside:
+		case Inside:
+			lo := c.blockBase(b.x0, b.y0, b.s)
+			dst = append(dst, Range{Lo: lo, Hi: lo + uint64(b.s)*uint64(b.s)})
+		default:
+			if b.s == 1 {
+				// A 1x1 block classified Partial is a classifier bug;
+				// treat as inside to stay conservative (never lose a
+				// cell).
+				lo := c.Encode(b.x0, b.y0)
+				dst = append(dst, Range{Lo: lo, Hi: lo + 1})
+				continue
+			}
+			h := b.s >> 1
+			stack = append(stack,
+				qblock{b.x0, b.y0, h},
+				qblock{b.x0 + h, b.y0, h},
+				qblock{b.x0, b.y0 + h, h},
+				qblock{b.x0 + h, b.y0 + h, h})
+		}
 	}
-	if s == 1 {
-		// A 1x1 block classified Partial is a classifier bug; treat as inside
-		// to stay conservative (never lose a cell).
-		lo := c.Encode(x0, y0)
-		return append(out, Range{Lo: lo, Hi: lo + 1})
-	}
-	h := s >> 1
-	out = c.collect(out, region, x0, y0, h, 0)
-	out = c.collect(out, region, x0+h, y0, h, 0)
-	out = c.collect(out, region, x0, y0+h, h, 0)
-	out = c.collect(out, region, x0+h, y0+h, h, 0)
-	return out
+	*sp = stack
+	stackPool.Put(sp)
+	return mergeRangesTail(dst, base)
 }
 
 // blockBase returns the smallest HC value within the size-s aligned block
@@ -184,6 +235,42 @@ func (c Curve) blockBase(x0, y0, s uint32) uint64 {
 // maximal contiguous HC ranges, sorted ascending. Bounds are clamped to
 // the grid; an empty rectangle yields nil.
 func (c Curve) Ranges(x0, y0, x1, y1 uint32) []Range {
+	return c.AppendRanges(nil, x0, y0, x1, y1)
+}
+
+// AppendRanges is Ranges appending into dst (which may be nil or a
+// recycled buffer).
+func (c Curve) AppendRanges(dst []Range, x0, y0, x1, y1 uint32) []Range {
+	rect, ok := c.ClampRect(x0, y0, x1, y1)
+	if !ok {
+		return dst
+	}
+	return c.AppendRangesFunc(dst, rect.Classify)
+}
+
+// RectRegion classifies cell blocks against the inclusive rectangle
+// [X0,X1] x [Y0,Y1]. Like DiskRegion, it lets a caller hold one
+// long-lived RegionFunc and re-parameterize the rectangle without
+// allocating a new closure per query.
+type RectRegion struct {
+	X0, Y0, X1, Y1 uint32
+}
+
+// Classify implements RegionFunc semantics for the rectangle.
+func (r *RectRegion) Classify(x0, y0, x1, y1 uint32) Region {
+	if x1 < r.X0 || x0 > r.X1 || y1 < r.Y0 || y0 > r.Y1 {
+		return Outside
+	}
+	if x0 >= r.X0 && x1 <= r.X1 && y0 >= r.Y0 && y1 <= r.Y1 {
+		return Inside
+	}
+	return Partial
+}
+
+// ClampRect clamps the inclusive rectangle to the grid, exactly as
+// Ranges does before decomposing. ok is false when the rectangle is
+// empty after clamping.
+func (c Curve) ClampRect(x0, y0, x1, y1 uint32) (RectRegion, bool) {
 	side := c.Side()
 	if x0 >= side {
 		x0 = side - 1
@@ -198,17 +285,9 @@ func (c Curve) Ranges(x0, y0, x1, y1 uint32) []Range {
 		y1 = side - 1
 	}
 	if x1 < x0 || y1 < y0 {
-		return nil
+		return RectRegion{}, false
 	}
-	return c.RangesFunc(func(bx0, by0, bx1, by1 uint32) Region {
-		if bx1 < x0 || bx0 > x1 || by1 < y0 || by0 > y1 {
-			return Outside
-		}
-		if bx0 >= x0 && bx1 <= x1 && by0 >= y0 && by1 <= y1 {
-			return Inside
-		}
-		return Partial
-	})
+	return RectRegion{X0: x0, Y0: y0, X1: x1, Y1: y1}, true
 }
 
 // RangesDisk decomposes the set of cells whose coordinates lie within
@@ -216,11 +295,17 @@ func (c Curve) Ranges(x0, y0, x1, y1 uint32) []Range {
 // Distance is measured between cell coordinates (objects live exactly on
 // cells), and the disk is closed: cells at distance exactly r are inside.
 func (c Curve) RangesDisk(qx, qy float64, r float64) []Range {
+	return c.AppendRangesDisk(nil, qx, qy, r)
+}
+
+// AppendRangesDisk is RangesDisk appending into dst (which may be nil
+// or a recycled buffer).
+func (c Curve) AppendRangesDisk(dst []Range, qx, qy float64, r float64) []Range {
 	if r < 0 {
-		return nil
+		return dst
 	}
 	r2 := r * r
-	return c.RangesFunc(func(x0, y0, x1, y1 uint32) Region {
+	return c.AppendRangesFunc(dst, func(x0, y0, x1, y1 uint32) Region {
 		min := rectPointMinDist2(float64(x0), float64(y0), float64(x1), float64(y1), qx, qy)
 		if min > r2 {
 			return Outside
@@ -231,6 +316,28 @@ func (c Curve) RangesDisk(qx, qy float64, r float64) []Range {
 		}
 		return Partial
 	})
+}
+
+// DiskRegion classifies cell blocks against the closed Euclidean disk
+// of squared radius R2 around (QX, QY). It is the reusable form of
+// RangesDisk's classifier: a caller holding a long-lived RegionFunc
+// over a DiskRegion can grow or shrink the disk by updating R2 without
+// allocating a new closure per radius.
+type DiskRegion struct {
+	QX, QY, R2 float64
+}
+
+// Classify implements RegionFunc semantics for the disk.
+func (d *DiskRegion) Classify(x0, y0, x1, y1 uint32) Region {
+	min := rectPointMinDist2(float64(x0), float64(y0), float64(x1), float64(y1), d.QX, d.QY)
+	if min > d.R2 {
+		return Outside
+	}
+	max := rectPointMaxDist2(float64(x0), float64(y0), float64(x1), float64(y1), d.QX, d.QY)
+	if max <= d.R2 {
+		return Inside
+	}
+	return Partial
 }
 
 // rectPointMinDist2 returns the squared distance from (qx,qy) to the
@@ -267,22 +374,33 @@ func rectPointMaxDist2(x0, y0, x1, y1, qx, qy float64) float64 {
 	return dx*dx + dy*dy
 }
 
-// mergeRanges sorts ranges and coalesces adjacent or overlapping ones.
-func mergeRanges(rs []Range) []Range {
+// mergeRangesTail sorts dst[base:] in place and coalesces adjacent or
+// overlapping ranges, truncating dst accordingly. It allocates nothing.
+func mergeRangesTail(dst []Range, base int) []Range {
+	rs := dst[base:]
 	if len(rs) == 0 {
-		return nil
+		return dst
 	}
-	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
-	out := rs[:1]
+	slices.SortFunc(rs, func(a, b Range) int {
+		switch {
+		case a.Lo < b.Lo:
+			return -1
+		case a.Lo > b.Lo:
+			return 1
+		}
+		return 0
+	})
+	w := 0
 	for _, r := range rs[1:] {
-		last := &out[len(out)-1]
+		last := &rs[w]
 		if r.Lo <= last.Hi {
 			if r.Hi > last.Hi {
 				last.Hi = r.Hi
 			}
 			continue
 		}
-		out = append(out, r)
+		w++
+		rs[w] = r
 	}
-	return out
+	return dst[:base+w+1]
 }

@@ -292,7 +292,7 @@ func TestBlockBaseMatchesMinimum(t *testing.T) {
 }
 
 func TestMergeRanges(t *testing.T) {
-	got := mergeRanges([]Range{{5, 7}, {0, 2}, {2, 4}, {6, 9}, {12, 13}})
+	got := mergeRangesTail([]Range{{5, 7}, {0, 2}, {2, 4}, {6, 9}, {12, 13}}, 0)
 	want := []Range{{0, 4}, {5, 9}, {12, 13}}
 	if len(got) != len(want) {
 		t.Fatalf("mergeRanges = %v, want %v", got, want)

@@ -1,0 +1,94 @@
+package hilbert
+
+// Lookup-table-accelerated Encode/Decode.
+//
+// The bitwise algorithm in hilbert.go processes one bit of x and y per
+// iteration, carrying a coordinate transformation (the current sub-curve
+// orientation) from level to level. The transformations reachable from
+// the identity form a Klein four-group:
+//
+//	stI  identity            (x, y)
+//	stS  swap                (y, x)
+//	stC  complement          (w-1-x, w-1-y)
+//	stSC swap-complement     (w-1-y, w-1-x)
+//
+// composing by XOR of the state codes. The tables below batch four
+// levels at a time: for each orientation and each 8-bit (x,y) nibble
+// pair, encLUT yields the next 8 bits of the HC value and the
+// orientation for the remaining levels; decLUT is its inverse. The
+// tables are generated at init from the scalar reference implementation
+// (encodeScalar), so the two can never disagree on curve shape.
+//
+// Orders that are not a multiple of four are handled by padding the
+// curve with zero high bits. Each padded level contributes zero to the
+// HC value and a swap to the orientation, so entering the chunk loop in
+// state stS when the padding depth is odd (stI when even) makes the
+// padded run reproduce the unpadded curve exactly.
+
+const (
+	stI  = 0
+	stS  = 1
+	stC  = 2
+	stSC = 3
+)
+
+// lutChunk packs four levels of the curve walk: for encoding, the 8-bit
+// HC chunk and the next orientation; for decoding, the (x<<4|y) nibble
+// pair and the next orientation.
+type lutChunk struct {
+	v, next uint8
+}
+
+var (
+	encLUT [4][256]lutChunk // [state][x4<<4|y4] -> d8
+	decLUT [4][256]lutChunk // [state][d8] -> x4<<4|y4
+)
+
+// applyState16 applies a state transform on the 16x16 chunk grid.
+func applyState16(st int, x, y uint32) (uint32, uint32) {
+	switch st {
+	case stS:
+		return y, x
+	case stC:
+		return 15 - x, 15 - y
+	case stSC:
+		return 15 - y, 15 - x
+	}
+	return x, y
+}
+
+func init() {
+	c4 := Curve{order: 4}
+	for st := 0; st < 4; st++ {
+		for xy := 0; xy < 256; xy++ {
+			x, y := uint32(xy>>4), uint32(xy&15)
+			tx, ty := applyState16(st, x, y)
+			d := uint8(c4.encodeScalar(tx, ty))
+			// Accumulate the orientation across the four levels. The
+			// quadrant digit q = (3*rx)^ry determines the per-level
+			// transform: q=0 (rx=0,ry=0) swaps, q=3 (rx=1,ry=0)
+			// swap-complements, q=1,2 (ry=1) leave orientation alone.
+			acc := uint8(st)
+			for lvl := 3; lvl >= 0; lvl-- {
+				switch (d >> (2 * lvl)) & 3 {
+				case 0:
+					acc ^= stS
+				case 3:
+					acc ^= stSC
+				}
+			}
+			encLUT[st][xy] = lutChunk{v: d, next: acc}
+			decLUT[st][d] = lutChunk{v: uint8(xy), next: acc}
+		}
+	}
+}
+
+// chunksFor returns the number of 4-bit chunks covering the order and
+// the initial orientation compensating for the padded levels.
+func chunksFor(order uint) (nc int, st uint8) {
+	nc = (int(order) + 3) / 4
+	if (uint(nc)*4-order)&1 == 1 {
+		st = stS
+	}
+	return nc, st
+}
