@@ -36,12 +36,9 @@ func (v bpView) NodeBytes() int           { return v.t.NodeBytes() }
 // NewHCIBroadcast builds the B+-tree over the dataset's HC values and
 // its broadcast layout.
 func NewHCIBroadcast(ds *dataset.Dataset, capacity, objectBytes int) (*HCIBroadcast, error) {
-	keys := make([]uint64, ds.N())
-	vals := make([]int, ds.N())
-	for i, o := range ds.Objects {
-		keys[i] = o.HC
-		vals[i] = o.ID
-	}
+	// The key extraction is capacity-independent; the dataset caches it
+	// across the capacities a figure sweeps.
+	keys, vals := ds.HCKeys()
 	t, err := bptree.BuildForCapacity(keys, vals, capacity)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,223 @@
+package broadcast
+
+import "testing"
+
+func chanOf(capacity, n int, kind Kind) *Channel {
+	slots := make([]Slot, n)
+	for i := range slots {
+		slots[i] = Slot{Kind: kind, Owner: int32(i)}
+	}
+	return &Channel{Program: Program{Capacity: capacity, Slots: slots}}
+}
+
+func TestNewAirValidates(t *testing.T) {
+	if _, err := NewAir(0); err == nil {
+		t.Error("empty air accepted")
+	}
+	if _, err := NewAir(0, chanOf(64, 4, KindData), chanOf(32, 4, KindData)); err == nil {
+		t.Error("mixed capacities accepted")
+	}
+	if _, err := NewAir(-1, chanOf(64, 4, KindData)); err == nil {
+		t.Error("negative switch cost accepted")
+	}
+	if _, err := NewAir(0, chanOf(64, 0, KindData)); err == nil {
+		t.Error("empty channel accepted")
+	}
+	a, err := NewAir(2, chanOf(64, 4, KindIndex), chanOf(64, 6, KindData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumChannels() != 2 || a.Capacity != 64 || a.Channel(1).ID != 1 {
+		t.Errorf("air misassembled: %v", a)
+	}
+}
+
+// TestSingleAirTunerMatchesProgramTuner is the N=1 reduction contract:
+// an air tuner over a one-channel air must behave packet for packet
+// like the classic single-program tuner.
+func TestSingleAirTunerMatchesProgramTuner(t *testing.T) {
+	prog := &Program{Capacity: 64, Slots: make([]Slot, 10)}
+	for i := range prog.Slots {
+		k := KindData
+		if i%3 == 0 {
+			k = KindIndex
+		}
+		prog.Slots[i] = Slot{Kind: k, Owner: int32(i)}
+	}
+	classic := NewTuner(prog, 7, NewLossModel(0.3, 42))
+	airy := NewAirTuner(SingleAir(prog), 0, 7, NewLossModel(0.3, 42))
+	for i := 0; i < 40; i++ {
+		s1, ok1 := classic.Read()
+		s2, ok2 := airy.Read()
+		if s1 != s2 || ok1 != ok2 {
+			t.Fatalf("read %d diverged: (%v,%v) vs (%v,%v)", i, s1, ok1, s2, ok2)
+		}
+		if i%5 == 0 {
+			classic.Doze(3)
+			airy.Doze(3)
+		}
+	}
+	if classic.Stats() != airy.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", classic.Stats(), airy.Stats())
+	}
+	if got := airy.ChannelTuning()[0]; got != airy.Stats().TuningPackets {
+		t.Errorf("channel 0 tuning %d != total %d", got, airy.Stats().TuningPackets)
+	}
+}
+
+func TestSwitchCostAndAccounting(t *testing.T) {
+	a, err := NewAir(5, chanOf(64, 4, KindIndex), chanOf(64, 6, KindData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := NewAirTuner(a, 0, 0, nil)
+	tu.Read() // one packet on channel 0
+	tu.Switch(0)
+	if tu.Stats().Switches != 0 {
+		t.Error("switching to the current channel charged a switch")
+	}
+	now := tu.Now()
+	tu.Switch(1)
+	if tu.Now() != now+5 {
+		t.Errorf("switch advanced clock to %d, want %d", tu.Now(), now+5)
+	}
+	if tu.Channel() != 1 {
+		t.Errorf("on channel %d, want 1", tu.Channel())
+	}
+	// The new channel's cycle length governs positions now.
+	tu.DozeUntilPos(5)
+	s, _ := tu.Read()
+	if s.Owner != 5 || s.Kind != KindData {
+		t.Errorf("read %+v from channel 1, want data slot 5", s)
+	}
+	st := tu.Stats()
+	if st.Switches != 1 || st.TuningPackets != 2 {
+		t.Errorf("stats %+v, want 1 switch, 2 tuning packets", st)
+	}
+	ct := tu.ChannelTuning()
+	if ct[0] != 1 || ct[1] != 1 {
+		t.Errorf("per-channel tuning %v, want [1 1]", ct)
+	}
+
+	// Reset returns to the start channel and clears accounting.
+	tu.Reset(3, nil)
+	if tu.Channel() != 0 || tu.Stats().Switches != 0 || tu.ChannelTuning()[1] != 0 {
+		t.Errorf("reset left state: ch=%d stats=%+v per-channel=%v",
+			tu.Channel(), tu.Stats(), tu.ChannelTuning())
+	}
+}
+
+func TestPerChannelLoss(t *testing.T) {
+	a, err := NewAir(0, chanOf(64, 8, KindIndex), chanOf(64, 8, KindIndex))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := NewAirTuner(a, 0, 0, nil)
+	tu.SetChannelLoss(1, NewLossModel(0.9999999, 7))
+	for i := 0; i < 20; i++ {
+		if _, ok := tu.Read(); !ok {
+			t.Fatal("error-free channel 0 lost a packet")
+		}
+	}
+	tu.Switch(1)
+	lost := 0
+	for i := 0; i < 20; i++ {
+		if _, ok := tu.Read(); !ok {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Error("lossy channel 1 lost nothing")
+	}
+	tu.Reset(0, nil)
+	tu.Switch(1)
+	if _, ok := tu.Read(); !ok {
+		t.Error("Reset did not clear the per-channel loss override")
+	}
+}
+
+func TestSwitchOnSingleProgramTunerPanics(t *testing.T) {
+	prog := &Program{Capacity: 64, Slots: []Slot{{}}}
+	tu := NewTuner(prog, 0, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("Switch on a single-program tuner did not panic")
+		}
+	}()
+	tu.Switch(1)
+}
+
+// TestGilbertElliottDeterministic pins the burst model's behaviour for a
+// fixed seed: identical seeds replay identical loss sequences, and the
+// losses arrive in bursts (a lost packet's successor is lost far more
+// often than the stationary rate).
+func TestGilbertElliottDeterministic(t *testing.T) {
+	seq := func() []bool {
+		l := GilbertForTheta(0.3, 8, 12345)
+		out := make([]bool, 4000)
+		for i := range out {
+			out[i] = l.Lost(KindIndex)
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	losses, afterLoss, lossAfterLoss := 0, 0, 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d differs across identical seeds", i)
+		}
+		if a[i] {
+			losses++
+		}
+		if i > 0 && a[i-1] {
+			afterLoss++
+			if a[i] {
+				lossAfterLoss++
+			}
+		}
+	}
+	rate := float64(losses) / float64(len(a))
+	if rate < 0.2 || rate > 0.4 {
+		t.Errorf("stationary loss rate %.3f far from configured 0.3", rate)
+	}
+	burstiness := float64(lossAfterLoss) / float64(afterLoss)
+	if burstiness < 2*rate {
+		t.Errorf("loss-after-loss rate %.3f not bursty (stationary %.3f)", burstiness, rate)
+	}
+	if th := GilbertForTheta(0.3, 8, 1).Theta; th < 0.299 || th > 0.301 {
+		t.Errorf("stationary Theta %.4f, want 0.3", th)
+	}
+}
+
+// TestGilbertForThetaInfeasiblePanics: a stationary rate the requested
+// burst length cannot average must be refused, not silently lowered.
+func TestGilbertForThetaInfeasiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("infeasible (theta, burst length) pair accepted")
+		}
+	}()
+	GilbertForTheta(0.9, 8, 1) // max feasible theta at burst 8 is 8/9
+}
+
+// TestGilbertElliottDataGating: by default data packets are never
+// corrupted, but the chain still advances so the burst process does not
+// depend on the packet mix.
+func TestGilbertElliottDataGating(t *testing.T) {
+	l := GilbertForTheta(0.5, 4, 9)
+	for i := 0; i < 1000; i++ {
+		if l.Lost(KindData) {
+			t.Fatal("data packet corrupted without AffectsData")
+		}
+	}
+	l.AffectsData = true
+	lost := 0
+	for i := 0; i < 1000; i++ {
+		if l.Lost(KindData) {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Error("AffectsData burst model lost no data packets")
+	}
+}

@@ -108,6 +108,14 @@ type LossModel struct {
 	Theta       float64
 	AffectsData bool
 	rng         *rand.Rand
+
+	// Gilbert-Elliott burst mode (see NewGilbertElliott). When burst is
+	// set, Theta holds the stationary loss rate and losses follow the
+	// two-state chain instead of the i.i.d. draw.
+	burst               bool
+	bad                 bool
+	pGB, pBG            float64
+	thetaGood, thetaBad float64
 }
 
 // NewLossModel returns a loss model with the given error ratio and seed.
@@ -127,6 +135,9 @@ func (l *LossModel) Lost(k Kind) bool {
 	if l == nil || l.Theta == 0 {
 		return false
 	}
+	if l.burst {
+		return l.lostBurst(k)
+	}
 	if k == KindData && !l.AffectsData {
 		return false
 	}
@@ -143,6 +154,9 @@ type Stats struct {
 	// TuningPackets is the number of packets the client received
 	// (including corrupted ones: the radio was on).
 	TuningPackets int64
+	// Switches is the number of channel switches the receiver performed
+	// (always zero on a single-channel broadcast).
+	Switches int64
 	// Capacity is the packet capacity used to convert to bytes.
 	Capacity int
 }
@@ -157,19 +171,32 @@ func (s Stats) String() string {
 	return fmt.Sprintf("latency=%dB tuning=%dB", s.LatencyBytes(), s.TuningBytes())
 }
 
-// Tuner is a mobile client's view of the broadcast channel. It tracks an
-// absolute packet clock (monotonically increasing across cycles) and the
-// metrics of the current query.
+// Tuner is a mobile client's view of the broadcast medium. It tracks an
+// absolute packet clock (monotonically increasing across cycles), the
+// channel it is tuned to, and the metrics of the current query.
+//
+// A tuner constructed with NewTuner listens to a classic single
+// program; one constructed with NewAirTuner listens to one channel of a
+// multi-channel Air and can Switch between channels, paying the air's
+// switch cost in latency. On a single-channel air both behave
+// identically, packet for packet.
 type Tuner struct {
-	prog  *Program
-	loss  *LossModel
-	now   int64
-	start int64
-	read  int64
+	air      *Air
+	prog     *Program // current channel's program
+	loss     *LossModel
+	chLoss   []*LossModel // optional per-channel override of loss
+	ch       int
+	startCh  int
+	now      int64
+	start    int64
+	read     int64
+	switches int64
+	chRead   []int64 // per-channel tuning packets; nil for NewTuner tuners
 }
 
-// NewTuner returns a client tuned in at the given absolute slot. A nil
-// loss model means an error-free channel.
+// NewTuner returns a client tuned in at the given absolute slot of a
+// single-channel broadcast. A nil loss model means an error-free
+// channel.
 func NewTuner(prog *Program, probeSlot int64, loss *LossModel) *Tuner {
 	if prog.Len() == 0 {
 		panic("broadcast: empty program")
@@ -180,12 +207,39 @@ func NewTuner(prog *Program, probeSlot int64, loss *LossModel) *Tuner {
 	return &Tuner{prog: prog, loss: loss, now: probeSlot, start: probeSlot}
 }
 
-// Program returns the broadcast program the tuner listens to.
+// NewAirTuner returns a client tuned to channel ch of the air at the
+// given absolute slot. A nil loss model means error-free channels; use
+// SetChannelLoss for per-channel error processes.
+func NewAirTuner(air *Air, ch int, probeSlot int64, loss *LossModel) *Tuner {
+	if ch < 0 || ch >= len(air.Channels) {
+		panic(fmt.Sprintf("broadcast: channel %d outside air of %d", ch, len(air.Channels)))
+	}
+	if probeSlot < 0 {
+		panic("broadcast: negative probe slot")
+	}
+	return &Tuner{
+		air:     air,
+		prog:    &air.Channels[ch].Program,
+		loss:    loss,
+		ch:      ch,
+		startCh: ch,
+		now:     probeSlot,
+		start:   probeSlot,
+		chRead:  make([]int64, len(air.Channels)),
+	}
+}
+
+// Program returns the program of the channel the tuner listens to.
 func (t *Tuner) Program() *Program { return t.prog }
 
-// Reset re-tunes the client at the given absolute slot with fresh
-// metrics, reusing the tuner: after Reset the tuner is indistinguishable
-// from one newly constructed with NewTuner(prog, probeSlot, loss).
+// Channel returns the channel the tuner is currently tuned to (0 for a
+// single-program tuner).
+func (t *Tuner) Channel() int { return t.ch }
+
+// Reset re-tunes the client at the given absolute slot (and, for air
+// tuners, its initial channel) with fresh metrics, reusing the tuner:
+// after Reset the tuner is indistinguishable from a newly constructed
+// one.
 func (t *Tuner) Reset(probeSlot int64, loss *LossModel) {
 	if probeSlot < 0 {
 		panic("broadcast: negative probe slot")
@@ -194,6 +248,46 @@ func (t *Tuner) Reset(probeSlot int64, loss *LossModel) {
 	t.now = probeSlot
 	t.start = probeSlot
 	t.read = 0
+	t.switches = 0
+	if t.air != nil {
+		t.ch = t.startCh
+		t.prog = &t.air.Channels[t.ch].Program
+		clear(t.chRead)
+		clear(t.chLoss)
+	}
+}
+
+// SetChannelLoss installs a per-channel loss model for channel ch,
+// overriding the tuner-wide model on that channel. Only air tuners
+// support per-channel loss. Reset clears all overrides.
+func (t *Tuner) SetChannelLoss(ch int, loss *LossModel) {
+	if t.air == nil {
+		panic("broadcast: per-channel loss on a single-program tuner")
+	}
+	if t.chLoss == nil {
+		t.chLoss = make([]*LossModel, len(t.air.Channels))
+	}
+	t.chLoss[ch] = loss
+}
+
+// Switch retunes the receiver to channel ch. Switching to the current
+// channel is free; any other channel costs the air's SwitchSlots slots
+// of latency (the radio is retuning, so no packet is received and no
+// tuning cost accrues).
+func (t *Tuner) Switch(ch int) {
+	if ch == t.ch {
+		return
+	}
+	if t.air == nil {
+		panic("broadcast: Switch on a single-program tuner")
+	}
+	if ch < 0 || ch >= len(t.air.Channels) {
+		panic(fmt.Sprintf("broadcast: channel %d outside air of %d", ch, len(t.air.Channels)))
+	}
+	t.ch = ch
+	t.prog = &t.air.Channels[ch].Program
+	t.now += int64(t.air.SwitchSlots)
+	t.switches++
 }
 
 // Now returns the absolute packet clock.
@@ -203,15 +297,23 @@ func (t *Tuner) Now() int64 { return t.now }
 // about to be broadcast, which Read would receive.
 func (t *Tuner) Pos() int { return int(t.now % int64(t.prog.Len())) }
 
-// Read receives the packet at the current slot. It advances the clock by
-// one slot and accounts one packet of tuning time. The returned slot
-// describes the packet; ok is false when the packet was corrupted by the
-// loss model (its content must not be used, but the cost is still paid).
+// Read receives the packet at the current slot of the current channel.
+// It advances the clock by one slot and accounts one packet of tuning
+// time. The returned slot describes the packet; ok is false when the
+// packet was corrupted by the loss model (its content must not be used,
+// but the cost is still paid).
 func (t *Tuner) Read() (s Slot, ok bool) {
 	s = t.prog.At(t.Pos())
 	t.now++
 	t.read++
-	return s, !t.loss.Lost(s.Kind)
+	loss := t.loss
+	if t.chRead != nil {
+		t.chRead[t.ch]++
+		if t.chLoss != nil && t.chLoss[t.ch] != nil {
+			loss = t.chLoss[t.ch]
+		}
+	}
+	return s, !loss.Lost(s.Kind)
 }
 
 // Doze advances the clock by n slots without receiving anything (the
@@ -245,15 +347,23 @@ func (t *Tuner) DozeUntilPos(pos int) {
 }
 
 // Stats returns the metrics accumulated so far. Latency counts the slots
-// from the probe up to (and including) the last slot consumed.
+// from the probe up to (and including) the last slot consumed, including
+// slots spent retuning between channels.
 func (t *Tuner) Stats() Stats {
 	return Stats{
 		ProbeSlot:      t.start,
 		LatencyPackets: t.now - t.start,
 		TuningPackets:  t.read,
+		Switches:       t.switches,
 		Capacity:       t.prog.Capacity,
 	}
 }
+
+// ChannelTuning returns the tuning packets received per channel (nil
+// for single-program tuners, whose whole tuning is on channel 0). The
+// returned slice is the tuner's accounting state: callers must not
+// modify it, and Reset clears it.
+func (t *Tuner) ChannelTuning() []int64 { return t.chRead }
 
 // NextOccurrence returns the earliest absolute slot >= now whose position
 // within a cycle of length cycleLen equals pos.

@@ -1,0 +1,102 @@
+package broadcast
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// NewGilbertElliott returns a burst-error loss model: the classic
+// Gilbert-Elliott two-state Markov channel. The channel alternates
+// between a good and a bad state; each received packet is lost with
+// probability thetaGood in the good state and thetaBad in the bad
+// state, and after each packet the channel moves good->bad with
+// probability pGB and bad->good with probability pBG. Runs of the bad
+// state produce the loss bursts i.i.d. models cannot: the mean burst
+// length is 1/pBG packets.
+//
+// Like the i.i.d. model, the chain advances per *received* packet (the
+// paper's error model is per-packet), and by default only index packets
+// are corrupted; set AffectsData on the returned model to extend
+// corruption to data packets.
+//
+// The model starts in the good state. Theta on the returned model is
+// set to the stationary loss rate
+//
+//	pBG/(pGB+pBG)*thetaGood + pGB/(pGB+pBG)*thetaBad
+//
+// so burst and i.i.d. models with equal Theta are comparable at equal
+// average loss.
+func NewGilbertElliott(pGB, pBG, thetaGood, thetaBad float64, seed int64) *LossModel {
+	for _, p := range []float64{pGB, pBG} {
+		if p <= 0 || p > 1 {
+			panic(fmt.Sprintf("broadcast: transition probability %v outside (0,1]", p))
+		}
+	}
+	for _, th := range []float64{thetaGood, thetaBad} {
+		if th < 0 || th > 1 {
+			panic(fmt.Sprintf("broadcast: state loss ratio %v outside [0,1]", th))
+		}
+	}
+	piBad := pGB / (pGB + pBG)
+	stationary := (1-piBad)*thetaGood + piBad*thetaBad
+	if stationary >= 1 {
+		panic(fmt.Sprintf("broadcast: stationary loss rate %v leaves no intact packets", stationary))
+	}
+	return &LossModel{
+		Theta:     stationary,
+		rng:       rand.New(rand.NewPCG(uint64(seed), 0xda3e39cb94b95bdb)),
+		burst:     true,
+		pGB:       pGB,
+		pBG:       pBG,
+		thetaGood: thetaGood,
+		thetaBad:  thetaBad,
+	}
+}
+
+// GilbertForTheta returns a Gilbert-Elliott model tuned to a stationary
+// loss rate of theta with mean bad-state burst length burstLen (in
+// packets): the bad state loses every packet, the good state none. This
+// is the burst counterpart of NewLossModel(theta, seed) used by the
+// Table 1 re-run under burst errors.
+func GilbertForTheta(theta float64, burstLen float64, seed int64) *LossModel {
+	if theta <= 0 || theta >= 1 {
+		panic(fmt.Sprintf("broadcast: theta %v outside (0,1)", theta))
+	}
+	if burstLen < 1 {
+		panic(fmt.Sprintf("broadcast: burst length %v below one packet", burstLen))
+	}
+	pBG := 1 / burstLen
+	// Stationary bad fraction pGB/(pGB+pBG) must equal theta.
+	pGB := theta * pBG / (1 - theta)
+	if pGB > 1 {
+		// theta/(1-theta) > pBG: bursts of the requested mean length
+		// cannot be sparse enough to average theta. Refuse rather than
+		// silently simulate a lower loss rate than the label claims.
+		panic(fmt.Sprintf("broadcast: theta %v infeasible with mean burst length %v (max %v)",
+			theta, burstLen, burstLen/(burstLen+1)))
+	}
+	return NewGilbertElliott(pGB, pBG, 0, 1, seed)
+}
+
+// lostBurst advances the Gilbert-Elliott chain by one received packet
+// and reports whether that packet was lost. The state transition is
+// consumed even for packet kinds the model does not corrupt, so the
+// burst process is a property of the channel, not of the packet mix.
+func (l *LossModel) lostBurst(k Kind) bool {
+	theta := l.thetaGood
+	if l.bad {
+		theta = l.thetaBad
+	}
+	lost := theta > 0 && l.rng.Float64() < theta
+	if l.bad {
+		if l.rng.Float64() < l.pBG {
+			l.bad = false
+		}
+	} else if l.rng.Float64() < l.pGB {
+		l.bad = true
+	}
+	if k == KindData && !l.AffectsData {
+		return false
+	}
+	return lost
+}

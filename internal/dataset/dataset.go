@@ -22,6 +22,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"dsi/internal/hilbert"
 	"dsi/internal/spatial"
@@ -36,10 +37,24 @@ type Object struct {
 }
 
 // Dataset is a set of objects on a Hilbert grid, sorted by HC value.
+//
+// Index builders derive the same intermediate products from a dataset
+// regardless of the packet capacity they are built for — the STR
+// packing's x-sorted object order, the B+-tree's key extraction. Those
+// are cached here (lazily, thread-safe), so an experiment sweeping many
+// capacities over one dataset pays for them once instead of once per
+// figure point.
 type Dataset struct {
 	Curve   hilbert.Curve
 	Objects []Object
 	Name    string
+
+	xOrderOnce sync.Once
+	xOrder     []int
+
+	hcKeysOnce sync.Once
+	hcKeys     []uint64
+	hcVals     []int
 }
 
 // N returns the number of objects.
@@ -241,6 +256,43 @@ func (d *Dataset) KthDist(q spatial.Point, k int) float64 {
 
 // ByID returns the object with the given ID (its HC rank).
 func (d *Dataset) ByID(id int) Object { return d.Objects[id] }
+
+// XOrder returns the object IDs sorted by x coordinate — the first
+// pass of STR packing, which is the same for every packet capacity the
+// tree might be built at. The permutation is computed exactly as an STR
+// leaf sort over the objects in ID order would compute it (same
+// algorithm, same comparator), so trees built from the cached order are
+// identical to trees that sort from scratch. Computed once per dataset;
+// the returned slice is shared and must not be modified.
+func (d *Dataset) XOrder() []int {
+	d.xOrderOnce.Do(func() {
+		idx := make([]int, len(d.Objects))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(i, j int) bool {
+			return float64(d.Objects[idx[i]].P.X) < float64(d.Objects[idx[j]].P.X)
+		})
+		d.xOrder = idx
+	})
+	return d.xOrder
+}
+
+// HCKeys returns the objects' HC values and IDs in broadcast (HC)
+// order — the key extraction every capacity's B+-tree build starts
+// from. Computed once per dataset; the returned slices are shared and
+// must not be modified.
+func (d *Dataset) HCKeys() (keys []uint64, vals []int) {
+	d.hcKeysOnce.Do(func() {
+		d.hcKeys = make([]uint64, len(d.Objects))
+		d.hcVals = make([]int, len(d.Objects))
+		for i, o := range d.Objects {
+			d.hcKeys[i] = o.HC
+			d.hcVals[i] = o.ID
+		}
+	})
+	return d.hcKeys, d.hcVals
+}
 
 // FindHC returns the index of the first object with HC >= v, which is
 // len(Objects) when v exceeds every object's HC value.

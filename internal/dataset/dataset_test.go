@@ -218,3 +218,48 @@ func TestKNNBruteMatchesKthDistQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestXOrderMatchesSTRLeafSort: the cached x-order must be exactly the
+// permutation an STR leaf sort (sort.Slice by center x over objects in
+// ID order) produces, and repeated calls must share one computation.
+func TestXOrderMatchesSTRLeafSort(t *testing.T) {
+	ds := Uniform(500, 8, 99)
+	type item struct {
+		x   float64
+		ref int
+	}
+	items := make([]item, ds.N())
+	for i, o := range ds.Objects {
+		items[i] = item{x: float64(o.P.X), ref: o.ID}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].x < items[j].x })
+
+	got := ds.XOrder()
+	if len(got) != len(items) {
+		t.Fatalf("XOrder has %d entries, want %d", len(got), len(items))
+	}
+	for i := range items {
+		if got[i] != items[i].ref {
+			t.Fatalf("XOrder[%d] = %d, STR leaf sort says %d", i, got[i], items[i].ref)
+		}
+	}
+	if again := ds.XOrder(); &again[0] != &got[0] {
+		t.Error("XOrder recomputed instead of cached")
+	}
+}
+
+// TestHCKeysCached: key extraction is in HC (ID) order and computed
+// once.
+func TestHCKeysCached(t *testing.T) {
+	ds := Uniform(200, 7, 5)
+	keys, vals := ds.HCKeys()
+	for i, o := range ds.Objects {
+		if keys[i] != o.HC || vals[i] != o.ID {
+			t.Fatalf("entry %d: (%d,%d) != object (%d,%d)", i, keys[i], vals[i], o.HC, o.ID)
+		}
+	}
+	k2, v2 := ds.HCKeys()
+	if &k2[0] != &keys[0] || &v2[0] != &vals[0] {
+		t.Error("HCKeys recomputed instead of cached")
+	}
+}

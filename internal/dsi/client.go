@@ -1,6 +1,7 @@
 package dsi
 
 import (
+	"math"
 	"sort"
 
 	"dsi/internal/broadcast"
@@ -328,6 +329,103 @@ func (kb *knowledge) nextUsefulMarked(nowPos int, targets []hilbert.Range, marks
 	return (nowPos + bestDelta) % nf, true
 }
 
+// nextVisitTimed is the split-layout counterpart of nextUsefulMarked:
+// it returns the unresolved frame whose visit can begin soonest in
+// actual broadcast time — switch costs, per-channel phases and cycle
+// lengths included — rather than soonest in cycle-position order.
+// Position order equals time order on one channel, but a split layout
+// runs channels of very different periods in parallel: index tables
+// recur a data-frame-length factor faster than data frames, so the
+// timed chooser batches table reads on the index channel whenever data
+// is not imminent (consecutive gap tables are consecutive slots there)
+// and harvests data frames in the order their slots actually come by.
+// Greedily taking the earliest-available visit interleaves navigation
+// into data-wait slack the way the single-channel client's inline
+// tables do. Marks semantics are as in nextUsefulMarked.
+func (c *Client) nextVisitTimed(targets []hilbert.Range, marks []bool) (pos int, ok bool) {
+	kb := c.kb
+	m := c.x.Cfg.Segments
+	now := c.tu.Now()
+	cur := c.tu.Channel()
+	sw := int64(c.lay.Air.SwitchSlots)
+	bestT := int64(math.MaxInt64)
+	best := -1
+	for ri, r := range targets {
+		for j := 0; j < m; j++ {
+			if marks != nil && marks[ri*m+j] {
+				continue
+			}
+			found := false
+			base := kb.x.segStart[j]
+			kb.rangeState(j, r.Lo, r.Hi, func(gapLo, gapHi int) bool {
+				found = true
+				var t int64
+				var p int
+				if gapLo == gapHi && kb.frameKnown(base+gapLo) {
+					p = j + m*gapLo
+					t = c.arrivalData(p, now, cur, sw)
+				} else {
+					t, p = c.arrivalTables(j, m, gapLo, gapHi, now, cur, sw)
+				}
+				if t < bestT {
+					bestT, best = t, p
+				}
+				return true
+			})
+			if !found && marks != nil {
+				marks[ri*m+j] = true
+			}
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// arrivalData returns the slots from now until a visit of position p's
+// data can begin: the channel switch (if any) plus the doze to the
+// frame's data slot, exactly what gotoData would pay.
+func (c *Client) arrivalData(p int, now int64, cur int, sw int64) int64 {
+	ch := int(c.lay.dataCh[p])
+	var t int64
+	if ch != cur {
+		t = sw
+	}
+	l := int64(c.lay.ChanLen(ch))
+	wait := (int64(c.lay.dataSlot[p]) - (now + t)) % l
+	if wait < 0 {
+		wait += l
+	}
+	return t + wait
+}
+
+// arrivalTables returns the earliest table-read start among the unknown
+// frames at within-segment indices [iLo, iHi] of segment j (positions
+// j + m*i), all of whose tables sit in position order on the index
+// channel, plus the position achieving it.
+func (c *Client) arrivalTables(j, m, iLo, iHi int, now int64, cur int, sw int64) (int64, int) {
+	var t int64
+	if cur != c.lay.StartCh {
+		t = sw
+	}
+	l := int64(c.lay.ChanLen(c.lay.StartCh))
+	phase := (now + t) % l
+	tp := int64(c.x.TablePackets)
+	posLo, posHi := int64(j+m*iLo), int64(j+m*iHi)
+	// First span position whose table starts at or after the phase.
+	cand := posLo
+	if need := (phase + tp - 1) / tp; need > posLo {
+		k := (need - int64(j) + int64(m) - 1) / int64(m)
+		cand = int64(j) + k*int64(m)
+	}
+	if cand <= posHi {
+		return t + cand*tp - phase, int(cand)
+	}
+	// Every span table already passed this cycle: wait for the wrap.
+	return t + posLo*tp + l - phase, int(posLo)
+}
+
 // arrivalDelta returns the smallest delta in [1, nf] such that
 // nowPos+delta is a position of the form j + m*i with i in [iLo, iHi].
 func arrivalDelta(nowPos, j, m, iLo, iHi, nf int) int {
@@ -358,9 +456,10 @@ func arrivalDelta(nowPos, j, m, iLo, iHi, nf int) int {
 // simulations reuse one client per worker instead of allocating
 // dataset-sized state per query.
 type Client struct {
-	x  *Index
-	tu *broadcast.Tuner
-	kb *knowledge
+	x   *Index
+	lay *Layout
+	tu  *broadcast.Tuner
+	kb  *knowledge
 
 	// lastTable is the most recently received intact index table
 	// (pointing into the index's precomputed tables), used by the
@@ -376,14 +475,61 @@ type Client struct {
 	scr scratch
 }
 
-// NewClient returns a client that tunes into the broadcast at the given
-// absolute slot. A nil loss model means an error-free channel.
+// NewClient returns a client that tunes into the single-channel
+// broadcast at the given absolute slot. A nil loss model means an
+// error-free channel.
 func NewClient(x *Index, probeSlot int64, loss *broadcast.LossModel) *Client {
 	return &Client{
-		x:  x,
-		tu: broadcast.NewTuner(x.Prog, probeSlot, loss),
-		kb: newKnowledge(x),
+		x:   x,
+		lay: x.single,
+		tu:  broadcast.NewTuner(x.Prog, probeSlot, loss),
+		kb:  newKnowledge(x),
 	}
+}
+
+// NewMultiClient returns a client executing queries over a
+// multi-channel layout: it tunes into the layout's start channel at the
+// given absolute slot, follows (channel, slot) navigation pointers, and
+// pays the air's switch cost whenever retrieval moves across channels.
+// On a one-channel layout it behaves bit-identically to NewClient.
+func NewMultiClient(lay *Layout, probeSlot int64, loss *broadcast.LossModel) *Client {
+	return &Client{
+		x:   lay.X,
+		lay: lay,
+		tu:  broadcast.NewAirTuner(lay.Air, lay.StartCh, probeSlot, loss),
+		kb:  newKnowledge(lay.X),
+	}
+}
+
+// Layout returns the channel layout the client executes over.
+func (c *Client) Layout() *Layout { return c.lay }
+
+// gotoTable moves the receiver to the start of the index table of the
+// frame at position p, switching channels when the layout placed the
+// table elsewhere.
+func (c *Client) gotoTable(p int) {
+	c.tu.Switch(int(c.lay.tableCh[p]))
+	c.tu.DozeUntilPos(int(c.lay.tableSlot[p]))
+}
+
+// gotoData moves the receiver to the (o*ObjPackets + skip)-th object
+// packet of the frame at position p, switching channels as needed.
+func (c *Client) gotoData(p, o, skip int) {
+	ch := int(c.lay.dataCh[p])
+	c.tu.Switch(ch)
+	c.tu.DozeUntilPos((int(c.lay.dataSlot[p]) + o*c.x.ObjPackets + skip) % c.lay.ChanLen(ch))
+}
+
+// gotoFrameEntry moves the receiver to where a tableless visit of the
+// frame at position p begins: the frame start on its channel. Split
+// layouts go straight to the frame's data channel — data is all it
+// carries for this frame.
+func (c *Client) gotoFrameEntry(p int) {
+	if c.lay.Sched == SchedSplit && c.lay.Channels() > 1 {
+		c.gotoData(p, 0, 0)
+		return
+	}
+	c.gotoTable(p)
 }
 
 // Reset forgets everything the client learned and re-tunes it at the
@@ -399,9 +545,10 @@ func (c *Client) Reset(probeSlot int64, loss *broadcast.LossModel) {
 // Stats returns the metrics accumulated so far.
 func (c *Client) Stats() broadcast.Stats { return c.tu.Stats() }
 
-// probe performs the initial probe: receive one intact packet to
-// synchronize with the broadcast, then doze to the next frame start.
-// Returns the cycle position of that frame.
+// probe performs the initial probe: receive one intact packet on the
+// start channel to synchronize with the broadcast, then doze to the
+// next index-table start on that channel. Returns the cycle position of
+// that table's frame.
 func (c *Client) probe() int {
 	for {
 		_, ok := c.tu.Read()
@@ -410,13 +557,9 @@ func (c *Client) probe() int {
 			break
 		}
 	}
-	slot := c.tu.Pos()
-	framePos := slot / c.x.FramePackets
-	if slot%c.x.FramePackets != 0 {
-		framePos = (framePos + 1) % c.x.NF
-		c.tu.DozeUntilPos(c.x.FrameStartSlot(framePos))
-	}
-	return framePos
+	p := c.lay.probePos(c.tu.Pos())
+	c.tu.DozeUntilPos(int(c.lay.tableSlot[p]))
+	return p
 }
 
 // readTable receives the index table of the frame at position p (the
@@ -447,10 +590,18 @@ func (c *Client) readTable(p int) bool {
 // read its index table: yes when the frame's own minimum HC is unknown
 // or the next same-segment frame (needed to bound this frame's content)
 // is unknown. Pure data re-fetches skip the table.
+//
+// On a split layout the table lives on another channel, so a visit to a
+// known frame never crosses over for the neighbour's bound: the frame
+// resolves from its own object headers instead, and unknown frames are
+// handled wholesale by the index sweep.
 func (c *Client) wantTable(p int) bool {
 	f := c.x.PosToFrame(p)
 	if !c.kb.frameKnown(f) {
 		return true
+	}
+	if c.lay.splitData() {
+		return false
 	}
 	j := c.x.FrameSegment(f)
 	if f+1 < c.x.segStart[j+1] {
@@ -476,26 +627,46 @@ func maxHi(targets []hilbert.Range) uint64 {
 // visit moves the client to the frame at position p, reads its index
 // table when useful, and retrieves the frame's objects selected by the
 // targets. targetsFn is consulted after the table is absorbed, so a kNN
-// client shrinks its search space before deciding what to download.
+// client shrinks its search space before deciding what to download. On
+// a multi-channel layout the visit follows the layout's (channel, slot)
+// placements: table on the index-bearing channel, objects on the
+// frame's data channel.
 //
 // When the table is corrupted (or skipped) and the frame's minimum HC is
 // unknown, the client falls back to reading the first object's header
 // packet — DSI's loss resilience: the broadcast content itself reveals
 // the frame's HC range, so navigation resumes at the very next frame.
 func (c *Client) visit(p int, targetsFn func() []hilbert.Range) {
-	c.tu.DozeUntilPos(c.x.FrameStartSlot(p))
 	f := c.x.PosToFrame(p)
 	headerConsumed := -1
-	if c.wantTable(p) && !c.readTable(p) && !c.kb.frameKnown(f) {
-		// Header fallback: one data packet reveals the first object's
-		// HC value (every object's payload starts with its coordinate).
-		first, _ := c.x.FrameObjects(f)
-		_, ok := c.tu.Read()
-		c.emit(Event{Op: OpHeaderRead, Pos: p, Frame: f, Arg: first, OK: ok})
-		if ok {
-			c.kb.addFrameFact(f, c.x.DS.Objects[first].HC)
-			headerConsumed = 0
+	if c.wantTable(p) {
+		c.gotoTable(p)
+		ok := c.readTable(p)
+		if c.lay.splitData() {
+			// A split-layout table visit ends with the table: the
+			// frame's data lives on another channel, and the timed
+			// chooser will schedule its retrieval at the slot it
+			// actually arrives instead of crossing channels here and
+			// stalling until it comes around.
+			return
 		}
+		if !ok && !c.kb.frameKnown(f) {
+			// Header fallback: one data packet reveals the first object's
+			// HC value (every object's payload starts with its coordinate).
+			// Split layouts skip it — their index channel rebroadcasts the
+			// lost table a data-frame-length factor sooner than the data
+			// channel reaches the frame's first header.
+			first, _ := c.x.FrameObjects(f)
+			c.gotoData(p, 0, 0)
+			_, okHdr := c.tu.Read()
+			c.emit(Event{Op: OpHeaderRead, Pos: p, Frame: f, Arg: first, OK: okHdr})
+			if okHdr {
+				c.kb.addFrameFact(f, c.x.DS.Objects[first].HC)
+				headerConsumed = 0
+			}
+		}
+	} else {
+		c.gotoFrameEntry(p)
 	}
 	c.fetchData(p, targetsFn(), headerConsumed)
 }
@@ -533,7 +704,7 @@ func (c *Client) fetchData(p int, targets []hilbert.Range, headerConsumed int) {
 			return
 		}
 		// Read the header packet to learn this object's HC value.
-		c.tu.DozeUntilPos(c.x.ObjectSlot(p, t))
+		c.gotoData(p, t, 0)
 		_, ok := c.tu.Read()
 		c.emit(Event{Op: OpHeaderRead, Pos: p, Frame: f, Arg: id, OK: ok})
 		if !ok {
@@ -553,7 +724,7 @@ func (c *Client) fetchData(p int, targets []hilbert.Range, headerConsumed int) {
 // header). The object counts as retrieved only if every packet arrives
 // intact.
 func (c *Client) readObject(p, o, id, skip int) {
-	c.tu.DozeUntilPos((c.x.ObjectSlot(p, o) + skip) % c.x.Prog.Len())
+	c.gotoData(p, o, skip)
 	ok := true
 	for i := skip; i < c.x.ObjPackets; i++ {
 		if _, good := c.tu.Read(); !good {
@@ -596,7 +767,17 @@ func (c *Client) retrieveAll(startPos int, targetsFn func() []hilbert.Range, hoo
 		}
 		// nextUseful reporting nothing doubles as the termination test:
 		// the query is done exactly when no unresolved frame remains.
-		next, ok := c.kb.nextUsefulMarked(p, targets, c.scr.marks)
+		// Split layouts choose by actual arrival time across channels;
+		// on one channel, position order is time order, and the
+		// positional chooser is kept bit-identical to the classic
+		// engine.
+		var next int
+		var ok bool
+		if c.lay.splitData() {
+			next, ok = c.nextVisitTimed(targets, c.scr.marks)
+		} else {
+			next, ok = c.kb.nextUsefulMarked(p, targets, c.scr.marks)
+		}
 		if !ok {
 			return
 		}

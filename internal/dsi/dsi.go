@@ -160,6 +160,16 @@ type Index struct {
 	// in HC order (frame f covers objects [f*NO, min((f+1)*NO, N))).
 	minHC []uint64
 
+	// cellX[f], cellY[f] are the grid coordinates of the cell with HC
+	// value minHC[f], decoded once at Build so distance computations
+	// against frames (the aggressive kNN hop rule) need no per-hop
+	// Hilbert decoding.
+	cellX, cellY []uint32
+
+	// single is the canonical one-channel layout over Prog; clients
+	// constructed with NewClient run on it.
+	single *Layout
+
 	// segStart[j] is the first frame id of broadcast segment j;
 	// segStart[m] = NF is a sentinel. Splits[j] = minHC[segStart[j]].
 	segStart []int
@@ -253,8 +263,11 @@ func Build(ds *dataset.Dataset, cfg Config) (*Index, error) {
 	x.FramePackets = x.TablePackets + x.NO*x.ObjPackets
 
 	x.minHC = make([]uint64, x.NF)
+	x.cellX = make([]uint32, x.NF)
+	x.cellY = make([]uint32, x.NF)
 	for f := 0; f < x.NF; f++ {
 		x.minHC[f] = ds.Objects[f*x.NO].HC
+		x.cellX[f], x.cellY[f] = ds.Curve.Decode(x.minHC[f])
 	}
 
 	m := cfg.Segments
@@ -295,8 +308,16 @@ func Build(ds *dataset.Dataset, cfg Config) (*Index, error) {
 			dist *= x.Base
 		}
 	}
+	x.single = singleLayout(x)
 	return x, nil
 }
+
+// SingleLayout returns the canonical one-channel layout over Prog.
+func (x *Index) SingleLayout() *Layout { return x.single }
+
+// FrameCell returns the grid coordinates of the cell holding frame f's
+// minimum HC value, precomputed at Build.
+func (x *Index) FrameCell(f int) (cx, cy uint32) { return x.cellX[f], x.cellY[f] }
 
 // entriesToCover returns the smallest E with base^E >= nf, at least 1:
 // an index table with E entries (pointing 1, r, ..., r^(E-1) frames

@@ -34,7 +34,7 @@ func (c *Client) EEF(hc uint64) (frame int, exists bool, stats broadcast.Stats) 
 			// containing the data object".
 			f, _ := c.kb.coveringFrame(hc)
 			if pos := c.x.FrameToPos(f); pos != p {
-				c.tu.DozeUntilPos(c.x.FrameStartSlot(pos))
+				c.gotoFrameEntry(pos)
 			}
 			id := c.x.DS.FindHC(hc)
 			exists = id < c.x.DS.N() && c.x.DS.Objects[id].HC == hc && c.kb.retrieved(id)

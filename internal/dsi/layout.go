@@ -1,0 +1,397 @@
+package dsi
+
+import (
+	"fmt"
+
+	"dsi/internal/broadcast"
+)
+
+// Scheduler selects how a DSI broadcast is laid out across the channels
+// of a multi-channel air.
+type Scheduler int
+
+const (
+	// SchedStripe stripes whole frames (index table + objects) round-
+	// robin across the channels: the frame at cycle position p airs on
+	// channel p mod N. Every channel is self-describing (it carries
+	// tables), and the per-channel cycle shrinks by a factor of N.
+	SchedStripe Scheduler = iota
+	// SchedSplit separates index from data: channel 0 carries only the
+	// index tables (one per cycle position, in position order), and the
+	// remaining N-1 channels carry the object payloads of the frames,
+	// striped round-robin. Tables recur a frame-length factor faster
+	// and the data cycle shrinks by a factor of N-1, at the price of a
+	// channel switch between navigation and retrieval.
+	SchedSplit
+)
+
+func (s Scheduler) String() string {
+	switch s {
+	case SchedStripe:
+		return "stripe"
+	case SchedSplit:
+		return "split"
+	default:
+		return fmt.Sprintf("scheduler(%d)", int(s))
+	}
+}
+
+// MultiConfig describes a multi-channel layout of a DSI broadcast.
+type MultiConfig struct {
+	// Channels is the number of parallel broadcast channels (>= 1).
+	Channels int
+	// Scheduler selects the placement policy. With Channels == 1 both
+	// schedulers degenerate to the classic single-channel program.
+	Scheduler Scheduler
+	// SwitchSlots is the receiver's channel-switch cost in packet slots.
+	SwitchSlots int
+}
+
+// Layout places a built DSI broadcast onto the channels of an air: for
+// every cycle position it records where the frame's index table and
+// where its object payload are transmitted, as (channel, slot) pairs.
+// Navigation pointers in a multi-channel broadcast are exactly such
+// pairs; the client's timing arithmetic goes through the layout and
+// nothing else, so a layout is the one seam between query processing
+// and channel scheduling.
+//
+// A layout is immutable after construction and safe for concurrent use.
+type Layout struct {
+	X     *Index
+	Air   *broadcast.Air
+	Cfg   MultiConfig
+	Sched Scheduler
+
+	// StartCh is the channel clients tune to initially (the channel
+	// carrying index tables: 0 under every scheduler here).
+	StartCh int
+
+	// DataPackets is the size of a frame's object payload in slots.
+	DataPackets int
+
+	// Per cycle position: channel and per-channel cycle slot of the
+	// frame's index table and of its first object packet.
+	tableCh   []int32
+	tableSlot []int32
+	dataCh    []int32
+	dataSlot  []int32
+
+	// dataStart[ch] is the first cycle position whose data channel ch
+	// carries (split layouts; the block placement keeps positions
+	// contiguous per channel).
+	dataStart []int32
+}
+
+// singleLayout builds the degenerate one-channel layout over the
+// index's classic program: table and data placements are the slot
+// arithmetic the single-channel client has always used.
+func singleLayout(x *Index) *Layout {
+	l := &Layout{
+		X:           x,
+		Air:         broadcast.SingleAir(x.Prog),
+		Cfg:         MultiConfig{Channels: 1},
+		Sched:       SchedStripe,
+		DataPackets: x.NO * x.ObjPackets,
+	}
+	l.place(x.NF)
+	for pos := 0; pos < x.NF; pos++ {
+		l.tableCh[pos] = 0
+		l.tableSlot[pos] = int32(pos * x.FramePackets)
+		l.dataCh[pos] = 0
+		l.dataSlot[pos] = int32(pos*x.FramePackets + x.TablePackets)
+	}
+	return l
+}
+
+func (l *Layout) place(nf int) {
+	buf := make([]int32, 4*nf)
+	l.tableCh, l.tableSlot = buf[0:nf], buf[nf:2*nf]
+	l.dataCh, l.dataSlot = buf[2*nf:3*nf], buf[3*nf:4*nf]
+}
+
+// NewLayout places the index onto mc.Channels parallel channels with
+// the configured scheduler. Channels == 1 yields a layout whose single
+// channel is the index's own program: clients behave bit-identically to
+// the classic single-channel engine.
+func NewLayout(x *Index, mc MultiConfig) (*Layout, error) {
+	if mc.Channels < 1 {
+		return nil, fmt.Errorf("dsi: channel count %d must be >= 1", mc.Channels)
+	}
+	if mc.SwitchSlots < 0 {
+		return nil, fmt.Errorf("dsi: negative switch cost %d", mc.SwitchSlots)
+	}
+	if mc.Channels == 1 {
+		l := singleLayout(x)
+		l.Cfg = mc
+		return l, nil
+	}
+	switch mc.Scheduler {
+	case SchedStripe:
+		return stripeLayout(x, mc)
+	case SchedSplit:
+		return splitLayout(x, mc)
+	default:
+		return nil, fmt.Errorf("dsi: unknown scheduler %v", mc.Scheduler)
+	}
+}
+
+// frameSlots appends the slots of frame f (table packets then object
+// packets, or data only) to dst.
+func frameSlots(x *Index, f int, table, data bool, dst []broadcast.Slot) []broadcast.Slot {
+	if table {
+		for p := 0; p < x.TablePackets; p++ {
+			dst = append(dst, broadcast.Slot{Kind: broadcast.KindIndex, Owner: int32(f), Part: int32(p)})
+		}
+	}
+	if data {
+		for p := 0; p < x.NO*x.ObjPackets; p++ {
+			dst = append(dst, broadcast.Slot{Kind: broadcast.KindData, Owner: int32(f), Part: int32(x.TablePackets + p)})
+		}
+	}
+	return dst
+}
+
+// stripeLayout places whole frames round-robin: position p airs intact
+// (table followed by objects) on channel p mod N.
+func stripeLayout(x *Index, mc MultiConfig) (*Layout, error) {
+	n := mc.Channels
+	if x.NF < n {
+		return nil, fmt.Errorf("dsi: %d frames cannot stripe over %d channels", x.NF, n)
+	}
+	l := &Layout{
+		X:           x,
+		Cfg:         mc,
+		Sched:       SchedStripe,
+		DataPackets: x.NO * x.ObjPackets,
+	}
+	l.place(x.NF)
+	chans := make([]*broadcast.Channel, n)
+	for c := range chans {
+		chans[c] = &broadcast.Channel{Program: broadcast.Program{Capacity: x.Cfg.Capacity}}
+	}
+	for pos := 0; pos < x.NF; pos++ {
+		c := pos % n
+		prog := &chans[c].Program
+		l.tableCh[pos] = int32(c)
+		l.tableSlot[pos] = int32(len(prog.Slots))
+		l.dataCh[pos] = int32(c)
+		l.dataSlot[pos] = int32(len(prog.Slots) + x.TablePackets)
+		prog.Slots = frameSlots(x, x.PosToFrame(pos), true, true, prog.Slots)
+	}
+	air, err := broadcast.NewAir(mc.SwitchSlots, chans...)
+	if err != nil {
+		return nil, err
+	}
+	l.Air = air
+	return l, nil
+}
+
+// splitLayout separates index from data: channel 0 carries every index
+// table in cycle-position order; channels 1..N-1 carry the frames'
+// object payloads in contiguous position blocks (channel 1+c holds
+// positions [c*B, (c+1)*B)). Blocks — rather than round-robin — keep
+// consecutive positions on one channel in consecutive slots, so a
+// client harvesting a range of frames stays tuned instead of finding
+// that the next frame just aired in parallel on a sibling channel.
+func splitLayout(x *Index, mc MultiConfig) (*Layout, error) {
+	k := mc.Channels - 1 // data channels
+	if x.NF < k {
+		return nil, fmt.Errorf("dsi: %d frames cannot be blocked over %d data channels", x.NF, k)
+	}
+	l := &Layout{
+		X:           x,
+		Cfg:         mc,
+		Sched:       SchedSplit,
+		DataPackets: x.NO * x.ObjPackets,
+	}
+	l.place(x.NF)
+	chans := make([]*broadcast.Channel, mc.Channels)
+	for c := range chans {
+		chans[c] = &broadcast.Channel{Program: broadcast.Program{Capacity: x.Cfg.Capacity}}
+	}
+	// Balanced blocks: the first NF mod k data channels carry one frame
+	// more, so every data channel is non-empty.
+	dataChOf := make([]int32, x.NF)
+	l.dataStart = make([]int32, mc.Channels)
+	base, extra := x.NF/k, x.NF%k
+	pos := 0
+	for c := 0; c < k; c++ {
+		size := base
+		if c < extra {
+			size++
+		}
+		l.dataStart[1+c] = int32(pos)
+		for i := 0; i < size; i++ {
+			dataChOf[pos] = int32(1 + c)
+			pos++
+		}
+	}
+	for pos := 0; pos < x.NF; pos++ {
+		f := x.PosToFrame(pos)
+		l.tableCh[pos] = 0
+		l.tableSlot[pos] = int32(pos * x.TablePackets)
+		chans[0].Slots = frameSlots(x, f, true, false, chans[0].Slots)
+
+		c := dataChOf[pos]
+		prog := &chans[c].Program
+		l.dataCh[pos] = c
+		l.dataSlot[pos] = int32(len(prog.Slots))
+		prog.Slots = frameSlots(x, f, false, true, prog.Slots)
+	}
+	air, err := broadcast.NewAir(mc.SwitchSlots, chans...)
+	if err != nil {
+		return nil, err
+	}
+	l.Air = air
+	return l, nil
+}
+
+// splitData reports whether the layout carries index tables on a
+// channel of their own (the client then navigates with the index sweep
+// instead of per-frame table reads).
+func (l *Layout) splitData() bool { return l.Sched == SchedSplit && l.Channels() > 1 }
+
+// TablePlace returns the channel and per-channel cycle slot at which
+// the index table of the frame at cycle position pos is broadcast.
+func (l *Layout) TablePlace(pos int) (ch, slot int) {
+	return int(l.tableCh[pos]), int(l.tableSlot[pos])
+}
+
+// DataPlace returns the channel and per-channel cycle slot at which the
+// first object packet of the frame at cycle position pos is broadcast.
+func (l *Layout) DataPlace(pos int) (ch, slot int) {
+	return int(l.dataCh[pos]), int(l.dataSlot[pos])
+}
+
+// Channels returns the number of parallel channels.
+func (l *Layout) Channels() int { return l.Air.NumChannels() }
+
+// ChanLen returns the cycle length of channel ch in slots.
+func (l *Layout) ChanLen(ch int) int { return l.Air.Channels[ch].Len() }
+
+// FramesOn returns the number of frames whose content (data frames; on
+// the index channel of a split layout, index tables) channel ch carries
+// per cycle — the range a per-channel frame pointer must stay within.
+func (l *Layout) FramesOn(ch int) int {
+	if l.splitData() {
+		if ch == l.StartCh {
+			return l.X.NF
+		}
+		return l.ChanLen(ch) / l.DataPackets
+	}
+	return l.ChanLen(ch) / l.X.FramePackets
+}
+
+// DataFrameIndex returns the per-channel frame index of the frame at
+// cycle position pos on its data channel: its data starts at slot
+// index*DataPackets (plus the table packets on layouts that keep the
+// table inline).
+func (l *Layout) DataFrameIndex(pos int) (ch, index int) {
+	ch = int(l.dataCh[pos])
+	if l.splitData() {
+		return ch, int(l.dataSlot[pos]) / l.DataPackets
+	}
+	return ch, int(l.tableSlot[pos]) / l.X.FramePackets
+}
+
+// SlotTable inverts the table placement: it returns the cycle position
+// and packet part of the index table occupying per-channel slot `slot`
+// of channel ch, with ok false when that slot carries no table packet.
+func (l *Layout) SlotTable(ch, slot int) (pos, part int, ok bool) {
+	fp := l.X.FramePackets
+	switch {
+	case l.Channels() == 1:
+		pos, part = slot/fp, slot%fp
+		return pos, part, part < l.X.TablePackets
+	case l.splitData():
+		if ch != l.StartCh {
+			return 0, 0, false
+		}
+		return slot / l.X.TablePackets, slot % l.X.TablePackets, true
+	default: // stripe: channel ch carries positions ch, ch+N, ch+2N, ...
+		j, within := slot/fp, slot%fp
+		return j*l.Cfg.Channels + ch, within, within < l.X.TablePackets
+	}
+}
+
+// SlotData inverts the data placement: it returns the cycle position
+// and the packet offset within the frame's object payload for
+// per-channel slot `slot` of channel ch, with ok false when that slot
+// carries no data packet.
+func (l *Layout) SlotData(ch, slot int) (pos, off int, ok bool) {
+	fp := l.X.FramePackets
+	tp := l.X.TablePackets
+	switch {
+	case l.Channels() == 1:
+		pos, off = slot/fp, slot%fp-tp
+		return pos, off, off >= 0
+	case l.splitData():
+		if ch == l.StartCh {
+			return 0, 0, false
+		}
+		return int(l.dataStart[ch]) + slot/l.DataPackets, slot % l.DataPackets, true
+	default:
+		j, within := slot/fp, slot%fp
+		return j*l.Cfg.Channels + ch, within - tp, within >= tp
+	}
+}
+
+// ProbeCycle returns the range experiment harnesses draw probe slots
+// from: the total slot count across channels. Channels share one
+// absolute clock, so a probe uniform over this range makes every
+// channel's phase (in particular the long data channels of a split
+// layout) effectively uniform at tune-in; drawing over just the start
+// channel's short cycle would pin the data channels near phase zero
+// and bias every measured wait. At one channel this is exactly the
+// program length, so single-channel experiments are unchanged.
+func (l *Layout) ProbeCycle() int {
+	total := 0
+	for _, ch := range l.Air.Channels {
+		total += ch.Len()
+	}
+	return total
+}
+
+// CycleBytes returns the total bytes broadcast per full cycle across
+// all channels.
+func (l *Layout) CycleBytes() int64 {
+	var total int64
+	for _, ch := range l.Air.Channels {
+		total += ch.CycleBytes()
+	}
+	return total
+}
+
+// probePos maps the position the tuner synchronized at (channel
+// l.StartCh, slot within that channel's cycle) to the cycle position of
+// the next frame whose table starts at or after that slot, which is
+// where a freshly probed client resumes.
+func (l *Layout) probePos(slot int) int {
+	switch {
+	case l.Channels() == 1:
+		framePos := slot / l.X.FramePackets
+		if slot%l.X.FramePackets != 0 {
+			framePos = (framePos + 1) % l.X.NF
+		}
+		return framePos
+	case l.Sched == SchedSplit:
+		p := slot / l.X.TablePackets
+		if slot%l.X.TablePackets != 0 {
+			p++
+		}
+		return p % l.X.NF
+	default: // stripe, start channel 0 carries positions 0, N, 2N, ...
+		fp := l.X.FramePackets
+		j := slot / fp
+		if slot%fp != 0 {
+			j++
+		}
+		n := l.Cfg.Channels
+		onStart := (l.X.NF + n - 1) / n // frames on channel 0
+		return (j % onStart) * n
+	}
+}
+
+func (l *Layout) String() string {
+	return fmt.Sprintf("Layout{%v N=%d switch=%d over %v}", l.Sched, l.Channels(), l.Cfg.SwitchSlots, l.X)
+}

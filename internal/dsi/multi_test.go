@@ -1,0 +1,284 @@
+package dsi
+
+import (
+	"math/rand"
+	"testing"
+
+	"dsi/internal/broadcast"
+	"dsi/internal/dataset"
+	"dsi/internal/spatial"
+)
+
+// TestSingleChannelLayoutBitIdentical is the N=1 reduction contract of
+// the channel layer: a multi-channel client over a one-channel layout
+// (either scheduler) must answer every query with exactly the same
+// results and exactly the same cost metrics as the classic
+// single-channel client, loss or no loss.
+func TestSingleChannelLayoutBitIdentical(t *testing.T) {
+	for _, sched := range []Scheduler{SchedStripe, SchedSplit} {
+		for ci, cfg := range []Config{{}, {Segments: 2}, {Capacity: 512, Segments: 2}} {
+			ds := dataset.Uniform(300, 7, int64(400+ci))
+			x, err := Build(ds, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lay, err := NewLayout(x, MultiConfig{Channels: 1, Scheduler: sched, SwitchSlots: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(7*ci + int(sched))))
+			side := int(ds.Curve.Side())
+			for trial := 0; trial < 15; trial++ {
+				probe := rng.Int63n(int64(x.Prog.Len()))
+				var theta float64
+				if trial%3 == 2 {
+					theta = 0.4
+				}
+				lossSeed := rng.Int63()
+				mkLoss := func() *broadcast.LossModel {
+					if theta == 0 {
+						return nil
+					}
+					return broadcast.NewLossModel(theta, lossSeed)
+				}
+				single := NewClient(x, probe, mkLoss())
+				multi := NewMultiClient(lay, probe, mkLoss())
+				if trial%2 == 0 {
+					w := randWindow(rng, side)
+					wantIDs, wantSt := single.Window(w)
+					gotIDs, gotSt := multi.Window(w)
+					if !equalInts(gotIDs, wantIDs) || gotSt != wantSt {
+						t.Fatalf("%v cfg %d trial %d: window (%v,%+v) != single (%v,%+v)",
+							sched, ci, trial, gotIDs, gotSt, wantIDs, wantSt)
+					}
+				} else {
+					q := spatial.Point{X: uint32(rng.Intn(side)), Y: uint32(rng.Intn(side))}
+					k := 1 + rng.Intn(8)
+					wantIDs, wantSt := single.KNN(q, k, Conservative)
+					gotIDs, gotSt := multi.KNN(q, k, Conservative)
+					if !equalInts(gotIDs, wantIDs) || gotSt != wantSt {
+						t.Fatalf("%v cfg %d trial %d: kNN (%v,%+v) != single (%v,%+v)",
+							sched, ci, trial, gotIDs, gotSt, wantIDs, wantSt)
+					}
+				}
+			}
+		}
+	}
+}
+
+// multiConfigs spans the scheduler x channel-count x segment grid the
+// correctness tests sweep.
+func multiConfigs() []MultiConfig {
+	return []MultiConfig{
+		{Channels: 2, Scheduler: SchedStripe, SwitchSlots: 2},
+		{Channels: 3, Scheduler: SchedStripe},
+		{Channels: 2, Scheduler: SchedSplit, SwitchSlots: 2},
+		{Channels: 4, Scheduler: SchedSplit, SwitchSlots: 1},
+	}
+}
+
+// TestMultiChannelCorrectness cross-checks every multi-channel query
+// against brute force: the channel layer must never change what a query
+// answers, only what it costs.
+func TestMultiChannelCorrectness(t *testing.T) {
+	for ci, cfg := range []Config{{}, {Segments: 2}, {Capacity: 256}} {
+		ds := dataset.Uniform(350, 7, int64(900+ci))
+		x, err := Build(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mc := range multiConfigs() {
+			lay, err := NewLayout(x, mc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(50 + ci)))
+			side := int(ds.Curve.Side())
+			c := NewMultiClient(lay, 0, nil)
+			for trial := 0; trial < 12; trial++ {
+				probe := rng.Int63n(int64(lay.ProbeCycle()))
+				var loss *broadcast.LossModel
+				if trial%4 == 3 {
+					loss = broadcast.NewLossModel(0.3, rng.Int63())
+				}
+				c.Reset(probe, loss)
+				if trial%2 == 0 {
+					w := randWindow(rng, side)
+					got, st := c.Window(w)
+					want := ds.WindowBrute(w)
+					if !equalInts(got, want) {
+						t.Fatalf("%v x%d cfg %d: window %v got %v want %v",
+							mc.Scheduler, mc.Channels, ci, w, got, want)
+					}
+					if st.LatencyPackets <= 0 {
+						t.Fatalf("no latency accounted: %+v", st)
+					}
+				} else {
+					q := spatial.Point{X: uint32(rng.Intn(side)), Y: uint32(rng.Intn(side))}
+					k := 1 + rng.Intn(8)
+					got, _ := c.KNN(q, k, Conservative)
+					want, _ := ds.KNNBrute(q, k)
+					if !sameDist2(ds, q, got, want) {
+						t.Fatalf("%v x%d cfg %d: kNN at %v k=%d got %v want %v",
+							mc.Scheduler, mc.Channels, ci, q, k, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMultiClientResetMatchesFresh extends the client-reuse contract to
+// multi-channel layouts.
+func TestMultiClientResetMatchesFresh(t *testing.T) {
+	ds := dataset.Uniform(300, 7, 61)
+	x, err := Build(ds, Config{Segments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mc := range multiConfigs() {
+		lay, err := NewLayout(x, mc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(31))
+		side := int(ds.Curve.Side())
+		reused := NewMultiClient(lay, 0, nil)
+		for trial := 0; trial < 10; trial++ {
+			probe := rng.Int63n(int64(lay.ProbeCycle()))
+			lossSeed := rng.Int63()
+			mkLoss := func() *broadcast.LossModel {
+				if trial%3 != 1 {
+					return nil
+				}
+				return broadcast.NewLossModel(0.35, lossSeed)
+			}
+			// Dirty the reused client, then replay the trial query.
+			reused.Reset(rng.Int63n(int64(lay.ProbeCycle())), nil)
+			reused.KNN(spatial.Point{X: uint32(rng.Intn(side)), Y: uint32(rng.Intn(side))}, 2, Conservative)
+
+			w := randWindow(rng, side)
+			fresh := NewMultiClient(lay, probe, mkLoss())
+			wantIDs, wantSt := fresh.Window(w)
+			reused.Reset(probe, mkLoss())
+			gotIDs, gotSt := reused.Window(w)
+			if !equalInts(gotIDs, wantIDs) || gotSt != wantSt {
+				t.Fatalf("%v x%d trial %d: reused (%v,%+v) != fresh (%v,%+v)",
+					mc.Scheduler, mc.Channels, trial, gotIDs, gotSt, wantIDs, wantSt)
+			}
+		}
+	}
+}
+
+// TestSplitLayoutSwitchesAndImproves: on a split layout a window query
+// must actually switch channels, pay the configured switch cost, and —
+// the point of separating index from data — finish no later on average
+// than the single-channel broadcast of the same index.
+func TestSplitLayoutSwitchesAndImproves(t *testing.T) {
+	ds := dataset.Uniform(600, 7, 77)
+	x, err := Build(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := NewLayout(x, MultiConfig{Channels: 3, Scheduler: SchedSplit, SwitchSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	side := int(ds.Curve.Side())
+	var singleLat, multiLat, switches int64
+	single := NewClient(x, 0, nil)
+	multi := NewMultiClient(lay, 0, nil)
+	for trial := 0; trial < 40; trial++ {
+		w := randWindow(rng, side)
+		u := rng.Float64()
+		single.Reset(int64(u*float64(x.Prog.Len())), nil)
+		_, st1 := single.Window(w)
+		multi.Reset(int64(u*float64(lay.ProbeCycle())), nil)
+		got, st2 := multi.Window(w)
+		if !equalInts(got, ds.WindowBrute(w)) {
+			t.Fatalf("split window wrong at trial %d", trial)
+		}
+		singleLat += st1.LatencyPackets
+		multiLat += st2.LatencyPackets
+		switches += st2.Switches
+	}
+	if switches == 0 {
+		t.Error("split layout never switched channels")
+	}
+	if multiLat >= singleLat {
+		t.Errorf("split layout latency %d packets >= single-channel %d", multiLat, singleLat)
+	}
+}
+
+// TestLayoutValidation covers layout construction error paths.
+func TestLayoutValidation(t *testing.T) {
+	ds := dataset.Uniform(40, 6, 3)
+	x, err := Build(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLayout(x, MultiConfig{Channels: 0}); err == nil {
+		t.Error("0 channels accepted")
+	}
+	if _, err := NewLayout(x, MultiConfig{Channels: 2, SwitchSlots: -1}); err == nil {
+		t.Error("negative switch cost accepted")
+	}
+	if _, err := NewLayout(x, MultiConfig{Channels: x.NF + 1, Scheduler: SchedStripe}); err == nil {
+		t.Error("more channels than frames accepted (stripe)")
+	}
+	if _, err := NewLayout(x, MultiConfig{Channels: x.NF + 2, Scheduler: SchedSplit}); err == nil {
+		t.Error("more data channels than frames accepted (split)")
+	}
+	if _, err := NewLayout(x, MultiConfig{Channels: 2, Scheduler: Scheduler(99)}); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+// TestLayoutPlacementInvariants checks that every frame's table and
+// data placements point at the right slots of the right channels.
+func TestLayoutPlacementInvariants(t *testing.T) {
+	ds := dataset.Uniform(123, 7, 9)
+	x, err := Build(ds, Config{Segments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mc := range multiConfigs() {
+		lay, err := NewLayout(x, mc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, ch := range lay.Air.Channels {
+			total += ch.Len()
+		}
+		if total != x.Prog.Len() {
+			t.Errorf("%v x%d: %d total slots, want %d", mc.Scheduler, mc.Channels, total, x.Prog.Len())
+		}
+		for pos := 0; pos < x.NF; pos++ {
+			f := x.PosToFrame(pos)
+			tc, ts := lay.TablePlace(pos)
+			s := lay.Air.Channels[tc].At(ts)
+			if s.Kind != broadcast.KindIndex || s.Owner != int32(f) || s.Part != 0 {
+				t.Fatalf("%v x%d pos %d: table placed at %+v", mc.Scheduler, mc.Channels, pos, s)
+			}
+			dc, dsl := lay.DataPlace(pos)
+			d := lay.Air.Channels[dc].At(dsl)
+			if d.Kind != broadcast.KindData || d.Owner != int32(f) || d.Part != int32(x.TablePackets) {
+				t.Fatalf("%v x%d pos %d: data placed at %+v", mc.Scheduler, mc.Channels, pos, d)
+			}
+		}
+	}
+}
+
+func sameDist2(ds *dataset.Dataset, q spatial.Point, a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var da, db float64
+	for i := range a {
+		da += ds.ByID(a[i]).P.Dist2(q)
+		db += ds.ByID(b[i]).P.Dist2(q)
+	}
+	return da == db
+}

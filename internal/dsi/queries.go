@@ -281,10 +281,10 @@ func (c *Client) KNNAppend(dst []int, q spatial.Point, k int, strat Strategy) ([
 			if jumps >= maxJumps || c.lastTable == nil || c.lastTable.Pos != p {
 				return 0, false
 			}
-			bestD := c.hcDist2(q, c.lastTable.OwnHC)
+			bestD := c.frameDist2(q, c.x.PosToFrame(p))
 			best := -1
 			for _, e := range c.lastTable.Entries {
-				if d := c.hcDist2(q, e.MinHC); d < bestD {
+				if d := c.frameDist2(q, c.x.PosToFrame(e.TargetPos)); d < bestD {
 					bestD = d
 					best = e.TargetPos
 				}
@@ -321,10 +321,23 @@ func (c *Client) KNNAppend(dst []int, q spatial.Point, k int, strat Strategy) ([
 }
 
 // hcDist2 returns the squared distance from q to the cell with the
-// given HC value.
+// given HC value, decoding the HC value on the spot. The aggressive hop
+// rule used to call this per table entry per hop; it now uses
+// frameDist2, which reads the coordinates precomputed at Build (see
+// BenchmarkFrameDist2 for the difference). hcDist2 remains for values
+// that are not frame minima.
 func (c *Client) hcDist2(q spatial.Point, hc uint64) float64 {
 	x, y := c.x.DS.Curve.Decode(hc)
 	return q.Dist2(spatial.Point{X: x, Y: y})
+}
+
+// frameDist2 returns the squared distance from q to the cell of frame
+// f's minimum HC value, using the per-frame coordinates precomputed at
+// Build. For table entries (whose MinHC values are exactly the frame
+// minima) it is equivalent to hcDist2(q, minHC[f]) without the per-hop
+// Hilbert decode.
+func (c *Client) frameDist2(q spatial.Point, f int) float64 {
+	return q.Dist2(spatial.Point{X: c.x.cellX[f], Y: c.x.cellY[f]})
 }
 
 // bitsFor returns ceil(log2(n)) for n >= 1.

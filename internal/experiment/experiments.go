@@ -276,13 +276,35 @@ func Fig12(p Params) Result {
 // ratios theta in {0.2, 0.5, 0.7}, for window queries (ratio 0.1) and
 // 10NN queries, at 64-byte packets.
 func Table1(p Params) Result {
+	return table1Run(p, 0, "table1",
+		"Performance deterioration in error-prone environments (UNIFORM)")
+}
+
+// Table1GEBurstLen is the mean burst length (packets) of the
+// Gilbert-Elliott re-run of Table 1.
+const Table1GEBurstLen = 8
+
+// Table1GE re-runs Table 1 under the Gilbert-Elliott burst-error
+// channel at the same stationary loss rates: losses arrive in runs of
+// Table1GEBurstLen packets on average instead of independently, the
+// channel model the bursty-fading literature argues is the realistic
+// one.
+func Table1GE(p Params) Result {
+	return table1Run(p, Table1GEBurstLen, "table1ge",
+		fmt.Sprintf("Deterioration under Gilbert-Elliott burst errors (mean burst %d packets, UNIFORM)",
+			Table1GEBurstLen))
+}
+
+// table1Run is the shared Table 1 harness; burstLen 0 is the paper's
+// i.i.d. error process.
+func table1Run(p Params, burstLen float64, id, title string) Result {
 	p = p.withDefaults()
 	ds := p.Dataset()
 	thetas := []float64{0.2, 0.5, 0.7}
 
 	t := Table{
-		ID:    "table1",
-		Title: "Performance deterioration in error-prone environments (UNIFORM)",
+		ID:    id,
+		Title: title,
 		Header: []string{"Index", "theta",
 			"Win Latency", "Win Tuning", "10NN Latency", "10NN Tuning"},
 	}
@@ -301,6 +323,7 @@ func Table1(p Params) Result {
 		for _, theta := range thetas {
 			wl := p.workload(ds)
 			wl.Theta = theta
+			wl.BurstLen = burstLen
 			w := wl.RunWindow(sys, DefaultWinSideRatio)
 			k := wl.RunKNN(sys, 10)
 			pct := func(now, was float64) string {
@@ -502,11 +525,13 @@ var Registry = map[string]func(Params) Result{
 	"fig11":     Fig11,
 	"fig12":     Fig12,
 	"table1":    Table1,
+	"table1ge":  Table1GE,
 	"real":      RealDataset,
 	"sizing":    AblationSizing,
 	"reorgm":    AblationReorgM,
 	"base":      AblationIndexBase,
 	"costmodel": CostModel,
+	"channels":  Channels,
 }
 
 // Names returns the registered experiment names, sorted.

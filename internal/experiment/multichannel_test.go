@@ -1,0 +1,171 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"dsi/internal/dsi"
+)
+
+// chanParams keeps multi-channel experiment tests fast while leaving
+// enough frames for the widest channel sweep.
+var chanParams = Params{N: 400, Order: 7, Seed: 11, Queries: 10, Verify: true}
+
+// TestMultiDSIMatchesSingleAtOneChannel: the N=1 point of the channel
+// sweep must be the existing single-channel engine, metric for metric,
+// under both schedulers.
+func TestMultiDSIMatchesSingleAtOneChannel(t *testing.T) {
+	p := chanParams
+	ds := p.Dataset()
+	wl := p.workload(ds)
+	cfg := dsi.Config{Capacity: 64, Segments: 2}
+	single := mustSys(NewDSI(ds, cfg, dsi.Conservative, ""))
+	wantW := wl.RunWindow(single, DefaultWinSideRatio)
+	wantK := wl.RunKNN(single, 10)
+	for _, sched := range []dsi.Scheduler{dsi.SchedSplit, dsi.SchedStripe} {
+		sys := mustSys(NewMultiDSI(ds, cfg,
+			dsi.MultiConfig{Channels: 1, Scheduler: sched, SwitchSlots: DefaultSwitchSlots},
+			dsi.Conservative, ""))
+		if got := wl.RunWindow(sys, DefaultWinSideRatio); got != wantW {
+			t.Errorf("%v x1 window %v != single-channel %v", sched, got, wantW)
+		}
+		if got := wl.RunKNN(sys, 10); got != wantK {
+			t.Errorf("%v x1 10NN %v != single-channel %v", sched, got, wantK)
+		}
+	}
+}
+
+// TestSplitLatencyMonotone is the acceptance criterion of the channel
+// layer: separating index from data channels must improve access
+// latency monotonically with the channel count, for window and 10NN
+// queries alike — and the whole sweep must be bit-identical at every
+// parallelism level.
+func TestSplitLatencyMonotone(t *testing.T) {
+	p := chanParams
+	ds := p.Dataset()
+	defer SetParallelism(Parallelism())
+
+	type point struct{ win, knn Metrics }
+	run := func() []point {
+		wl := p.workload(ds)
+		out := make([]point, 0, len(ChannelCounts))
+		for _, n := range ChannelCounts {
+			sys := mustSys(NewMultiDSI(ds, dsi.Config{Capacity: 64, Segments: 2},
+				dsi.MultiConfig{Channels: n, Scheduler: dsi.SchedSplit, SwitchSlots: DefaultSwitchSlots},
+				dsi.Conservative, ""))
+			out = append(out, point{
+				win: wl.RunWindow(sys, DefaultWinSideRatio),
+				knn: wl.RunKNN(sys, 10),
+			})
+		}
+		return out
+	}
+
+	SetParallelism(1)
+	seq := run()
+	SetParallelism(4)
+	par := run()
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("channel sweep differs across parallelism levels:\nseq: %v\npar: %v", seq, par)
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i].win.LatencyBytes >= seq[i-1].win.LatencyBytes {
+			t.Errorf("window latency not monotone: %d channels %.0fB >= %d channels %.0fB",
+				ChannelCounts[i], seq[i].win.LatencyBytes, ChannelCounts[i-1], seq[i-1].win.LatencyBytes)
+		}
+		if seq[i].knn.LatencyBytes >= seq[i-1].knn.LatencyBytes {
+			t.Errorf("10NN latency not monotone: %d channels %.0fB >= %d channels %.0fB",
+				ChannelCounts[i], seq[i].knn.LatencyBytes, ChannelCounts[i-1], seq[i-1].knn.LatencyBytes)
+		}
+	}
+}
+
+// TestChannelsExperimentStructure runs the registered experiment
+// end-to-end (verified queries) and checks its shape.
+func TestChannelsExperimentStructure(t *testing.T) {
+	res := Channels(chanParams)
+	if len(res.Figures) != 4 {
+		t.Fatalf("channels produced %d figures", len(res.Figures))
+	}
+	for _, f := range res.Figures {
+		if len(f.X) != len(ChannelCounts) || len(f.Series) != 2 {
+			t.Errorf("%s: %d xs, %d series", f.ID, len(f.X), len(f.Series))
+		}
+		for _, s := range f.Series {
+			if len(s.Y) != len(ChannelCounts) {
+				t.Errorf("%s series %s: %d points", f.ID, s.Name, len(s.Y))
+			}
+		}
+	}
+}
+
+// TestTable1GE runs the burst-error Table 1 re-run on a small dataset:
+// every deterioration entry must parse as a percentage, and the burst
+// workload must still verify against brute force.
+func TestTable1GE(t *testing.T) {
+	res := Table1GE(chanParams)
+	if len(res.Tables) != 1 {
+		t.Fatalf("table1ge produced %d tables", len(res.Tables))
+	}
+	tb := res.Tables[0]
+	if len(tb.Rows) != 9 {
+		t.Fatalf("table1ge has %d rows, want 9", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		for _, cell := range row[2:] {
+			if len(cell) == 0 || cell[len(cell)-1] != '%' {
+				t.Errorf("cell %q is not a percentage", cell)
+			}
+		}
+	}
+}
+
+// TestMultiSessionReuse: the multi-channel system's pooled sessions
+// must give the same metrics as stateless clients.
+func TestMultiSessionReuse(t *testing.T) {
+	p := chanParams
+	ds := p.Dataset()
+	wl := p.workload(ds)
+	sys := mustSys(NewMultiDSI(ds, dsi.Config{Capacity: 64, Segments: 2},
+		dsi.MultiConfig{Channels: 3, Scheduler: dsi.SchedSplit, SwitchSlots: DefaultSwitchSlots},
+		dsi.Conservative, ""))
+	first := wl.RunWindow(sys, DefaultWinSideRatio)
+	for i := 0; i < 3; i++ {
+		if got := wl.RunWindow(sys, DefaultWinSideRatio); got != first {
+			t.Fatalf("run %d: %v != first %v", i, got, first)
+		}
+	}
+}
+
+// BenchmarkMultiChannel is the CI smoke benchmark of the channel layer:
+// one verified window+kNN workload over a 4-channel split layout.
+func BenchmarkMultiChannel(b *testing.B) {
+	p := Params{N: 400, Order: 7, Seed: 11, Queries: 10, Verify: true}
+	ds := p.Dataset()
+	wl := p.workload(ds)
+	sys, err := NewMultiDSI(ds, dsi.Config{Capacity: 64, Segments: 2},
+		dsi.MultiConfig{Channels: 4, Scheduler: dsi.SchedSplit, SwitchSlots: DefaultSwitchSlots},
+		dsi.Conservative, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wl.RunWindow(sys, DefaultWinSideRatio)
+		wl.RunKNN(sys, 10)
+	}
+}
+
+// BenchmarkBaselineBuilds measures building the three systems across
+// the capacity sweep — the cost the dataset-level build caches (STR
+// x-order, B+-tree key extraction) amortize across figure points.
+func BenchmarkBaselineBuilds(b *testing.B) {
+	p := Params{N: 2000, Order: 8, Seed: 3}
+	ds := p.Dataset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range CapacitiesThree {
+			threeSystems(ds, c, 1024)
+		}
+	}
+}

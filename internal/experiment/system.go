@@ -193,13 +193,6 @@ func (s *HCISystem) KNN(q spatial.Point, k int, probe int64, loss *broadcast.Los
 
 func (s *HCISystem) CycleLen() int { return s.B.Lay.Prog.Len() }
 
-// dsiVariant builds the DSI configuration the paper evaluates by
-// default after section 4.1: the two-segment reorganized broadcast with
-// the conservative strategy.
-func dsiReorganized(ds *dataset.Dataset, capacity int) (*DSISystem, error) {
-	return NewDSI(ds, dsi.Config{Capacity: capacity, Segments: 2}, dsi.Conservative, "DSI")
-}
-
 func mustSys(s System, err error) System {
 	if err != nil {
 		panic(fmt.Sprintf("experiment: building system: %v", err))

@@ -22,6 +22,10 @@ type Workload struct {
 	Verify bool
 	// Theta enables the link-error model.
 	Theta float64
+	// BurstLen, when positive, replaces the i.i.d. error process with
+	// the Gilbert-Elliott burst model at the same stationary loss rate
+	// Theta and this mean burst length in packets.
+	BurstLen float64
 }
 
 // Metrics are per-query averages in bytes, the unit the paper reports.
@@ -92,6 +96,9 @@ func (wl *Workload) genKNN() []knnQuery {
 func (wl *Workload) loss(seed int64) *broadcast.LossModel {
 	if wl.Theta == 0 {
 		return nil
+	}
+	if wl.BurstLen > 0 {
+		return broadcast.GilbertForTheta(wl.Theta, wl.BurstLen, seed)
 	}
 	return broadcast.NewLossModel(wl.Theta, seed)
 }

@@ -75,8 +75,13 @@ func Build(ds *dataset.Dataset, fanout int) (*Tree, error) {
 		mbr spatial.Rect
 		ref int // object ID at leaf build, node ID above
 	}
+	// The leaf level starts from the dataset's cached x-sorted order:
+	// that first STR pass is capacity-independent, so sharing it across
+	// builds at different capacities costs nothing and changes nothing
+	// (the cache applies the identical sort).
 	items := make([]item, ds.N())
-	for i, o := range ds.Objects {
+	for i, id := range ds.XOrder() {
+		o := ds.Objects[id]
 		items[i] = item{mbr: spatial.Rect{MinX: o.P.X, MinY: o.P.Y, MaxX: o.P.X, MaxY: o.P.Y}, ref: o.ID}
 	}
 
@@ -87,11 +92,13 @@ func Build(ds *dataset.Dataset, fanout int) (*Tree, error) {
 		nGroups := (len(items) + fanout - 1) / fanout
 		slabs := int(math.Ceil(math.Sqrt(float64(nGroups))))
 		perSlab := slabs * fanout
-		sort.Slice(items, func(i, j int) bool {
-			xi, _ := items[i].mbr.Center()
-			xj, _ := items[j].mbr.Center()
-			return xi < xj
-		})
+		if level > 0 {
+			sort.Slice(items, func(i, j int) bool {
+				xi, _ := items[i].mbr.Center()
+				xj, _ := items[j].mbr.Center()
+				return xi < xj
+			})
+		}
 		var nodes []*Node
 		for s := 0; s < len(items); s += perSlab {
 			end := s + perSlab

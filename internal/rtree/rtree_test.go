@@ -187,3 +187,37 @@ func TestSingleObjectTree(t *testing.T) {
 		t.Errorf("window on single-object tree: %v", got)
 	}
 }
+
+// TestBuildSharesDatasetCacheSafely: builds at different capacities on
+// one dataset (sharing its cached x-order) must equal builds on fresh
+// datasets of the same seed, node for node.
+func TestBuildSharesDatasetCacheSafely(t *testing.T) {
+	shared := dataset.Uniform(400, 8, 77)
+	for _, capacity := range []int{64, 128, 512} {
+		fresh := dataset.Uniform(400, 8, 77)
+		a, err := BuildForCapacity(shared, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := BuildForCapacity(fresh, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Height() != b.Height() || len(a.Levels[0]) != len(b.Levels[0]) {
+			t.Fatalf("capacity %d: shapes differ", capacity)
+		}
+		for li := range a.Levels {
+			for ni := range a.Levels[li] {
+				na, nb := a.Levels[li][ni], b.Levels[li][ni]
+				if na.MBR != nb.MBR || len(na.Objects) != len(nb.Objects) || len(na.Children) != len(nb.Children) {
+					t.Fatalf("capacity %d: level %d node %d differs", capacity, li, ni)
+				}
+				for i := range na.Objects {
+					if na.Objects[i] != nb.Objects[i] {
+						t.Fatalf("capacity %d: level %d node %d object %d differs", capacity, li, ni, i)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Multi-channel transmission: the station side of the channel
+// abstraction layer. A MultiTransmitter materializes one byte stream
+// per channel of a dsi.Layout — index tables in the multi-channel wire
+// format (whose pointers carry channel ids), object payloads on their
+// data channels — and ScanMulti proves the streams are self-describing
+// by rebuilding the complete broadcast metadata from one cycle of every
+// channel.
+
+package station
+
+import (
+	"fmt"
+
+	"dsi/internal/dsi"
+	"dsi/internal/wire"
+)
+
+// slotRef describes what one per-channel slot carries.
+type slotRef struct {
+	pos  int  // cycle position of the owning frame
+	obj  int  // object index within the frame (data slots)
+	part int  // packet index within the table or object
+	data bool // data packet (as opposed to index table packet)
+}
+
+// MultiTransmitter materializes the per-channel byte streams of a
+// multi-channel DSI broadcast.
+type MultiTransmitter struct {
+	Lay    *dsi.Layout
+	tables [][]byte    // per cycle position, multi-channel wire format
+	plan   [][]slotRef // per channel, per slot
+}
+
+// NewMultiTransmitter prepares the table encodings and the per-channel
+// slot plans for the layout.
+func NewMultiTransmitter(lay *dsi.Layout) (*MultiTransmitter, error) {
+	tables, err := wire.EncodeLayoutTables(lay)
+	if err != nil {
+		return nil, err
+	}
+	x := lay.X
+	plan := make([][]slotRef, lay.Channels())
+	for ch := range plan {
+		plan[ch] = make([]slotRef, lay.ChanLen(ch))
+	}
+	for pos := 0; pos < x.NF; pos++ {
+		tc, ts := lay.TablePlace(pos)
+		for p := 0; p < x.TablePackets; p++ {
+			plan[tc][ts+p] = slotRef{pos: pos, part: p}
+		}
+		dc, dsl := lay.DataPlace(pos)
+		_, num := x.FrameObjects(x.PosToFrame(pos))
+		for o := 0; o < x.NO; o++ {
+			for p := 0; p < x.ObjPackets; p++ {
+				ref := slotRef{pos: pos, obj: o, part: p, data: true}
+				if o >= num {
+					ref.obj = -1 // padding slot of a partial last frame
+				}
+				plan[dc][dsl+o*x.ObjPackets+p] = ref
+			}
+		}
+	}
+	return &MultiTransmitter{Lay: lay, tables: tables, plan: plan}, nil
+}
+
+// Packet returns the packet broadcast at the given per-channel cycle
+// slot of channel ch.
+func (t *MultiTransmitter) Packet(ch, slot int) Packet {
+	x := t.Lay.X
+	slot %= len(t.plan[ch])
+	ref := t.plan[ch][slot]
+	p := Packet{Ch: uint8(ch), Slot: uint32(slot)}
+
+	if !ref.data {
+		p.Flags = flagIndex
+		tab := t.tables[ref.pos]
+		from := ref.part * x.Cfg.Capacity
+		if from < len(tab) {
+			to := min(from+x.Cfg.Capacity, len(tab))
+			p.Payload = tab[from:to]
+		}
+		return p
+	}
+	if ref.obj < 0 {
+		return p // padding slot of a partial last frame
+	}
+	first, _ := x.FrameObjects(x.PosToFrame(ref.pos))
+	obj := x.DS.Objects[first+ref.obj]
+	payload := objectBytes(wire.ObjectHeader{X: obj.P.X, Y: obj.P.Y, HC: obj.HC},
+		obj.ID, x.Cfg.ObjectBytes)
+	from := ref.part * x.Cfg.Capacity
+	to := min(from+x.Cfg.Capacity, len(payload))
+	if ref.part == 0 {
+		p.Flags = flagObjectStart
+	}
+	if from < len(payload) {
+		p.Payload = payload[from:to]
+	}
+	return p
+}
+
+// CycleChannel streams one full cycle of channel ch and closes out.
+func (t *MultiTransmitter) CycleChannel(ch int, out chan<- Packet) {
+	for slot := 0; slot < len(t.plan[ch]); slot++ {
+		out <- t.Packet(ch, slot)
+	}
+	close(out)
+}
+
+// MultiFrameInfo is what ScanMulti reconstructs per cycle position.
+type MultiFrameInfo struct {
+	Pos     int
+	MinHC   uint64
+	Entries []wire.MCEntry      // decoded table pointers
+	Headers []wire.ObjectHeader // object headers from the data channel
+}
+
+// ScanMulti consumes one cycle of every channel (streams[ch] carries
+// channel ch, which must match the layout's channel count) and
+// reconstructs the broadcast metadata: every multi-channel index table
+// (validated against the catalog geometry, channel ids included) and
+// every object header. It fails on any inconsistency between the
+// streams and the layout a receiver would know a priori.
+func ScanMulti(lay *dsi.Layout, streams []<-chan Packet) ([]MultiFrameInfo, error) {
+	if len(streams) != lay.Channels() {
+		return nil, fmt.Errorf("station: %d streams for %d channels", len(streams), lay.Channels())
+	}
+	x := lay.X
+	framesOn := make([]int, lay.Channels())
+	for ch := range framesOn {
+		framesOn[ch] = lay.FramesOn(ch)
+	}
+	frames := make([]MultiFrameInfo, x.NF)
+	for pos := range frames {
+		frames[pos].Pos = pos
+	}
+
+	for ch, in := range streams {
+		expect := 0
+		var tableBuf []byte
+		tablePos := -1
+		for p := range in {
+			if int(p.Ch) != ch {
+				return nil, fmt.Errorf("station: packet for channel %d on channel %d's stream", p.Ch, ch)
+			}
+			if int(p.Slot) != expect {
+				return nil, fmt.Errorf("station: channel %d: slot %d arrived, want %d", ch, p.Slot, expect)
+			}
+			expect++
+			if len(p.Payload) > x.Cfg.Capacity {
+				return nil, fmt.Errorf("station: channel %d slot %d: payload %dB exceeds capacity",
+					ch, p.Slot, len(p.Payload))
+			}
+
+			switch {
+			case p.Flags&flagIndex != 0:
+				pos, part, ok := lay.SlotTable(ch, int(p.Slot))
+				if !ok || part != 0 && pos != tablePos {
+					return nil, fmt.Errorf("station: channel %d slot %d: unexpected table packet", ch, p.Slot)
+				}
+				if part == 0 {
+					tablePos = pos
+					tableBuf = tableBuf[:0]
+				}
+				tableBuf = append(tableBuf, p.Payload...)
+				if part == x.TablePackets-1 {
+					if want := wire.MCTableSize(x.E); len(tableBuf) < want {
+						return nil, fmt.Errorf("station: position %d: table truncated to %dB, want %dB",
+							tablePos, len(tableBuf), want)
+					}
+					own, entries, err := wire.DecodeTableMC(tableBuf[:wire.MCTableSize(x.E)], framesOn)
+					if err != nil {
+						return nil, fmt.Errorf("station: position %d: %w", tablePos, err)
+					}
+					frames[tablePos].MinHC = own
+					frames[tablePos].Entries = entries
+				}
+			case p.Flags&flagObjectStart != 0:
+				pos, _, ok := lay.SlotData(ch, int(p.Slot))
+				if !ok {
+					return nil, fmt.Errorf("station: channel %d slot %d: object start outside data slots", ch, p.Slot)
+				}
+				h, err := wire.DecodeHeader(p.Payload)
+				if err != nil {
+					return nil, fmt.Errorf("station: channel %d slot %d: %w", ch, p.Slot, err)
+				}
+				frames[pos].Headers = append(frames[pos].Headers, h)
+			}
+		}
+		if expect != lay.ChanLen(ch) {
+			return nil, fmt.Errorf("station: channel %d: scanned %d slots, want %d", ch, expect, lay.ChanLen(ch))
+		}
+	}
+	return frames, nil
+}

@@ -31,9 +31,12 @@ const (
 	flagObjectStart
 )
 
-// Packet is one on-air packet: framing plus payload.
+// Packet is one on-air packet: framing plus payload. Ch identifies the
+// broadcast channel on multi-channel airs; the classic single-channel
+// transmitter always emits channel 0, and Scan rejects anything else.
 type Packet struct {
-	Slot    uint32 // cycle slot
+	Ch      uint8  // broadcast channel
+	Slot    uint32 // per-channel cycle slot
 	Flags   byte
 	Payload []byte // at most Capacity bytes
 }
@@ -138,6 +141,9 @@ func Scan(x *dsi.Index, in <-chan Packet) ([]FrameInfo, error) {
 	expect := 0
 
 	for p := range in {
+		if p.Ch != 0 {
+			return nil, fmt.Errorf("station: packet on channel %d in a single-channel scan", p.Ch)
+		}
 		if int(p.Slot) != expect {
 			return nil, fmt.Errorf("station: slot %d arrived, want %d", p.Slot, expect)
 		}
@@ -161,6 +167,10 @@ func Scan(x *dsi.Index, in <-chan Packet) ([]FrameInfo, error) {
 			}
 			tableBuf = append(tableBuf, p.Payload...)
 			if within == x.TablePackets-1 {
+				if want := x.TableBytes(); len(tableBuf) < want {
+					return nil, fmt.Errorf("station: position %d: table truncated to %dB, want %dB",
+						pos, len(tableBuf), want)
+				}
 				tab, err := wire.DecodeTable(tableBuf[:x.TableBytes()], pos, x.NF)
 				if err != nil {
 					return nil, fmt.Errorf("station: position %d: %w", pos, err)

@@ -114,51 +114,55 @@ func TestScanRejectsCorruptStream(t *testing.T) {
 	x := buildIdx(t, dsi.Config{})
 	tx, _ := NewTransmitter(x)
 
+	// Each corrupted stream gets its own channel, passed into its
+	// producer goroutine by value: reusing one captured variable across
+	// blocks races a finished producer's close against the next make.
+	stream := func(fill func(out chan<- Packet)) <-chan Packet {
+		ch := make(chan Packet, 64)
+		go func(out chan<- Packet) {
+			fill(out)
+			close(out)
+		}(ch)
+		return ch
+	}
+
 	// Out-of-order slots.
-	ch := make(chan Packet, 4)
-	go func() {
+	in := stream(func(out chan<- Packet) {
 		p := tx.Packet(0)
 		p.Slot = 5
-		ch <- p
-		close(ch)
-	}()
-	if _, err := Scan(x, ch); err == nil {
+		out <- p
+	})
+	if _, err := Scan(x, in); err == nil {
 		t.Error("out-of-order stream accepted")
 	}
 
 	// Truncated cycle.
-	ch = make(chan Packet, 64)
-	go func() {
+	in = stream(func(out chan<- Packet) {
 		for slot := 0; slot < x.FramePackets; slot++ {
-			ch <- tx.Packet(slot)
+			out <- tx.Packet(slot)
 		}
-		close(ch)
-	}()
-	if _, err := Scan(x, ch); err == nil {
+	})
+	if _, err := Scan(x, in); err == nil {
 		t.Error("truncated stream accepted")
 	}
 
 	// Oversized payload.
-	ch = make(chan Packet, 4)
-	go func() {
+	in = stream(func(out chan<- Packet) {
 		p := tx.Packet(0)
 		p.Payload = make([]byte, x.Cfg.Capacity+1)
-		ch <- p
-		close(ch)
-	}()
-	if _, err := Scan(x, ch); err == nil {
+		out <- p
+	})
+	if _, err := Scan(x, in); err == nil {
 		t.Error("oversized payload accepted")
 	}
 
 	// Missing index flag.
-	ch = make(chan Packet, 4)
-	go func() {
+	in = stream(func(out chan<- Packet) {
 		p := tx.Packet(0)
 		p.Flags = 0
-		ch <- p
-		close(ch)
-	}()
-	if _, err := Scan(x, ch); err == nil {
+		out <- p
+	})
+	if _, err := Scan(x, in); err == nil {
 		t.Error("unflagged table packet accepted")
 	}
 }

@@ -115,6 +115,120 @@ func DecodeHeader(buf []byte) (ObjectHeader, error) {
 	}, nil
 }
 
+// Multi-channel pointers extend the 2-byte forward distance with a
+// 1-byte channel id, so index entries can aim at frames carried on any
+// channel of a multi-channel air (up to 256 channels, 65,536 frames per
+// channel).
+const MCPtrBytes = 1 + ptrBytes
+
+// MCEntry is one multi-channel index-table entry as it appears on air:
+// the described frame's minimum HC value plus a (channel, per-channel
+// frame index) pointer.
+type MCEntry struct {
+	MinHC uint64
+	Ch    uint8
+	Frame uint16
+}
+
+// MCTableSize returns the encoded size of a multi-channel table with e
+// entries.
+func MCTableSize(e int) int { return hcBytes + e*(hcBytes+MCPtrBytes) }
+
+// TableMC builds the on-air view of the index table at cycle position
+// pos of a multi-channel layout: every entry's pointer is the (channel,
+// frame index) at which the described frame's data is broadcast. It
+// fails when the layout exceeds what the pointer width can address.
+func TableMC(lay *dsi.Layout, pos int) (ownHC uint64, entries []MCEntry, err error) {
+	t := lay.X.TableAt(pos)
+	entries = make([]MCEntry, len(t.Entries))
+	for i, e := range t.Entries {
+		ch, idx := lay.DataFrameIndex(e.TargetPos)
+		if ch > 0xff {
+			return 0, nil, fmt.Errorf("wire: entry %d channel %d exceeds the 1-byte channel id", i, ch)
+		}
+		if idx > 0xffff {
+			return 0, nil, fmt.Errorf("wire: entry %d frame index %d exceeds the 2-byte pointer", i, idx)
+		}
+		entries[i] = MCEntry{MinHC: e.MinHC, Ch: uint8(ch), Frame: uint16(idx)}
+	}
+	return t.OwnHC, entries, nil
+}
+
+// EncodeTableMC serializes a multi-channel index table: the frame's own
+// minimum HC value followed by one (HC value, channel, frame index)
+// entry per table entry.
+func EncodeTableMC(ownHC uint64, entries []MCEntry) []byte {
+	buf := make([]byte, MCTableSize(len(entries)))
+	putHC(buf[0:], ownHC)
+	at := hcBytes
+	for _, e := range entries {
+		putHC(buf[at:], e.MinHC)
+		buf[at+hcBytes] = e.Ch
+		binary.BigEndian.PutUint16(buf[at+hcBytes+1:], e.Frame)
+		at += hcBytes + MCPtrBytes
+	}
+	return buf
+}
+
+// DecodeTableMC parses a multi-channel index table. framesOn[ch] is the
+// per-cycle frame count of channel ch (the catalog geometry a receiver
+// knows a priori); pointers outside it, or aimed at channels that do
+// not exist, are rejected.
+func DecodeTableMC(buf []byte, framesOn []int) (ownHC uint64, entries []MCEntry, err error) {
+	if len(buf) < hcBytes || (len(buf)-hcBytes)%(hcBytes+MCPtrBytes) != 0 {
+		return 0, nil, fmt.Errorf("wire: multi-channel table payload of %d bytes is malformed", len(buf))
+	}
+	ownHC = getHC(buf)
+	for at := hcBytes; at < len(buf); at += hcBytes + MCPtrBytes {
+		e := MCEntry{
+			MinHC: getHC(buf[at:]),
+			Ch:    buf[at+hcBytes],
+			Frame: binary.BigEndian.Uint16(buf[at+hcBytes+1:]),
+		}
+		if int(e.Ch) >= len(framesOn) {
+			return 0, nil, fmt.Errorf("wire: pointer channel %d outside %d channels", e.Ch, len(framesOn))
+		}
+		if int(e.Frame) >= framesOn[e.Ch] {
+			return 0, nil, fmt.Errorf("wire: pointer frame %d outside channel %d's %d frames",
+				e.Frame, e.Ch, framesOn[e.Ch])
+		}
+		entries = append(entries, e)
+	}
+	return ownHC, entries, nil
+}
+
+// EncodeLayoutTables materializes every multi-channel index table of a
+// layout, verifying that each fits the frame sizing's packet budget
+// (the wider pointers must still leave the table within its packets —
+// checked here, exactly as EncodeFrameTables checks the single-channel
+// format).
+//
+// dsi.Build sizes TablePackets for the single-channel entry width, so
+// an index whose tables fill their packets to within E bytes of the
+// budget cannot carry the 1-byte-wider multi-channel pointers; this
+// function then fails rather than overflow. Re-sizing frames for wide
+// pointers at Build would change the N=1 broadcast (which must stay
+// bit-identical to the classic engine), so such layouts are rejected
+// at transmission time instead — see ROADMAP for the sizing follow-up.
+func EncodeLayoutTables(lay *dsi.Layout) ([][]byte, error) {
+	x := lay.X
+	out := make([][]byte, x.NF)
+	budget := x.TablePackets * x.Cfg.Capacity
+	for pos := 0; pos < x.NF; pos++ {
+		own, entries, err := TableMC(lay, pos)
+		if err != nil {
+			return nil, fmt.Errorf("wire: position %d: %w", pos, err)
+		}
+		buf := EncodeTableMC(own, entries)
+		if len(buf) > budget {
+			return nil, fmt.Errorf("wire: position %d: multi-channel table %dB exceeds %d packet budget %dB",
+				pos, len(buf), x.TablePackets, budget)
+		}
+		out[pos] = buf
+	}
+	return out, nil
+}
+
 // EncodeFrameTables materializes every index table of the broadcast,
 // verifying that each fits the frame sizing's packet budget. It returns
 // the per-position payloads (used by tests and by a real transmitter).
