@@ -33,6 +33,9 @@ const (
 	HCBytes = 16
 	// PtrBytes is the size of an index-table or tree-node pointer.
 	PtrBytes = 2
+	// MCPtrBytes is the size of a multi-channel pointer: a PtrBytes
+	// frame pointer widened by a one-byte channel id (see package wire).
+	MCPtrBytes = PtrBytes + 1
 	// MBRBytes is the size of an R-tree minimum bounding rectangle
 	// (four 8-byte floats).
 	MBRBytes = 32

@@ -21,6 +21,17 @@ import (
 // — if the positions are adjacent, nothing exists between their HC
 // values.
 //
+// The knowledge base is organized in spans: maximal runs of frames the
+// client can apply that inference to, each an ascending-HC frame range
+// whose first frame is catalog knowledge. On classic layouts the spans
+// are the broadcast segments (the i-th frame of segment j airs at cycle
+// position j + m*i). On sharded layouts (SchedShard) the spans are the
+// shards: each data channel's frame range is one span, so every span of
+// the knowledge base corresponds to exactly one broadcast channel — the
+// per-channel knowledge bases the shard-aware client navigates with —
+// and the shard split HC values (carried by the layout's shard
+// directory) seed the catalog.
+//
 // All per-frame and per-object state is epoch-stamped: a fact is
 // current only when its stamp equals the knowledge base's epoch, so
 // reset clears the whole base in O(known facts) — it bumps the epoch
@@ -29,6 +40,16 @@ import (
 type knowledge struct {
 	x *Index
 
+	// Span partition. spanStart (frame ids, with a sentinel NF) and
+	// splits (each span's first minimum HC value) describe the spans;
+	// the i-th frame of span j airs at cycle position
+	// posOrigin[j] + stride*i.
+	nspan     int
+	spanStart []int
+	splits    []uint64
+	posOrigin []int
+	stride    int
+
 	// epoch stamps current facts; entries with any other stamp are
 	// unknown. Starts at 1 so zeroed stamp arrays mean "nothing known".
 	epoch uint32
@@ -36,8 +57,8 @@ type knowledge struct {
 	frameEp []uint32 // frameEp[f] == epoch -> minimum HC value known
 	frameHC []uint64 // valid when the frame is known
 
-	// known[j] is the set of within-segment indices of known frames in
-	// segment j. Because frames in a segment are HC sorted, the set is
+	// known[j] is the set of within-span indices of known frames in
+	// span j. Because frames in a span are HC sorted, the set is
 	// simultaneously ordered by position and by HC.
 	known []ordset.Set
 
@@ -50,18 +71,51 @@ type knowledge struct {
 	// newObjs queues freshly located objects for the kNN candidate set.
 	// Its backing array is reused across drains and queries.
 	newObjs []int
+
+	// found is the per-range scratch of the merged walk (which ranges
+	// produced an unresolved visit in the current span).
+	found []bool
 }
 
+// newKnowledge builds the classic knowledge base, whose spans are the
+// broadcast segments.
 func newKnowledge(x *Index) *knowledge {
+	m := x.Cfg.Segments
+	origin := make([]int, m)
+	for j := range origin {
+		origin[j] = j
+	}
+	return newSpanKnowledge(x, x.segStart, x.Splits, origin, m)
+}
+
+// newShardKnowledge builds the per-channel knowledge base of a sharded
+// layout: one span per shard (= per data channel), with the shard split
+// HC values as catalog knowledge. Sharded layouts require m = 1, so the
+// i-th frame of the shard starting at frame s airs at position s + i.
+func newShardKnowledge(x *Index, bounds []int) *knowledge {
+	n := len(bounds) - 1
+	splits := make([]uint64, n)
+	for s := 0; s < n; s++ {
+		splits[s] = x.minHC[bounds[s]]
+	}
+	return newSpanKnowledge(x, bounds, splits, bounds[:n], 1)
+}
+
+func newSpanKnowledge(x *Index, spanStart []int, splits []uint64, posOrigin []int, stride int) *knowledge {
 	kb := &knowledge{
-		x:       x,
-		epoch:   1,
-		frameEp: make([]uint32, x.NF),
-		frameHC: make([]uint64, x.NF),
-		known:   make([]ordset.Set, x.Cfg.Segments),
-		objEp:   make([]uint32, x.DS.N()),
-		objHC:   make([]uint64, x.DS.N()),
-		retEp:   make([]uint32, x.DS.N()),
+		x:         x,
+		nspan:     len(splits),
+		spanStart: spanStart,
+		splits:    splits,
+		posOrigin: posOrigin,
+		stride:    stride,
+		epoch:     1,
+		frameEp:   make([]uint32, x.NF),
+		frameHC:   make([]uint64, x.NF),
+		known:     make([]ordset.Set, len(splits)),
+		objEp:     make([]uint32, x.DS.N()),
+		objHC:     make([]uint64, x.DS.N()),
+		retEp:     make([]uint32, x.DS.N()),
 	}
 	kb.seedCatalog()
 	return kb
@@ -87,11 +141,50 @@ func (kb *knowledge) reset() {
 }
 
 // seedCatalog records the public split HC values: the first frame of
-// every segment is known a priori.
+// every span is known a priori.
 func (kb *knowledge) seedCatalog() {
-	for j := 0; j < kb.x.Cfg.Segments; j++ {
-		kb.addFrameFact(kb.x.segStart[j], kb.x.Splits[j])
+	for j := 0; j < kb.nspan; j++ {
+		kb.addFrameFact(kb.spanStart[j], kb.splits[j])
 	}
+}
+
+// frameSpan returns the knowledge span containing frame f.
+func (kb *knowledge) frameSpan(f int) int {
+	for j := kb.nspan - 1; j > 0; j-- {
+		if f >= kb.spanStart[j] {
+			return j
+		}
+	}
+	return 0
+}
+
+// hcSpan returns the knowledge span whose HC range contains v: span j
+// spans [splits[j], splits[j+1]). Values below splits[0] (no object
+// there) map to span 0.
+func (kb *knowledge) hcSpan(v uint64) int {
+	for j := kb.nspan - 1; j > 0; j-- {
+		if v >= kb.splits[j] {
+			return j
+		}
+	}
+	return 0
+}
+
+// spanLen returns the number of frames in span j.
+func (kb *knowledge) spanLen(j int) int { return kb.spanStart[j+1] - kb.spanStart[j] }
+
+// spanPos returns the cycle position of the i-th frame of span j.
+func (kb *knowledge) spanPos(j, i int) int { return kb.posOrigin[j] + kb.stride*i }
+
+// spanHC returns the HC range [lo, hi) covered by span j.
+func (kb *knowledge) spanHC(j int) (lo, hi uint64) {
+	lo = kb.splits[j]
+	if j+1 < kb.nspan {
+		hi = kb.splits[j+1]
+	} else {
+		hi = kb.x.DS.Curve.Size()
+	}
+	return lo, hi
 }
 
 func (kb *knowledge) frameKnown(f int) bool  { return kb.frameEp[f] == kb.epoch }
@@ -106,8 +199,8 @@ func (kb *knowledge) addFrameFact(f int, hc uint64) {
 	}
 	kb.frameEp[f] = kb.epoch
 	kb.frameHC[f] = hc
-	j := kb.x.FrameSegment(f)
-	kb.known[j].Insert(f - kb.x.segStart[j])
+	j := kb.frameSpan(f)
+	kb.known[j].Insert(f - kb.spanStart[j])
 
 	first, _ := kb.x.FrameObjects(f)
 	kb.locate(first, hc)
@@ -149,25 +242,14 @@ func (kb *knowledge) drainNew() []int {
 	return out
 }
 
-// segSpan returns the HC span [lo, hi) covered by segment j.
-func (kb *knowledge) segSpan(j int) (lo, hi uint64) {
-	lo = kb.x.Splits[j]
-	if j+1 < kb.x.Cfg.Segments {
-		hi = kb.x.Splits[j+1]
-	} else {
-		hi = kb.x.DS.Curve.Size()
-	}
-	return lo, hi
-}
-
 // frameResolved reports whether, as far as [lo, hi) is concerned, frame
 // f requires no further attention: every object of f that could have an
 // HC value in [lo, hi) is either retrieved or certainly outside.
 // The frame's minimum HC must be known (so its first object is
 // located). upper is a known strict upper bound on the HC values in f
-// (the next known same-segment frame's minimum, or the segment span
-// end). Objects whose headers have not been received are bounded by the
-// nearest located objects around them.
+// (the next known same-span frame's minimum, or the span end). Objects
+// whose headers have not been received are bounded by the nearest
+// located objects around them.
 func (kb *knowledge) frameResolved(f int, lo, hi, upper uint64) bool {
 	first, num := kb.x.FrameObjects(f)
 	prev := kb.frameHC[f] // first object is located whenever the frame is known
@@ -197,31 +279,48 @@ func (kb *knowledge) frameResolved(f int, lo, hi, upper uint64) bool {
 	return true
 }
 
-// rangeState walks the client's knowledge about the HC range [lo, hi)
-// within segment j and calls visit for every frame that is not resolved
-// with respect to the range: known frames with pending objects, and
-// unknown frames that could hold objects in the range. For unknown gap
-// frames, visit receives the within-segment index span [gapLo, gapHi]
-// (inclusive) of the gap; for known frames gapLo == gapHi == the frame's
-// index. Returning false from visit stops the walk early.
-func (kb *knowledge) rangeState(j int, lo, hi uint64, visit func(gapLo, gapHi int) bool) {
-	segLo, segHi := kb.segSpan(j)
-	if lo < segLo {
-		lo = segLo
+// walkTargets walks the client's knowledge about span j once, in
+// ascending HC order, over all sorted (disjoint) target ranges, and
+// calls visit for every (range, frame-or-gap) pair that is not resolved
+// with respect to that range: known frames with pending objects, and
+// unknown frames that could hold objects in the range. It produces
+// exactly the pairs the per-range walks used to produce, but with one
+// monotone pass over the span's known frames instead of one pass per
+// range: both the known-frame cursor and the range cursor only move
+// forward, so a query with many target ranges (a kNN disk
+// decomposition) pays for each known frame once per span.
+//
+// For unknown gap frames, visit receives the within-span index range
+// [gapLo, gapHi] (inclusive) of the gap; for known frames
+// gapLo == gapHi == the frame's index. marks, when non-nil, is the
+// caller's per-(range, span) resolution cache, flattened as
+// ri*nspan + span: marked ranges are skipped entirely. found, when
+// non-nil, records found[ri] = true for every range that produced a
+// visit. Returning false from visit aborts the walk; the return value
+// reports whether the walk ran to completion (only then may a caller
+// conclude that ranges without a found mark are resolved in this span).
+func (kb *knowledge) walkTargets(j int, targets []hilbert.Range, marks, found []bool, visit func(ri, gapLo, gapHi int) bool) bool {
+	segLo, segHi := kb.spanHC(j)
+	ns := kb.nspan
+	// Skip to the first range that could intersect the span.
+	ri := 0
+	for ri < len(targets) && (targets[ri].Hi <= segLo || (marks != nil && marks[ri*ns+j])) {
+		ri++
 	}
-	if hi > segHi {
-		hi = segHi
+	if ri == len(targets) || targets[ri].Lo >= segHi {
+		return true
 	}
-	if lo >= hi {
-		return
+	lo0 := targets[ri].Lo
+	if lo0 < segLo {
+		lo0 = segLo
 	}
-	segN := kb.x.SegLen(j)
-	base := kb.x.segStart[j]
-	// Start at the last known frame whose minimum HC is <= lo. Index 0
-	// is always known (catalog) with hc == segLo <= lo.
-	it, ok := kb.known[j].FloorKey(kb.frameHC, base, lo)
+	base := kb.spanStart[j]
+	segN := kb.spanLen(j)
+	// Start at the last known frame whose minimum HC is <= the first
+	// active range's lo. Index 0 is always known (catalog).
+	it, ok := kb.known[j].FloorKey(kb.frameHC, base, lo0)
 	if !ok {
-		return // unreachable: the catalog seeds index 0
+		return true // unreachable: the catalog seeds index 0
 	}
 	// Single forward pass with one-element lookahead: i is the current
 	// known index, it has already advanced to its successor.
@@ -230,9 +329,6 @@ func (kb *knowledge) rangeState(j int, lo, hi uint64, visit func(gapLo, gapHi in
 	for {
 		f := base + i
 		hc := kb.frameHC[f]
-		if hc >= hi {
-			return
-		}
 		// Upper bound on this frame's content and the following gap.
 		nextI := segN
 		upper := segHi
@@ -241,40 +337,111 @@ func (kb *knowledge) rangeState(j int, lo, hi uint64, visit func(gapLo, gapHi in
 			nextI = it.Value()
 			upper = kb.frameHC[base+nextI]
 		}
-		if !kb.frameResolved(f, lo, hi, upper) {
-			if !visit(i, i) {
-				return
+		// Drop ranges nothing from this frame on can matter to (their
+		// end is at or below the frame's minimum; ranges are sorted).
+		for ri < len(targets) {
+			if marks != nil && marks[ri*ns+j] {
+				ri++
+				continue
 			}
+			hi := targets[ri].Hi
+			if hi > segHi {
+				hi = segHi
+			}
+			if hi > hc {
+				break
+			}
+			ri++
 		}
-		// Unknown frames between this one and the next known one hold
-		// objects with HC in (hc, upper).
-		if nextI > i+1 && upper > lo && hc+1 < hi {
-			if !visit(i+1, nextI-1) {
-				return
+		if ri == len(targets) || targets[ri].Lo >= segHi {
+			return true
+		}
+		// Evaluate this frame and its trailing gap against every range
+		// that can reach them: a range with lo >= upper lies beyond the
+		// next known frame (this frame is not its floor), and later
+		// ranges lie further still.
+		for rj := ri; rj < len(targets); rj++ {
+			if marks != nil && marks[rj*ns+j] {
+				continue
+			}
+			lo, hi := targets[rj].Lo, targets[rj].Hi
+			if lo < segLo {
+				lo = segLo
+			}
+			if hi > segHi {
+				hi = segHi
+			}
+			if lo >= upper {
+				break
+			}
+			if lo >= hi {
+				continue
+			}
+			if hc < hi && !kb.frameResolved(f, lo, hi, upper) {
+				if found != nil {
+					found[rj] = true
+				}
+				if !visit(rj, i, i) {
+					return false
+				}
+			}
+			// Unknown frames between this one and the next known one
+			// hold objects with HC in (hc, upper).
+			if nextI > i+1 && upper > lo && hc+1 < hi {
+				if found != nil {
+					found[rj] = true
+				}
+				if !visit(rj, i+1, nextI-1) {
+					return false
+				}
 			}
 		}
 		if !hasNext {
-			return
+			return true
+		}
+		// Jump over known frames wholly below the next active range:
+		// re-seek the cursor to that range's floor instead of stepping
+		// through frames that cannot pair with anything.
+		loR := targets[ri].Lo
+		if loR < segLo {
+			loR = segLo
+		}
+		if upper <= loR {
+			if it2, ok2 := kb.known[j].FloorKey(kb.frameHC, base, loR); ok2 && it2.Value() > nextI {
+				i = it2.Value()
+				it = it2
+				it.Next()
+				continue
+			}
 		}
 		i = nextI
 		it.Next()
 	}
 }
 
+// foundScratch returns the cleared per-range found buffer for a walk.
+func (kb *knowledge) foundScratch(n int) []bool {
+	if cap(kb.found) < n {
+		kb.found = make([]bool, n)
+	} else {
+		kb.found = kb.found[:n]
+		clear(kb.found)
+	}
+	return kb.found
+}
+
 // resolved reports whether every object with an HC value in any of the
 // target ranges has been retrieved, with certainty (no unknown frame
 // could still hold one).
 func (kb *knowledge) resolved(targets []hilbert.Range) bool {
-	for _, r := range targets {
-		for j := 0; j < kb.x.Cfg.Segments; j++ {
-			done := true
-			kb.rangeState(j, r.Lo, r.Hi, func(_, _ int) bool {
-				done = false
-				return false
-			})
-			if !done {
-				return false
-			}
+	for j := 0; j < kb.nspan; j++ {
+		done := true
+		kb.walkTargets(j, targets, nil, nil, func(_, _, _ int) bool {
+			done = false
+			return false
+		})
+		if !done {
+			return false
 		}
 	}
 	return true
@@ -290,37 +457,37 @@ func (kb *knowledge) nextUseful(nowPos int, targets []hilbert.Range) (pos int, o
 }
 
 // nextUsefulMarked is nextUseful with a resolution cache: marks, when
-// non-nil, has one slot per (target range, segment) pair, flattened as
-// rangeIdx*Segments + segment. Resolution is monotone — knowledge and
+// non-nil, has one slot per (target range, span) pair, flattened as
+// rangeIdx*nspan + span. Resolution is monotone — knowledge and
 // retrievals only grow, so a pair that is once resolved with respect to
 // a fixed range can never become unresolved — which makes a set mark
 // permanently valid for unchanged targets. Marked pairs are skipped;
 // pairs observed fully resolved are marked.
 func (kb *knowledge) nextUsefulMarked(nowPos int, targets []hilbert.Range, marks []bool) (pos int, ok bool) {
-	m := kb.x.Cfg.Segments
 	nf := kb.x.NF
 	bestDelta := nf + 1
-	for ri, r := range targets {
-		for j := 0; j < m; j++ {
-			if marks != nil && marks[ri*m+j] {
-				continue
+	for j := 0; j < kb.nspan; j++ {
+		var found []bool
+		if marks != nil {
+			found = kb.foundScratch(len(targets))
+		}
+		completed := kb.walkTargets(j, targets, marks, found, func(ri, gapLo, gapHi int) bool {
+			// Earliest arrival among the gap's positions, strictly
+			// after nowPos.
+			if d := arrivalDelta(nowPos, kb.spanPos(j, gapLo), kb.spanPos(j, gapHi), kb.stride, nf); d < bestDelta {
+				bestDelta = d
 			}
-			found := false
-			kb.rangeState(j, r.Lo, r.Hi, func(gapLo, gapHi int) bool {
-				found = true
-				// Earliest arrival among positions j + m*i,
-				// i in [gapLo, gapHi], strictly after nowPos.
-				if d := arrivalDelta(nowPos, j, m, gapLo, gapHi, nf); d < bestDelta {
-					bestDelta = d
+			return bestDelta > 1 // delta 1 cannot be beaten
+		})
+		if completed && marks != nil {
+			for ri := range targets {
+				if !found[ri] {
+					marks[ri*kb.nspan+j] = true
 				}
-				return bestDelta > 1 // delta 1 cannot be beaten
-			})
-			if !found && marks != nil {
-				marks[ri*m+j] = true
 			}
-			if bestDelta == 1 {
-				return (nowPos + 1) % nf, true
-			}
+		}
+		if bestDelta == 1 {
+			return (nowPos + 1) % nf, true
 		}
 	}
 	if bestDelta > nf {
@@ -329,51 +496,63 @@ func (kb *knowledge) nextUsefulMarked(nowPos int, targets []hilbert.Range, marks
 	return (nowPos + bestDelta) % nf, true
 }
 
-// nextVisitTimed is the split-layout counterpart of nextUsefulMarked:
-// it returns the unresolved frame whose visit can begin soonest in
-// actual broadcast time — switch costs, per-channel phases and cycle
-// lengths included — rather than soonest in cycle-position order.
-// Position order equals time order on one channel, but a split layout
-// runs channels of very different periods in parallel: index tables
-// recur a data-frame-length factor faster than data frames, so the
-// timed chooser batches table reads on the index channel whenever data
-// is not imminent (consecutive gap tables are consecutive slots there)
-// and harvests data frames in the order their slots actually come by.
-// Greedily taking the earliest-available visit interleaves navigation
-// into data-wait slack the way the single-channel client's inline
-// tables do. Marks semantics are as in nextUsefulMarked.
+// nextVisitTimed is the index-split counterpart of nextUsefulMarked
+// (split and sharded layouts): it returns the unresolved frame whose
+// visit can begin soonest in actual broadcast time — switch costs,
+// per-channel phases and cycle lengths included — rather than soonest
+// in cycle-position order. Position order equals time order on one
+// channel, but an index-split layout runs channels of very different
+// periods in parallel: index tables recur much faster than data frames,
+// so the timed chooser batches table reads on the index channel
+// whenever data is not imminent (consecutive gap tables are consecutive
+// slots there) and harvests data frames in the order their slots
+// actually come by; on a sharded layout each knowledge span is one data
+// channel, so the walk prices every channel's own phase and cycle
+// length. Marks semantics are as in nextUsefulMarked.
 func (c *Client) nextVisitTimed(targets []hilbert.Range, marks []bool) (pos int, ok bool) {
 	kb := c.kb
-	m := c.x.Cfg.Segments
 	now := c.tu.Now()
 	cur := c.tu.Channel()
 	sw := int64(c.lay.Air.SwitchSlots)
 	bestT := int64(math.MaxInt64)
 	best := -1
-	for ri, r := range targets {
-		for j := 0; j < m; j++ {
-			if marks != nil && marks[ri*m+j] {
-				continue
+	for j := 0; j < kb.nspan; j++ {
+		var found []bool
+		if marks != nil {
+			found = kb.foundScratch(len(targets))
+		}
+		base := kb.spanStart[j]
+		// A frame or gap repeated for another overlapping range has the
+		// same arrival; the walk alternates frame and gap visits per
+		// range, so the two kinds memoize separately.
+		lastFrame, lastLo, lastHi := -1, -1, -1
+		completed := kb.walkTargets(j, targets, marks, found, func(ri, gapLo, gapHi int) bool {
+			var t int64
+			var p int
+			if gapLo == gapHi && kb.frameKnown(base+gapLo) {
+				if gapLo == lastFrame {
+					return true
+				}
+				lastFrame = gapLo
+				p = kb.spanPos(j, gapLo)
+				t = c.arrivalData(p, now, cur, sw)
+			} else {
+				if gapLo == lastLo && gapHi == lastHi {
+					return true
+				}
+				lastLo, lastHi = gapLo, gapHi
+				t, p = c.arrivalTables(kb.spanPos(j, gapLo), kb.spanPos(j, gapHi), kb.stride, now, cur, sw)
 			}
-			found := false
-			base := kb.x.segStart[j]
-			kb.rangeState(j, r.Lo, r.Hi, func(gapLo, gapHi int) bool {
-				found = true
-				var t int64
-				var p int
-				if gapLo == gapHi && kb.frameKnown(base+gapLo) {
-					p = j + m*gapLo
-					t = c.arrivalData(p, now, cur, sw)
-				} else {
-					t, p = c.arrivalTables(j, m, gapLo, gapHi, now, cur, sw)
+			if t < bestT {
+				bestT, best = t, p
+			}
+			return true
+		})
+		if completed && marks != nil {
+			for ri := range targets {
+				if !found[ri] {
+					marks[ri*kb.nspan+j] = true
 				}
-				if t < bestT {
-					bestT, best = t, p
-				}
-				return true
-			})
-			if !found && marks != nil {
-				marks[ri*m+j] = true
 			}
 		}
 	}
@@ -401,10 +580,10 @@ func (c *Client) arrivalData(p int, now int64, cur int, sw int64) int64 {
 }
 
 // arrivalTables returns the earliest table-read start among the unknown
-// frames at within-segment indices [iLo, iHi] of segment j (positions
-// j + m*i), all of whose tables sit in position order on the index
-// channel, plus the position achieving it.
-func (c *Client) arrivalTables(j, m, iLo, iHi int, now int64, cur int, sw int64) (int64, int) {
+// frames at cycle positions posLo, posLo+stride, ..., posHi, all of
+// whose tables sit in position order on the index channel, plus the
+// position achieving it.
+func (c *Client) arrivalTables(posLo, posHi, stride int, now int64, cur int, sw int64) (int64, int) {
 	var t int64
 	if cur != c.lay.StartCh {
 		t = sw
@@ -412,35 +591,40 @@ func (c *Client) arrivalTables(j, m, iLo, iHi int, now int64, cur int, sw int64)
 	l := int64(c.lay.ChanLen(c.lay.StartCh))
 	phase := (now + t) % l
 	tp := int64(c.x.TablePackets)
-	posLo, posHi := int64(j+m*iLo), int64(j+m*iHi)
+	pLo, pHi := int64(posLo), int64(posHi)
 	// First span position whose table starts at or after the phase.
-	cand := posLo
-	if need := (phase + tp - 1) / tp; need > posLo {
-		k := (need - int64(j) + int64(m) - 1) / int64(m)
-		cand = int64(j) + k*int64(m)
+	cand := pLo
+	if need := (phase + tp - 1) / tp; need > pLo {
+		st := int64(stride)
+		r := (pLo - need) % st
+		if r < 0 {
+			r += st
+		}
+		cand = need + r
 	}
-	if cand <= posHi {
+	if cand <= pHi {
 		return t + cand*tp - phase, int(cand)
 	}
 	// Every span table already passed this cycle: wait for the wrap.
-	return t + posLo*tp + l - phase, int(posLo)
+	return t + pLo*tp + l - phase, int(pLo)
 }
 
 // arrivalDelta returns the smallest delta in [1, nf] such that
-// nowPos+delta is a position of the form j + m*i with i in [iLo, iHi].
-func arrivalDelta(nowPos, j, m, iLo, iHi, nf int) int {
-	posLo := j + m*iLo
-	posHi := j + m*iHi
+// nowPos+delta is one of the positions posLo, posLo+stride, ..., posHi.
+func arrivalDelta(nowPos, posLo, posHi, stride, nf int) int {
 	// First candidate strictly after nowPos within this cycle.
 	cur := nowPos % nf
 	if cur < posHi {
-		// Smallest position >= cur+1 congruent to j mod m, at least posLo.
+		// Smallest position >= cur+1 congruent to posLo mod stride, at
+		// least posLo.
 		c := cur + 1
 		if c < posLo {
 			c = posLo
 		}
-		// Round c up to the next value congruent to j modulo m.
-		r := (j - c%m + m) % m
+		r := (posLo - c) % stride
+		if r < 0 {
+			r += stride
+		}
 		if cand := c + r; cand <= posHi {
 			return cand - cur
 		}
@@ -491,13 +675,21 @@ func NewClient(x *Index, probeSlot int64, loss *broadcast.LossModel) *Client {
 // multi-channel layout: it tunes into the layout's start channel at the
 // given absolute slot, follows (channel, slot) navigation pointers, and
 // pays the air's switch cost whenever retrieval moves across channels.
-// On a one-channel layout it behaves bit-identically to NewClient.
+// On a sharded layout the client's knowledge base is per-channel (one
+// span per shard). On a one-channel layout it behaves bit-identically
+// to NewClient.
 func NewMultiClient(lay *Layout, probeSlot int64, loss *broadcast.LossModel) *Client {
+	var kb *knowledge
+	if lay.Sched == SchedShard && lay.Channels() > 1 {
+		kb = newShardKnowledge(lay.X, lay.shardBounds)
+	} else {
+		kb = newKnowledge(lay.X)
+	}
 	return &Client{
 		x:   lay.X,
 		lay: lay,
 		tu:  broadcast.NewAirTuner(lay.Air, lay.StartCh, probeSlot, loss),
-		kb:  newKnowledge(lay.X),
+		kb:  kb,
 	}
 }
 
@@ -521,11 +713,11 @@ func (c *Client) gotoData(p, o, skip int) {
 }
 
 // gotoFrameEntry moves the receiver to where a tableless visit of the
-// frame at position p begins: the frame start on its channel. Split
-// layouts go straight to the frame's data channel — data is all it
-// carries for this frame.
+// frame at position p begins: the frame start on its channel. Layouts
+// with a dedicated index channel go straight to the frame's data
+// channel — data is all it carries for this frame.
 func (c *Client) gotoFrameEntry(p int) {
-	if c.lay.Sched == SchedSplit && c.lay.Channels() > 1 {
+	if c.lay.splitData() {
 		c.gotoData(p, 0, 0)
 		return
 	}
@@ -540,6 +732,15 @@ func (c *Client) Reset(probeSlot int64, loss *broadcast.LossModel) {
 	c.tu.Reset(probeSlot, loss)
 	c.kb.reset()
 	c.lastTable = nil
+}
+
+// SetChannelLoss installs a per-channel loss model on the client's
+// tuner, overriding the query-wide model on that channel. Only
+// multi-channel clients support per-channel loss. Reset clears the
+// overrides, so heterogeneous-channel simulations reinstall them per
+// query.
+func (c *Client) SetChannelLoss(ch int, loss *broadcast.LossModel) {
+	c.tu.SetChannelLoss(ch, loss)
 }
 
 // Stats returns the metrics accumulated so far.
@@ -591,10 +792,10 @@ func (c *Client) readTable(p int) bool {
 // or the next same-segment frame (needed to bound this frame's content)
 // is unknown. Pure data re-fetches skip the table.
 //
-// On a split layout the table lives on another channel, so a visit to a
-// known frame never crosses over for the neighbour's bound: the frame
-// resolves from its own object headers instead, and unknown frames are
-// handled wholesale by the index sweep.
+// On an index-split layout the table lives on another channel, so a
+// visit to a known frame never crosses over for the neighbour's bound:
+// the frame resolves from its own object headers instead, and unknown
+// frames are handled wholesale by the index sweep.
 func (c *Client) wantTable(p int) bool {
 	f := c.x.PosToFrame(p)
 	if !c.kb.frameKnown(f) {
@@ -643,7 +844,7 @@ func (c *Client) visit(p int, targetsFn func() []hilbert.Range) {
 		c.gotoTable(p)
 		ok := c.readTable(p)
 		if c.lay.splitData() {
-			// A split-layout table visit ends with the table: the
+			// An index-split table visit ends with the table: the
 			// frame's data lives on another channel, and the timed
 			// chooser will schedule its retrieval at the slot it
 			// actually arrives instead of crossing channels here and
@@ -653,9 +854,9 @@ func (c *Client) visit(p int, targetsFn func() []hilbert.Range) {
 		if !ok && !c.kb.frameKnown(f) {
 			// Header fallback: one data packet reveals the first object's
 			// HC value (every object's payload starts with its coordinate).
-			// Split layouts skip it — their index channel rebroadcasts the
-			// lost table a data-frame-length factor sooner than the data
-			// channel reaches the frame's first header.
+			// Index-split layouts skip it — their index channel rebroadcasts
+			// the lost table much sooner than the data channel reaches the
+			// frame's first header.
 			first, _ := c.x.FrameObjects(f)
 			c.gotoData(p, 0, 0)
 			_, okHdr := c.tu.Read()
@@ -746,7 +947,7 @@ func (c *Client) readObject(p, o, id, skip int) {
 // to override the default soonest-unresolved-frame choice.
 func (c *Client) retrieveAll(startPos int, targetsFn func() []hilbert.Range, hook func(p int) (int, bool)) {
 	p := startPos
-	m := c.x.Cfg.Segments
+	nspan := c.kb.nspan
 	ver := c.scr.targetsVer - 1 // force a mark (re)build on entry
 	for {
 		c.visit(p, targetsFn)
@@ -757,7 +958,7 @@ func (c *Client) retrieveAll(startPos int, targetsFn func() []hilbert.Range, hoo
 		// monotone in the growing knowledge base.
 		if ver != c.scr.targetsVer {
 			ver = c.scr.targetsVer
-			need := len(targets) * m
+			need := len(targets) * nspan
 			if cap(c.scr.marks) < need {
 				c.scr.marks = make([]bool, need)
 			} else {
@@ -767,9 +968,9 @@ func (c *Client) retrieveAll(startPos int, targetsFn func() []hilbert.Range, hoo
 		}
 		// nextUseful reporting nothing doubles as the termination test:
 		// the query is done exactly when no unresolved frame remains.
-		// Split layouts choose by actual arrival time across channels;
-		// on one channel, position order is time order, and the
-		// positional chooser is kept bit-identical to the classic
+		// Index-split layouts choose by actual arrival time across
+		// channels; on one channel, position order is time order, and
+		// the positional chooser is kept bit-identical to the classic
 		// engine.
 		var next int
 		var ok bool

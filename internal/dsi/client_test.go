@@ -27,7 +27,7 @@ func TestArrivalDelta(t *testing.T) {
 		{1, 1, 2, 0, 0, 10, 10}, // at it already: full wrap
 	}
 	for _, tc := range cases {
-		got := arrivalDelta(tc.nowPos, tc.j, tc.m, tc.iLo, tc.iHi, tc.nf)
+		got := arrivalDelta(tc.nowPos, tc.j+tc.m*tc.iLo, tc.j+tc.m*tc.iHi, tc.m, tc.nf)
 		if got != tc.want {
 			t.Errorf("arrivalDelta(now=%d,j=%d,m=%d,i=[%d,%d],nf=%d) = %d, want %d",
 				tc.nowPos, tc.j, tc.m, tc.iLo, tc.iHi, tc.nf, got, tc.want)
@@ -44,7 +44,7 @@ func TestArrivalDeltaQuick(t *testing.T) {
 		lo := int(iLo) % (maxI + 1)
 		hi := lo + int(span)%(maxI-lo+1)
 		nowPos := int(now) % nf
-		d := arrivalDelta(nowPos, jj, mm, lo, hi, nf)
+		d := arrivalDelta(nowPos, jj+mm*lo, jj+mm*hi, mm, nf)
 		if d < 1 || d > nf {
 			return false
 		}
@@ -318,28 +318,28 @@ func TestKnowledgeLocateQueuesEachObjectOnce(t *testing.T) {
 	}
 }
 
-func TestRangeStateStopsEarly(t *testing.T) {
+func TestWalkTargetsStopsEarly(t *testing.T) {
 	ds := dataset.Uniform(80, 6, 89)
 	x, _ := Build(ds, Config{})
 	kb := newKnowledge(x)
 	teachAll(kb, x)
 	calls := 0
-	kb.rangeState(0, 0, x.DS.Curve.Size(), func(_, _ int) bool {
+	kb.walkTargets(0, []hilbert.Range{{Lo: 0, Hi: x.DS.Curve.Size()}}, nil, nil, func(_, _, _ int) bool {
 		calls++
 		return false // stop immediately
 	})
 	if calls != 1 {
-		t.Fatalf("rangeState made %d calls after visit returned false", calls)
+		t.Fatalf("walkTargets made %d calls after visit returned false", calls)
 	}
 }
 
-func TestSegSpan(t *testing.T) {
+func TestSpanHC(t *testing.T) {
 	ds := dataset.Uniform(64, 6, 91)
 	x, _ := Build(ds, Config{Segments: 4})
 	kb := newKnowledge(x)
 	var prevHi uint64
 	for j := 0; j < 4; j++ {
-		lo, hi := kb.segSpan(j)
+		lo, hi := kb.spanHC(j)
 		if j == 0 && lo != x.Splits[0] {
 			t.Errorf("segment 0 span starts at %d", lo)
 		}

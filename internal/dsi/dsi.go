@@ -80,6 +80,15 @@ type Config struct {
 	Sizing Sizing
 	// ObjectBytes is the data-object payload size (paper default 1024).
 	ObjectBytes int
+	// ReserveMCPtr sizes index tables for the multi-channel pointer
+	// width (broadcast.MCPtrBytes, one channel-id byte wider per
+	// entry). An index whose tables fill their packet budget to within
+	// E bytes cannot otherwise carry multi-channel pointers — the wire
+	// layer rejects such layouts at transmission time — so builds that
+	// target a multi-channel layout set this to reserve the headroom.
+	// Off by default: the classic sizing (and thus the single-channel
+	// broadcast) is untouched.
+	ReserveMCPtr bool
 }
 
 // DefaultConfig returns the paper's default configuration: 64-byte
@@ -133,6 +142,15 @@ func (c Config) validate(n int) error {
 // entryBytes is the size of one index-table entry: an HC value plus a
 // pointer (paper section 4).
 const entryBytes = broadcast.HCBytes + broadcast.PtrBytes
+
+// entryWidth returns the on-air size of one index-table entry under
+// the build's pointer reservation.
+func (c Config) entryWidth() int {
+	if c.ReserveMCPtr {
+		return broadcast.HCBytes + broadcast.MCPtrBytes
+	}
+	return entryBytes
+}
 
 // Index is a built DSI broadcast: the program plus the static metadata
 // ("catalog") that clients are assumed to know a priori (dataset size,
@@ -213,7 +231,7 @@ func Build(ds *dataset.Dataset, cfg Config) (*Index, error) {
 		// As many entries as fit in one packet beside the frame's own
 		// HC value — but no more than base-2 coverage needs, and at
 		// least two so forwarding stays exponential.
-		x.E = (cfg.Capacity - broadcast.HCBytes) / entryBytes
+		x.E = (cfg.Capacity - broadcast.HCBytes) / cfg.entryWidth()
 		if max := entriesToCover(x.NF, 2); x.E > max {
 			x.E = max
 		}
@@ -237,7 +255,7 @@ func Build(ds *dataset.Dataset, cfg Config) (*Index, error) {
 		// Table: the frame's own minimum HC value plus E entries.
 		x.TablePackets = broadcast.PacketsFor(x.TableBytes(), cfg.Capacity)
 	case SizingPaperTable:
-		fit := (cfg.Capacity - broadcast.HCBytes) / entryBytes
+		fit := (cfg.Capacity - broadcast.HCBytes) / cfg.entryWidth()
 		if fit < 1 {
 			return nil, fmt.Errorf("dsi: capacity %d cannot hold a one-packet index table", cfg.Capacity)
 		}
@@ -350,9 +368,10 @@ func baseToCover(nf, e, min int) int {
 }
 
 // TableBytes returns the payload size of one index table: the frame's
-// own minimum HC value plus E (HC value, pointer) entries.
+// own minimum HC value plus E (HC value, pointer) entries, at the
+// pointer width the build reserved (see Config.ReserveMCPtr).
 func (x *Index) TableBytes() int {
-	return broadcast.HCBytes + x.E*entryBytes
+	return broadcast.HCBytes + x.E*x.Cfg.entryWidth()
 }
 
 // segLen returns the number of frames in broadcast segment j: the

@@ -46,16 +46,16 @@ func (c *Client) EEF(hc uint64) (frame int, exists bool, stats broadcast.Stats) 
 
 // coveringFrame returns the frame with the largest known minimum HC
 // value not exceeding hc (the frame that covers hc), and whether that
-// identification is certain: the next same-segment frame is known to
+// identification is certain: the next same-span frame is known to
 // start above hc, so no unknown frame can lie between.
 func (kb *knowledge) coveringFrame(hc uint64) (frame int, certain bool) {
-	j := kb.x.HCSegment(hc)
-	base := kb.x.segStart[j]
+	j := kb.hcSpan(hc)
+	base := kb.spanStart[j]
 	it, ok := kb.known[j].FloorKey(kb.frameHC, base, hc)
 	if !ok {
 		// hc precedes every object: the covering frame is the first
-		// frame of segment 0, which the catalog makes always known.
-		return kb.x.segStart[0], true
+		// frame of span 0, which the catalog makes always known.
+		return kb.spanStart[0], true
 	}
 	i := it.Value()
 	frame = base + i
@@ -64,7 +64,7 @@ func (kb *knowledge) coveringFrame(hc uint64) (frame int, certain bool) {
 	if peek.Valid() {
 		certain = peek.Value() == i+1
 	} else {
-		certain = i == kb.x.SegLen(j)-1
+		certain = i == kb.spanLen(j)-1
 	}
 	return frame, certain
 }

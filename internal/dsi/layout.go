@@ -23,6 +23,16 @@ const (
 	// and the data cycle shrinks by a factor of N-1, at the price of a
 	// channel switch between navigation and retrieval.
 	SchedSplit
+	// SchedShard separates index from data like SchedSplit, but cuts
+	// the data frames at the caller-supplied shard boundaries
+	// (MultiConfig.ShardBounds) instead of into balanced blocks: data
+	// channel 1+s carries frames [ShardBounds[s], ShardBounds[s+1]) as
+	// its own independent cycle, so a small (hot) shard rebroadcasts
+	// its frames proportionally more often than a large (cold) one —
+	// the broadcast-disks discipline. internal/sched plans the
+	// boundaries from a workload profile; clients get one knowledge
+	// span per shard and navigate across shards by actual arrival time.
+	SchedShard
 )
 
 func (s Scheduler) String() string {
@@ -31,6 +41,8 @@ func (s Scheduler) String() string {
 		return "stripe"
 	case SchedSplit:
 		return "split"
+	case SchedShard:
+		return "shard"
 	default:
 		return fmt.Sprintf("scheduler(%d)", int(s))
 	}
@@ -45,6 +57,11 @@ type MultiConfig struct {
 	Scheduler Scheduler
 	// SwitchSlots is the receiver's channel-switch cost in packet slots.
 	SwitchSlots int
+	// ShardBounds are the shard boundaries of a SchedShard layout:
+	// ascending frame ids starting at 0 and ending at the frame count,
+	// one entry per channel (Channels-1 data shards plus the sentinel).
+	// Ignored by the other schedulers. internal/sched emits them.
+	ShardBounds []int
 }
 
 // Layout places a built DSI broadcast onto the channels of an air: for
@@ -77,9 +94,17 @@ type Layout struct {
 	dataSlot  []int32
 
 	// dataStart[ch] is the first cycle position whose data channel ch
-	// carries (split layouts; the block placement keeps positions
-	// contiguous per channel).
+	// carries (split and sharded layouts; the block placement keeps
+	// positions contiguous per channel).
 	dataStart []int32
+
+	// shardBounds are the shard boundaries of a SchedShard layout
+	// (frame ids, with a sentinel NF); nil for other schedulers.
+	shardBounds []int
+
+	// stripeOff[ch] is the phase-stagger rotation of stripe channel ch
+	// in slots (see stripeLayout); nil when no stagger applies.
+	stripeOff []int32
 }
 
 // singleLayout builds the degenerate one-channel layout over the
@@ -130,6 +155,8 @@ func NewLayout(x *Index, mc MultiConfig) (*Layout, error) {
 		return stripeLayout(x, mc)
 	case SchedSplit:
 		return splitLayout(x, mc)
+	case SchedShard:
+		return shardLayout(x, mc)
 	default:
 		return nil, fmt.Errorf("dsi: unknown scheduler %v", mc.Scheduler)
 	}
@@ -153,6 +180,25 @@ func frameSlots(x *Index, f int, table, data bool, dst []broadcast.Slot) []broad
 
 // stripeLayout places whole frames round-robin: position p airs intact
 // (table followed by objects) on channel p mod N.
+//
+// When the frames divide evenly across the channels, the channels are
+// phase-staggered: channel c's program is rotated by
+// c*(FramePackets+SwitchSlots) slots, so within each round of n
+// consecutive positions the frame at position p airs one frame length
+// (plus the retune cost) after the frame at position p-1 instead of in
+// the same slots in parallel. Aligned striping is useless to a
+// single-radio client — adjacent frames air simultaneously and all but
+// one are unreceivable — while the stagger lets a client that finishes
+// frame p switch channels and catch frame p+1's first slot exactly
+// after the retune. The guarantee covers consecutive positions on
+// consecutive channels (n-1 of every n adjacent pairs); at the round
+// seam — channel n-1 back to channel 0 — the rotations telescope and
+// wrap, so that pair can still overlap. With NF % N != 0 the per-channel
+// cycles have different lengths and the relative phases drift a frame
+// per wrap, so no fixed rotation can keep adjacent frames apart; such
+// layouts stay aligned rather than claim a guarantee that decays after
+// one cycle. At one channel the offset is zero and the program is the
+// classic single-channel cycle, untouched.
 func stripeLayout(x *Index, mc MultiConfig) (*Layout, error) {
 	n := mc.Channels
 	if x.NF < n {
@@ -178,12 +224,52 @@ func stripeLayout(x *Index, mc MultiConfig) (*Layout, error) {
 		l.dataSlot[pos] = int32(len(prog.Slots) + x.TablePackets)
 		prog.Slots = frameSlots(x, x.PosToFrame(pos), true, true, prog.Slots)
 	}
+	// The stagger needs evenly striped frames (unequal cycles drift out
+	// of any fixed rotation) and room inside the cycle: with
+	// per-channel cycles of at most one frame plus the retune cost, the
+	// rotation wraps back onto the aligned frame and the no-overlap
+	// guarantee is void.
+	staggered := x.NF%n == 0 && (x.NF/n)*x.FramePackets > x.FramePackets+mc.SwitchSlots
+	if staggered {
+		l.stripeOff = make([]int32, n)
+		for c := 1; c < n; c++ {
+			ln := len(chans[c].Slots)
+			off := (c * (x.FramePackets + mc.SwitchSlots)) % ln
+			l.stripeOff[c] = int32(off)
+			if off == 0 {
+				continue
+			}
+			rotated := make([]broadcast.Slot, ln)
+			for i, s := range chans[c].Slots {
+				rotated[(i+off)%ln] = s
+			}
+			chans[c].Slots = rotated
+		}
+		for pos := 0; pos < x.NF; pos++ {
+			c := pos % n
+			if off := int(l.stripeOff[c]); off != 0 {
+				ln := len(chans[c].Slots)
+				l.tableSlot[pos] = int32((int(l.tableSlot[pos]) + off) % ln)
+				l.dataSlot[pos] = int32((int(l.dataSlot[pos]) + off) % ln)
+			}
+		}
+	}
 	air, err := broadcast.NewAir(mc.SwitchSlots, chans...)
 	if err != nil {
 		return nil, err
 	}
 	l.Air = air
 	return l, nil
+}
+
+// deStagger maps a per-channel slot of a staggered stripe channel back
+// to its unrotated program slot.
+func (l *Layout) deStagger(ch, slot int) int {
+	if l.stripeOff == nil {
+		return slot
+	}
+	ln := l.ChanLen(ch)
+	return (slot - int(l.stripeOff[ch]) + ln) % ln
 }
 
 // splitLayout separates index from data: channel 0 carries every index
@@ -246,10 +332,88 @@ func splitLayout(x *Index, mc MultiConfig) (*Layout, error) {
 	return l, nil
 }
 
+// shardLayout is SchedSplit with caller-chosen cut points: channel 0
+// carries every index table in cycle-position order, and data channel
+// 1+s carries the object payloads of frames [ShardBounds[s],
+// ShardBounds[s+1]) as its own cycle. Because the per-channel cycle
+// length is proportional to the shard size, assigning few (hot) frames
+// to a shard makes them recur often — the broadcast-disks lever the
+// sched planner pulls. Sharded layouts require the non-reorganized
+// broadcast (m = 1): shards are HC spans, and interleaved segments
+// would break the frame-contiguity the per-shard knowledge bases and
+// the catalog shard splits rely on.
+func shardLayout(x *Index, mc MultiConfig) (*Layout, error) {
+	if x.Cfg.Segments != 1 {
+		return nil, fmt.Errorf("dsi: sharded layouts require a non-reorganized broadcast, got m=%d", x.Cfg.Segments)
+	}
+	b := mc.ShardBounds
+	if len(b) != mc.Channels {
+		return nil, fmt.Errorf("dsi: %d shard bounds for %d channels (want one data channel per shard plus the index channel)",
+			len(b), mc.Channels)
+	}
+	if len(b) < 2 || b[0] != 0 || b[len(b)-1] != x.NF {
+		return nil, fmt.Errorf("dsi: shard bounds %v must start at 0 and end at %d", b, x.NF)
+	}
+	for s := 1; s < len(b); s++ {
+		if b[s] <= b[s-1] {
+			return nil, fmt.Errorf("dsi: shard %d is empty in bounds %v", s-1, b)
+		}
+	}
+	for s := 1; s < len(b)-1; s++ {
+		if x.minHC[b[s]] <= x.minHC[b[s]-1] {
+			return nil, fmt.Errorf("dsi: shard cut at frame %d does not advance the HC order", b[s])
+		}
+	}
+	l := &Layout{
+		X:           x,
+		Cfg:         mc,
+		Sched:       SchedShard,
+		DataPackets: x.NO * x.ObjPackets,
+		shardBounds: append([]int(nil), b...),
+	}
+	l.place(x.NF)
+	chans := make([]*broadcast.Channel, mc.Channels)
+	for c := range chans {
+		chans[c] = &broadcast.Channel{Program: broadcast.Program{Capacity: x.Cfg.Capacity}}
+	}
+	l.dataStart = make([]int32, mc.Channels)
+	for s := 0; s < len(b)-1; s++ {
+		l.dataStart[1+s] = int32(b[s])
+	}
+	shard := 0
+	for pos := 0; pos < x.NF; pos++ {
+		f := x.PosToFrame(pos) // identity at m=1, kept for symmetry
+		l.tableCh[pos] = 0
+		l.tableSlot[pos] = int32(pos * x.TablePackets)
+		chans[0].Slots = frameSlots(x, f, true, false, chans[0].Slots)
+
+		for pos >= b[shard+1] {
+			shard++
+		}
+		prog := &chans[1+shard].Program
+		l.dataCh[pos] = int32(1 + shard)
+		l.dataSlot[pos] = int32(len(prog.Slots))
+		prog.Slots = frameSlots(x, f, false, true, prog.Slots)
+	}
+	air, err := broadcast.NewAir(mc.SwitchSlots, chans...)
+	if err != nil {
+		return nil, err
+	}
+	l.Air = air
+	return l, nil
+}
+
+// ShardBounds returns the shard boundaries of a SchedShard layout
+// (frame ids with a sentinel), nil for other schedulers. The returned
+// slice is the layout's state: callers must not modify it.
+func (l *Layout) ShardBounds() []int { return l.shardBounds }
+
 // splitData reports whether the layout carries index tables on a
 // channel of their own (the client then navigates with the index sweep
 // instead of per-frame table reads).
-func (l *Layout) splitData() bool { return l.Sched == SchedSplit && l.Channels() > 1 }
+func (l *Layout) splitData() bool {
+	return (l.Sched == SchedSplit || l.Sched == SchedShard) && l.Channels() > 1
+}
 
 // TablePlace returns the channel and per-channel cycle slot at which
 // the index table of the frame at cycle position pos is broadcast.
@@ -285,13 +449,14 @@ func (l *Layout) FramesOn(ch int) int {
 // DataFrameIndex returns the per-channel frame index of the frame at
 // cycle position pos on its data channel: its data starts at slot
 // index*DataPackets (plus the table packets on layouts that keep the
-// table inline).
+// table inline, and the channel's phase-stagger offset on staggered
+// stripe layouts — catalog geometry a receiver knows a priori).
 func (l *Layout) DataFrameIndex(pos int) (ch, index int) {
 	ch = int(l.dataCh[pos])
 	if l.splitData() {
 		return ch, int(l.dataSlot[pos]) / l.DataPackets
 	}
-	return ch, int(l.tableSlot[pos]) / l.X.FramePackets
+	return ch, l.deStagger(ch, int(l.tableSlot[pos])) / l.X.FramePackets
 }
 
 // SlotTable inverts the table placement: it returns the cycle position
@@ -309,6 +474,7 @@ func (l *Layout) SlotTable(ch, slot int) (pos, part int, ok bool) {
 		}
 		return slot / l.X.TablePackets, slot % l.X.TablePackets, true
 	default: // stripe: channel ch carries positions ch, ch+N, ch+2N, ...
+		slot = l.deStagger(ch, slot)
 		j, within := slot/fp, slot%fp
 		return j*l.Cfg.Channels + ch, within, within < l.X.TablePackets
 	}
@@ -331,6 +497,7 @@ func (l *Layout) SlotData(ch, slot int) (pos, off int, ok bool) {
 		}
 		return int(l.dataStart[ch]) + slot/l.DataPackets, slot % l.DataPackets, true
 	default:
+		slot = l.deStagger(ch, slot)
 		j, within := slot/fp, slot%fp
 		return j*l.Cfg.Channels + ch, within - tp, within >= tp
 	}
@@ -374,7 +541,7 @@ func (l *Layout) probePos(slot int) int {
 			framePos = (framePos + 1) % l.X.NF
 		}
 		return framePos
-	case l.Sched == SchedSplit:
+	case l.Sched == SchedSplit || l.Sched == SchedShard:
 		p := slot / l.X.TablePackets
 		if slot%l.X.TablePackets != 0 {
 			p++

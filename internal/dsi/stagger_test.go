@@ -1,0 +1,108 @@
+package dsi
+
+import (
+	"testing"
+
+	"dsi/internal/dataset"
+)
+
+// TestStripeStaggerNoAdjacentOverlap: on a phase-staggered stripe
+// layout with equal per-channel frame counts, adjacent cycle positions
+// never air in the same slots — the frame at position p+1 starts
+// exactly one frame length plus the switch cost after the frame at
+// position p, so a single-radio client can harvest consecutive frames
+// across channels.
+func TestStripeStaggerNoAdjacentOverlap(t *testing.T) {
+	ds := dataset.Uniform(400, 8, 21)
+	x, err := Build(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 4, 8} {
+		if x.NF%n != 0 {
+			t.Fatalf("test dataset must stripe evenly: %d %% %d", x.NF, n)
+		}
+		const sw = 2
+		lay, err := NewLayout(x, MultiConfig{Channels: n, Scheduler: SchedStripe, SwitchSlots: sw})
+		if err != nil {
+			t.Fatal(err)
+		}
+		L := lay.ChanLen(0)
+		for ch := 1; ch < n; ch++ {
+			if lay.ChanLen(ch) != L {
+				t.Fatalf("x%d: unequal channel lengths", n)
+			}
+		}
+		fp := x.FramePackets
+		for pos := 0; pos < x.NF-1; pos++ {
+			c0, c1 := pos%n, (pos+1)%n
+			if c1 == 0 {
+				// Round seam (channel n-1 back to channel 0): the
+				// telescoped stagger wraps and these n-th pairs can
+				// overlap — the guarantee covers consecutive positions
+				// on consecutive channels only (see stripeLayout).
+				continue
+			}
+			s0 := int(lay.tableSlot[pos])
+			s1 := int(lay.tableSlot[pos+1])
+			// Channels share one absolute clock and equal cycle length,
+			// so the circular slot distance decides overlap.
+			d := (s1 - s0 + L) % L
+			if d < fp || d > L-fp {
+				t.Fatalf("x%d: positions %d (ch %d slot %d) and %d (ch %d slot %d) overlap on air (distance %d, frame %d slots)",
+					n, pos, c0, s0, pos+1, c1, s1, d, fp)
+			}
+			// And the stagger is exactly one frame plus the retune cost:
+			// finishing frame p, a client switches and catches frame p+1
+			// whole.
+			if d != fp+sw {
+				t.Fatalf("x%d: positions %d -> %d staggered by %d slots, want %d", n, pos, pos+1, d, fp+sw)
+			}
+		}
+	}
+}
+
+// TestStripeStaggerZeroSwitch: with a zero switch cost the stagger is
+// exactly one frame length and frames never wrap the cycle seam, so
+// placements stay frame-aligned.
+func TestStripeStaggerZeroSwitch(t *testing.T) {
+	ds := dataset.Uniform(120, 7, 23)
+	x, err := Build(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := NewLayout(x, MultiConfig{Channels: 3, Scheduler: SchedStripe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < x.NF; pos++ {
+		if int(lay.tableSlot[pos])%x.FramePackets != 0 {
+			t.Fatalf("pos %d table at slot %d not frame-aligned", pos, lay.tableSlot[pos])
+		}
+	}
+}
+
+// TestStripeUnevenStaysAligned: when the frames do not divide evenly
+// across the channels, the per-channel cycles have different lengths
+// and no fixed rotation can keep adjacent frames apart, so the layout
+// falls back to aligned striping (frame-aligned placements, no offsets)
+// rather than claim a stagger that drifts away after one wrap.
+func TestStripeUnevenStaysAligned(t *testing.T) {
+	ds := dataset.Uniform(125, 7, 27)
+	x, err := Build(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := NewLayout(x, MultiConfig{Channels: 3, Scheduler: SchedStripe, SwitchSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.stripeOff != nil {
+		t.Fatalf("uneven stripe staggered: offsets %v", lay.stripeOff)
+	}
+	for pos := 0; pos < x.NF; pos++ {
+		if int(lay.tableSlot[pos])%x.FramePackets != 0 {
+			t.Fatalf("pos %d table at slot %d not frame-aligned", pos, lay.tableSlot[pos])
+		}
+	}
+}

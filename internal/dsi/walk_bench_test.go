@@ -1,0 +1,62 @@
+package dsi
+
+import (
+	"testing"
+
+	"dsi/internal/dataset"
+	"dsi/internal/hilbert"
+)
+
+// BenchmarkNextUsefulManyRanges isolates the navigation walk the merged
+// walkTargets pass optimizes: choosing the next useful frame against a
+// many-range target set (a kNN disk decomposition) over a knowledge
+// base that already knows most of the cycle. The per-(range, segment)
+// walk of the old rangeState re-walked the known-frame list once per
+// range; the merged walk pays for each known frame once per span.
+func BenchmarkNextUsefulManyRanges(b *testing.B) {
+	ds := dataset.Uniform(2000, 8, 5)
+	x, err := Build(ds, Config{Segments: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kb := newKnowledge(x)
+	teachAll(kb, x)
+	// Many small, spread-out unretrieved targets: every range keeps a
+	// little work pending so no (range, span) pair resolves.
+	var targets []hilbert.Range
+	for i := 40; i < ds.N(); i += 50 {
+		hc := ds.Objects[i].HC
+		targets = append(targets, hilbert.Range{Lo: hc, Hi: hc + 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := kb.nextUseful(i%x.NF, targets); !ok {
+			b.Fatal("nothing useful")
+		}
+	}
+}
+
+// BenchmarkResolvedManyRanges measures the termination test on the same
+// state: all targets retrieved, so every (range, span) pair walks to
+// completion.
+func BenchmarkResolvedManyRanges(b *testing.B) {
+	ds := dataset.Uniform(2000, 8, 5)
+	x, err := Build(ds, Config{Segments: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kb := newKnowledge(x)
+	teachAll(kb, x)
+	var targets []hilbert.Range
+	for i := 40; i < ds.N(); i += 50 {
+		hc := ds.Objects[i].HC
+		targets = append(targets, hilbert.Range{Lo: hc, Hi: hc + 1})
+		kb.markRetrieved(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !kb.resolved(targets) {
+			b.Fatal("unresolved")
+		}
+	}
+}

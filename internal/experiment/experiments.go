@@ -532,6 +532,8 @@ var Registry = map[string]func(Params) Result{
 	"base":      AblationIndexBase,
 	"costmodel": CostModel,
 	"channels":  Channels,
+	"sharded":   Sharded,
+	"chanloss":  ChanLoss,
 }
 
 // Names returns the registered experiment names, sorted.

@@ -47,8 +47,10 @@ func (s *MultiDSISystem) KNN(q spatial.Point, k int, probe int64, loss *broadcas
 	return dsi.NewMultiClient(s.Lay, probe, loss).KNN(q, k, s.Strategy)
 }
 
-// CycleLen returns the cycle length of the channel clients tune to
-// first, which is the range workload probe slots are drawn from.
+// CycleLen returns the range workload probe slots are drawn from: the
+// layout's total slot count across channels (see Layout.ProbeCycle —
+// drawing over just the start channel's short cycle would pin the long
+// data channels near phase zero and bias every measured wait).
 func (s *MultiDSISystem) CycleLen() int { return s.Lay.ProbeCycle() }
 
 // AcquireSession returns a pooled session around one long-lived

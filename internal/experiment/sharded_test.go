@@ -1,0 +1,175 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"dsi/internal/dsi"
+	"dsi/internal/sched"
+)
+
+// shardParams keeps the sharded experiment tests fast while leaving
+// enough frames for eight channels and a clearly resolvable skew.
+var shardParams = Params{N: 500, Order: 7, Seed: 11, Queries: 20, Verify: true}
+
+// TestShardedBeatsUniformUnderSkew is the PR's acceptance criterion:
+// for Zipf theta >= 0.8 the skew-aware sharded layout answers the
+// skewed window workload with strictly lower access latency than
+// uniform striping at equal aggregate bandwidth — and the whole sweep
+// is bit-identical across parallelism levels.
+func TestShardedBeatsUniformUnderSkew(t *testing.T) {
+	p := shardParams
+	ds := p.Dataset()
+	defer SetParallelism(Parallelism())
+
+	type cell struct {
+		theta float64
+		n     int
+		pt    shardedPoint
+	}
+	run := func() []cell {
+		var out []cell
+		for _, n := range ShardedChannels {
+			for _, th := range ShardedThetas {
+				out = append(out, cell{th, n, shardedCell(ds, p, th, n)})
+			}
+		}
+		return out
+	}
+
+	SetParallelism(1)
+	seq := run()
+	SetParallelism(4)
+	par := run()
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("sharded sweep differs across parallelism levels:\nseq: %+v\npar: %+v", seq, par)
+	}
+
+	for _, c := range seq {
+		if c.theta < 0.8 {
+			continue
+		}
+		if c.pt.shard.LatencyBytes >= c.pt.split.LatencyBytes {
+			t.Errorf("theta=%.1f x%d: shard latency %.0fB >= uniform split %.0fB",
+				c.theta, c.n, c.pt.shard.LatencyBytes, c.pt.split.LatencyBytes)
+		}
+		if c.pt.wait > c.pt.uniformWait {
+			t.Errorf("theta=%.1f x%d: planned wait %.1f slots above uniform %.1f",
+				c.theta, c.n, c.pt.wait, c.pt.uniformWait)
+		}
+	}
+}
+
+// TestShardedExperimentStructure runs the registered experiment
+// end-to-end (verified queries) and checks its shape.
+func TestShardedExperimentStructure(t *testing.T) {
+	res := Sharded(shardParams)
+	if want := 2 * len(ShardedChannels); len(res.Figures) != want {
+		t.Fatalf("sharded produced %d figures, want %d", len(res.Figures), want)
+	}
+	for _, f := range res.Figures {
+		if len(f.X) != len(ShardedThetas) || len(f.Series) != 2 {
+			t.Errorf("%s: %d xs, %d series", f.ID, len(f.X), len(f.Series))
+		}
+		for _, s := range f.Series {
+			if len(s.Y) != len(ShardedThetas) {
+				t.Errorf("%s series %s: %d points", f.ID, s.Name, len(s.Y))
+			}
+		}
+	}
+}
+
+// TestShardProfileMatchesWorkload: the profiler's hot frames are where
+// the Zipf workload actually lands — the head of the HC order carries
+// more weight than the tail for theta > 0.
+func TestShardProfileMatchesWorkload(t *testing.T) {
+	p := shardParams
+	ds := p.Dataset()
+	x, err := dsi.Build(ds, dsi.Config{Capacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := p.workload(ds)
+	train := wl.zipfWindows(1.0, DefaultWinSideRatio, 7000, 200)
+	prof := shardProfile(x, train)
+	head, tail := 0.0, 0.0
+	for f := 0; f < x.NF/10; f++ {
+		head += prof.Freq[f]
+	}
+	for f := x.NF - x.NF/10; f < x.NF; f++ {
+		tail += prof.Freq[f]
+	}
+	if head <= 2*tail {
+		t.Fatalf("head weight %.0f not dominant over tail %.0f", head, tail)
+	}
+	// And the resulting plan gives the head shorter cycles: the shard
+	// containing frame 0 must be smaller than the one containing the
+	// last frame.
+	plan, err := sched.Partition(prof, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := plan.Bounds[1] - plan.Bounds[0]
+	last := plan.Bounds[len(plan.Bounds)-1] - plan.Bounds[len(plan.Bounds)-2]
+	if first >= last {
+		t.Fatalf("hot shard (%d frames) not smaller than cold shard (%d): bounds %v",
+			first, last, plan.Bounds)
+	}
+}
+
+// TestChanLossStructure runs the heterogeneous channel-quality
+// experiment end-to-end with verified queries and checks that loss
+// always deteriorates both metrics relative to the clean run.
+func TestChanLossStructure(t *testing.T) {
+	res := ChanLoss(shardParams)
+	if len(res.Tables) != 1 {
+		t.Fatalf("chanloss produced %d tables", len(res.Tables))
+	}
+	tb := res.Tables[0]
+	if want := len(ChanLossThetas) * 3; len(tb.Rows) != want {
+		t.Fatalf("chanloss has %d rows, want %d", len(tb.Rows), want)
+	}
+	for _, row := range tb.Rows {
+		for _, cell := range row[4:] {
+			if len(cell) == 0 || cell[len(cell)-1] != '%' {
+				t.Errorf("cell %q is not a percentage", cell)
+			}
+		}
+	}
+}
+
+// TestChanLossDataLossCostsLatency: losing data packets costs more
+// latency than losing the (fast-recurring) index tables at the same
+// per-channel loss rate.
+func TestChanLossDataLossCostsLatency(t *testing.T) {
+	p := shardParams
+	ds := p.Dataset()
+	wl := p.workload(ds)
+	x, err := dsi.Build(ds, dsi.Config{Capacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := dsi.NewLayout(x, dsi.MultiConfig{
+		Channels: ChanLossChannels, Scheduler: dsi.SchedSplit, SwitchSlots: DefaultSwitchSlots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := chanLossScenarios()
+	indexOnly := chanLossRun(lay, wl, 0.4, scs[0])
+	dataOnly := chanLossRun(lay, wl, 0.4, scs[1])
+	if dataOnly.LatencyBytes <= indexOnly.LatencyBytes {
+		t.Errorf("data-channel loss latency %.0fB <= index-channel loss %.0fB",
+			dataOnly.LatencyBytes, indexOnly.LatencyBytes)
+	}
+}
+
+// BenchmarkSharded is the CI smoke benchmark of the sched layer: one
+// verified skewed workload comparison at 4 channels.
+func BenchmarkSharded(b *testing.B) {
+	p := Params{N: 400, Order: 7, Seed: 11, Queries: 10, Verify: true}
+	ds := p.Dataset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shardedCell(ds, p, 1.0, 4)
+	}
+}

@@ -113,7 +113,14 @@ func (wl *Workload) loss(seed int64) *broadcast.LossModel {
 // per-query stats are accumulated in query order, so the averages are
 // bit-identical at any parallelism setting.
 func (wl *Workload) RunWindow(sys System, ratio float64) Metrics {
-	qs := wl.genWindows(ratio)
+	return wl.runWindows(sys, wl.genWindows(ratio))
+}
+
+// runWindows replays an explicit window-query list — the entry point of
+// the skewed (non-uniform) workloads, whose queries are generated
+// elsewhere but replayed with the same sharding and determinism
+// guarantees as RunWindow.
+func (wl *Workload) runWindows(sys System, qs []windowQuery) Metrics {
 	return wl.run(sys, len(qs), func(s QuerySession, i int) broadcast.Stats {
 		q := qs[i]
 		probe := int64(q.uProb * float64(sys.CycleLen()))
@@ -149,18 +156,33 @@ func (wl *Workload) RunKNN(sys System, k int) Metrics {
 
 // run executes n queries on the worker pool and averages their metrics
 // in query order. Each worker owns one reusable session for its whole
-// lifetime, and every query execution holds a global token, so total
-// in-flight query work stays within SetParallelism even when a figure
-// sweep runs several workloads concurrently.
+// lifetime.
 func (wl *Workload) run(sys System, n int, query func(s QuerySession, i int) broadcast.Stats) Metrics {
+	return replay(n,
+		func() QuerySession { return acquireSession(sys) },
+		func(s QuerySession) { releaseSession(sys, s) },
+		query)
+}
+
+// replay is the deterministic parallel replay core every workload
+// runner goes through: it executes n independent query simulations on
+// the worker pool, each worker owning one reusable state W (acquired
+// once, released when the worker drains), every query execution holding
+// a global token — so total in-flight query work stays within
+// SetParallelism even when a figure sweep runs several workloads
+// concurrently — and averages the per-query metrics in query order,
+// which makes the result bit-identical at any parallelism setting.
+func replay[W any](n int, acquire func() W, release func(W), query func(w W, i int) broadcast.Stats) Metrics {
 	stats := make([]broadcast.Stats, n)
 	toks := queryTokens()
 	parallelWorkers(n, func(next func() (int, bool)) {
-		s := acquireSession(sys)
-		defer releaseSession(sys, s)
+		w := acquire()
+		if release != nil {
+			defer release(w)
+		}
 		for i, ok := next(); ok; i, ok = next() {
 			toks <- struct{}{}
-			stats[i] = query(s, i)
+			stats[i] = query(w, i)
 			<-toks
 		}
 	})
@@ -169,7 +191,7 @@ func (wl *Workload) run(sys System, n int, query func(s QuerySession, i int) bro
 		lat += float64(st.LatencyBytes())
 		tun += float64(st.TuningBytes())
 	}
-	q := float64(wl.Queries)
+	q := float64(n)
 	return Metrics{LatencyBytes: lat / q, TuningBytes: tun / q}
 }
 

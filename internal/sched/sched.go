@@ -1,0 +1,269 @@
+// Package sched plans skew-aware broadcast schedules: it turns a query
+// trace into per-frame access frequencies (Profile), cuts the
+// Hilbert-ordered frame sequence into contiguous shards whose
+// load-weighted cycle lengths are minimal (Partition), and emits the
+// shard boundaries as a dsi.Layout-compatible placement (Plan) in which
+// every shard is a broadcast disk: a data channel cycling through just
+// its own frames, so a small, hot shard rebroadcasts its frames
+// proportionally more often than a large, cold one.
+//
+// The planning objective is the classic broadcast-disks one. A query
+// for a frame in shard s waits, in expectation, half of the shard's
+// cycle length |s|*DataPackets; with P(s) the probability that a query
+// hits shard s, the expected data wait is proportional to
+//
+//	sum_s P(s) * |s|
+//
+// which Partition minimizes exactly over all contiguous partitions (the
+// cost is a Monge matrix, so the divide-and-conquer optimization of the
+// underlying dynamic program is exact). Uniform striping — equal-size
+// shards — is the profile-free special case; under a skewed profile the
+// optimum assigns hot spans short cycles and recovers it as theta -> 0.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dsi/internal/dsi"
+	"dsi/internal/hilbert"
+)
+
+// Profile holds per-frame access frequencies of a DSI broadcast,
+// accumulated from a query trace. The zero weight is a valid profile
+// (uniform partition); weights need not be normalized.
+type Profile struct {
+	X *dsi.Index
+	// Freq[f] is the accumulated access weight of frame f.
+	Freq []float64
+}
+
+// NewProfile returns an empty profile over the index's frames.
+func NewProfile(x *dsi.Index) *Profile {
+	return &Profile{X: x, Freq: make([]float64, x.NF)}
+}
+
+// AddRange accumulates weight w on every frame that can hold objects
+// with HC values in [lo, hi): the frames a query for that range visits.
+func (p *Profile) AddRange(lo, hi uint64, w float64) {
+	if lo >= hi || w == 0 {
+		return
+	}
+	x := p.X
+	// First frame whose successor starts at or above lo, up to the last
+	// frame starting below hi. The >= (rather than >) keeps a frame
+	// whose last objects duplicate the next frame's minimum HC == lo in
+	// the charged set; without duplicates it can at most charge one
+	// extra boundary frame, which a frequency profile tolerates.
+	f := sort.Search(x.NF, func(f int) bool {
+		return f+1 >= x.NF || x.MinHC(f+1) >= lo
+	})
+	for ; f < x.NF && x.MinHC(f) < hi; f++ {
+		p.Freq[f] += w
+	}
+}
+
+// AddRanges accumulates weight w on every frame overlapping any of the
+// target ranges (one query's HC decomposition).
+func (p *Profile) AddRanges(targets []hilbert.Range, w float64) {
+	for _, r := range targets {
+		p.AddRange(r.Lo, r.Hi, w)
+	}
+}
+
+// Total returns the accumulated weight across all frames.
+func (p *Profile) Total() float64 {
+	var t float64
+	for _, w := range p.Freq {
+		t += w
+	}
+	return t
+}
+
+// Plan is a shard schedule: bounds[s] .. bounds[s+1] delimit shard s,
+// one data channel per shard.
+type Plan struct {
+	X *dsi.Index
+	// Bounds are the shard boundaries: ascending frame ids from 0 to
+	// NF, len = shards+1. They plug into dsi.MultiConfig.ShardBounds.
+	Bounds []int
+	// Load[s] is the fraction of the profile's weight falling on shard
+	// s (0 for an unweighted profile).
+	Load []float64
+}
+
+// Shards returns the number of shards.
+func (p *Plan) Shards() int { return len(p.Bounds) - 1 }
+
+// ExpectedWait returns the load-weighted mean data wait of the plan in
+// packet slots: sum_s Load[s] * |s| * DataPackets / 2, the
+// broadcast-disks objective the partitioner minimizes. dataPackets is
+// the per-frame data payload in slots (dsi.Layout.DataPackets).
+func (p *Plan) ExpectedWait(dataPackets int) float64 {
+	var w float64
+	for s := 0; s < p.Shards(); s++ {
+		w += p.Load[s] * float64(p.Bounds[s+1]-p.Bounds[s])
+	}
+	return w * float64(dataPackets) / 2
+}
+
+// MultiConfig returns the dsi layout configuration realizing the plan:
+// one data channel per shard plus the index channel.
+func (p *Plan) MultiConfig(switchSlots int) dsi.MultiConfig {
+	return dsi.MultiConfig{
+		Channels:    p.Shards() + 1,
+		Scheduler:   dsi.SchedShard,
+		SwitchSlots: switchSlots,
+		ShardBounds: p.Bounds,
+	}
+}
+
+// Layout places the plan's index onto its channels.
+func (p *Plan) Layout(switchSlots int) (*dsi.Layout, error) {
+	return dsi.NewLayout(p.X, p.MultiConfig(switchSlots))
+}
+
+func (p *Plan) String() string {
+	return fmt.Sprintf("Plan{%d shards over %d frames, bounds %v}", p.Shards(), p.X.NF, p.Bounds)
+}
+
+// Partition cuts the profile's frames into k contiguous shards
+// minimizing the expected data wait sum_s P(s)*|s| and returns the
+// resulting plan. It errors when k exceeds the frame count or the
+// index's broadcast is reorganized (shards are HC spans; interleaved
+// segments would break their contiguity on air). A zero (or uniform)
+// profile yields balanced shards. Cut points are snapped forward off
+// duplicate frame minima so every shard starts on a fresh HC value (the
+// shard split doubles as catalog knowledge).
+func Partition(p *Profile, k int) (*Plan, error) {
+	x := p.X
+	if x.Cfg.Segments != 1 {
+		return nil, fmt.Errorf("sched: cannot shard a reorganized broadcast (m=%d)", x.Cfg.Segments)
+	}
+	if k < 1 || k > x.NF {
+		return nil, fmt.Errorf("sched: %d shards for %d frames", k, x.NF)
+	}
+	freq := p.Freq
+	if p.Total() == 0 {
+		// No observations: every partition costs zero, so optimize the
+		// uniform-access objective instead, which yields balanced
+		// shards (the striping baseline).
+		freq = make([]float64, x.NF)
+		for f := range freq {
+			freq[f] = 1
+		}
+	}
+	bounds := partitionMonge(freq, k)
+	// Snap cuts off duplicate minima (multi-object frames can repeat an
+	// HC value across a frame boundary): shards must begin on a strictly
+	// larger minimum than their predecessor frame ends with, so each cut
+	// moves forward past the duplicate run. Left to right, so a moved
+	// cut can push the next one along; a workload whose duplicates leave
+	// no room for k distinct cuts is rejected rather than silently
+	// emitting bounds the layout would refuse.
+	for s := 1; s < k; s++ {
+		if bounds[s] <= bounds[s-1] {
+			bounds[s] = bounds[s-1] + 1
+		}
+		for bounds[s] < x.NF && x.MinHC(bounds[s]) <= x.MinHC(bounds[s]-1) {
+			bounds[s]++
+		}
+		if bounds[s] >= x.NF {
+			return nil, fmt.Errorf("sched: duplicate frame minima leave no room for %d shards", k)
+		}
+	}
+	plan := &Plan{X: x, Bounds: bounds, Load: make([]float64, k)}
+	if total := p.Total(); total > 0 {
+		for s := 0; s < k; s++ {
+			var w float64
+			for f := bounds[s]; f < bounds[s+1]; f++ {
+				w += p.Freq[f]
+			}
+			plan.Load[s] = w / total
+		}
+	}
+	return plan, nil
+}
+
+// Uniform returns the profile-free plan: k balanced shards, the
+// equal-bandwidth baseline a skew-aware plan is compared against.
+func Uniform(x *dsi.Index, k int) (*Plan, error) {
+	return Partition(NewProfile(x), k)
+}
+
+// partitionMonge minimizes sum over shards of (shard weight)*(shard
+// length) across all partitions of w into k non-empty contiguous runs,
+// returning the boundaries (len k+1, from 0 to len(w)).
+//
+// dp[s][i] = best cost of cutting the first i frames into s shards;
+// the transition cost C(j, i) = (W[i]-W[j])*(i-j) satisfies the
+// quadrangle inequality ((c-d)(x-y) + (a-b)(u-v) >= 0 for monotone
+// prefix sums), so the row-wise argmins are monotone and each DP row
+// fills in O(n log n) by divide and conquer.
+func partitionMonge(w []float64, k int) []int {
+	n := len(w)
+	pre := make([]float64, n+1)
+	for i, v := range w {
+		pre[i+1] = pre[i] + v
+	}
+	cost := func(j, i int) float64 { return (pre[i] - pre[j]) * float64(i-j) }
+
+	prev := make([]float64, n+1) // dp for s-1 shards
+	cur := make([]float64, n+1)
+	choice := make([][]int32, k+1) // choice[s][i]: best j for dp[s][i]
+	for s := range choice {
+		choice[s] = make([]int32, n+1)
+	}
+	for i := 0; i <= n; i++ {
+		prev[i] = math.Inf(1)
+	}
+	prev[0] = 0
+
+	// fill computes cur[iLo..iHi] knowing the optimal split index lies
+	// in [jLo, jHi] (divide and conquer over the monotone argmin).
+	var fill func(s, iLo, iHi, jLo, jHi int)
+	fill = func(s, iLo, iHi, jLo, jHi int) {
+		if iLo > iHi {
+			return
+		}
+		mid := (iLo + iHi) / 2
+		best, bestJ := math.Inf(1), -1
+		hi := jHi
+		if hi > mid-1 {
+			hi = mid - 1
+		}
+		for j := jLo; j <= hi; j++ {
+			if prev[j] == math.Inf(1) {
+				continue
+			}
+			if c := prev[j] + cost(j, mid); c < best {
+				best, bestJ = c, j
+			}
+		}
+		cur[mid] = best
+		if bestJ < 0 {
+			bestJ = jLo
+		}
+		choice[s][mid] = int32(bestJ)
+		fill(s, iLo, mid-1, jLo, bestJ)
+		fill(s, mid+1, iHi, bestJ, jHi)
+	}
+
+	for s := 1; s <= k; s++ {
+		for i := 0; i <= n; i++ {
+			cur[i] = math.Inf(1)
+		}
+		// i ranges over [s, n-(k-s)]: enough frames before for s shards
+		// and after for the remaining k-s.
+		fill(s, s, n-(k-s), s-1, n-(k-s)-1)
+		prev, cur = cur, prev
+	}
+
+	bounds := make([]int, k+1)
+	bounds[k] = n
+	for s := k; s >= 1; s-- {
+		bounds[s-1] = int(choice[s][bounds[s]])
+	}
+	return bounds
+}

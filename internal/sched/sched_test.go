@@ -1,0 +1,247 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dsi/internal/dataset"
+	"dsi/internal/dsi"
+	"dsi/internal/hilbert"
+)
+
+// brutePartition is the O(n^2 k) reference DP the Monge-optimized
+// partitioner must match exactly.
+func brutePartition(w []float64, k int) (float64, []int) {
+	n := len(w)
+	pre := make([]float64, n+1)
+	for i, v := range w {
+		pre[i+1] = pre[i] + v
+	}
+	cost := func(j, i int) float64 { return (pre[i] - pre[j]) * float64(i-j) }
+	dp := make([][]float64, k+1)
+	from := make([][]int, k+1)
+	for s := range dp {
+		dp[s] = make([]float64, n+1)
+		from[s] = make([]int, n+1)
+		for i := range dp[s] {
+			dp[s][i] = math.Inf(1)
+		}
+	}
+	dp[0][0] = 0
+	for s := 1; s <= k; s++ {
+		for i := s; i <= n; i++ {
+			for j := s - 1; j < i; j++ {
+				if c := dp[s-1][j] + cost(j, i); c < dp[s][i] {
+					dp[s][i] = c
+					from[s][i] = j
+				}
+			}
+		}
+	}
+	bounds := make([]int, k+1)
+	bounds[k] = n
+	for s := k; s >= 1; s-- {
+		bounds[s-1] = from[s][bounds[s]]
+	}
+	return dp[k][n], bounds
+}
+
+func planCost(w []float64, bounds []int) float64 {
+	var c float64
+	for s := 0; s+1 < len(bounds); s++ {
+		var sum float64
+		for f := bounds[s]; f < bounds[s+1]; f++ {
+			sum += w[f]
+		}
+		c += sum * float64(bounds[s+1]-bounds[s])
+	}
+	return c
+}
+
+func TestPartitionMongeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(60)
+		k := 1 + rng.Intn(n)
+		w := make([]float64, n)
+		for i := range w {
+			switch rng.Intn(3) {
+			case 0: // Zipf-ish head
+				w[i] = 1 / math.Pow(float64(i+1), 0.9)
+			case 1:
+				w[i] = rng.Float64()
+			default:
+				w[i] = 0
+			}
+		}
+		wantCost, _ := brutePartition(w, k)
+		bounds := partitionMonge(w, k)
+		if len(bounds) != k+1 || bounds[0] != 0 || bounds[k] != n {
+			t.Fatalf("trial %d: malformed bounds %v", trial, bounds)
+		}
+		for s := 1; s <= k; s++ {
+			if bounds[s] <= bounds[s-1] {
+				t.Fatalf("trial %d: empty shard in %v", trial, bounds)
+			}
+		}
+		if got := planCost(w, bounds); math.Abs(got-wantCost) > 1e-9*(1+wantCost) {
+			t.Fatalf("trial %d (n=%d k=%d): monge cost %g != brute %g (bounds %v)",
+				trial, n, k, got, wantCost, bounds)
+		}
+	}
+}
+
+func buildIndex(t *testing.T, n int, seed int64) *dsi.Index {
+	t.Helper()
+	ds := dataset.Uniform(n, 7, seed)
+	x, err := dsi.Build(ds, dsi.Config{Capacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestProfileAddRange(t *testing.T) {
+	x := buildIndex(t, 300, 3)
+	p := NewProfile(x)
+	// A single-object range touches the frames that can hold its HC
+	// value — conservatively including a frame whose successor starts
+	// exactly at the value (duplicate minima across a boundary would
+	// put the object there).
+	hc := x.DS.Objects[123].HC
+	p.AddRange(hc, hc+1, 1)
+	for f := 0; f < x.NF; f++ {
+		lo := x.MinHC(f)
+		hi := uint64(math.MaxUint64)
+		if f+1 < x.NF {
+			hi = x.MinHC(f + 1)
+		}
+		want := 0.0
+		if hc >= lo && hc < hi || hi == hc {
+			want = 1
+		}
+		if p.Freq[f] != want {
+			t.Fatalf("frame %d weight %g, want %g", f, p.Freq[f], want)
+		}
+	}
+	// A full-curve range touches every frame once more.
+	p.AddRanges([]hilbert.Range{{Lo: 0, Hi: x.DS.Curve.Size()}}, 2)
+	for f := 0; f < x.NF; f++ {
+		if p.Freq[f] < 2 {
+			t.Fatalf("frame %d missed the full-curve range: %g", f, p.Freq[f])
+		}
+	}
+	if p.Total() < float64(2*x.NF) {
+		t.Fatalf("total %g too small", p.Total())
+	}
+}
+
+func TestUniformPlanBalanced(t *testing.T) {
+	x := buildIndex(t, 300, 5)
+	plan, err := Uniform(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Shards() != 4 {
+		t.Fatalf("got %d shards", plan.Shards())
+	}
+	for s := 0; s < 4; s++ {
+		size := plan.Bounds[s+1] - plan.Bounds[s]
+		if size < x.NF/4-1 || size > x.NF/4+1 {
+			t.Fatalf("uniform shard %d has %d frames (nf=%d)", s, size, x.NF)
+		}
+	}
+}
+
+func TestSkewedPlanShrinksHotShard(t *testing.T) {
+	x := buildIndex(t, 400, 7)
+	p := NewProfile(x)
+	// All load on the first 40 frames.
+	for f := 0; f < 40; f++ {
+		p.Freq[f] = 1
+	}
+	plan, err := Partition(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimum splits the hot 40 frames across two fast shards and
+	// leaves the unqueried tail to the third: every loaded frame sits
+	// in a short cycle, the cold 360 frames in the long one.
+	if plan.Bounds[2] != 40 {
+		t.Fatalf("cold tail not isolated: bounds %v", plan.Bounds)
+	}
+	if plan.Load[0]+plan.Load[1] < 0.999 {
+		t.Fatalf("hot shards carry load %g, want ~1", plan.Load[0]+plan.Load[1])
+	}
+	// The skew-aware plan must beat uniform on its own objective.
+	uni, err := Uniform(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni.Load = planLoads(p, uni.Bounds)
+	if pw, uw := plan.ExpectedWait(16), uni.ExpectedWait(16); pw >= uw {
+		t.Fatalf("skewed plan wait %g >= uniform %g", pw, uw)
+	}
+}
+
+// planLoads recomputes shard loads of arbitrary bounds under a profile.
+func planLoads(p *Profile, bounds []int) []float64 {
+	loads := make([]float64, len(bounds)-1)
+	total := p.Total()
+	if total == 0 {
+		return loads
+	}
+	for s := 0; s+1 < len(bounds); s++ {
+		for f := bounds[s]; f < bounds[s+1]; f++ {
+			loads[s] += p.Freq[f]
+		}
+		loads[s] /= total
+	}
+	return loads
+}
+
+func TestPartitionErrors(t *testing.T) {
+	x := buildIndex(t, 100, 9)
+	if _, err := Partition(NewProfile(x), 0); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := Partition(NewProfile(x), x.NF+1); err == nil {
+		t.Error("more shards than frames accepted")
+	}
+	ds := dataset.Uniform(100, 7, 9)
+	xr, err := dsi.Build(ds, dsi.Config{Capacity: 64, Segments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Partition(NewProfile(xr), 2); err == nil {
+		t.Error("reorganized broadcast accepted")
+	}
+}
+
+func TestPlanLayoutRoundTrip(t *testing.T) {
+	x := buildIndex(t, 200, 11)
+	p := NewProfile(x)
+	for f := 0; f < 25; f++ {
+		p.Freq[f] = 3
+	}
+	plan, err := Partition(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := plan.Layout(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.Channels() != 4 {
+		t.Fatalf("layout has %d channels, want 4", lay.Channels())
+	}
+	// Shard s's data channel cycle is exactly its frame count times the
+	// frame payload.
+	for s := 0; s < plan.Shards(); s++ {
+		want := (plan.Bounds[s+1] - plan.Bounds[s]) * lay.DataPackets
+		if got := lay.ChanLen(1 + s); got != want {
+			t.Fatalf("shard %d cycle %d slots, want %d", s, got, want)
+		}
+	}
+}

@@ -46,7 +46,10 @@ func NewMultiTransmitter(lay *dsi.Layout) (*MultiTransmitter, error) {
 	for pos := 0; pos < x.NF; pos++ {
 		tc, ts := lay.TablePlace(pos)
 		for p := 0; p < x.TablePackets; p++ {
-			plan[tc][ts+p] = slotRef{pos: pos, part: p}
+			// Phase-staggered stripe channels may wrap a frame across
+			// the cycle seam, so slot indices are reduced modulo the
+			// channel length.
+			plan[tc][(ts+p)%len(plan[tc])] = slotRef{pos: pos, part: p}
 		}
 		dc, dsl := lay.DataPlace(pos)
 		_, num := x.FrameObjects(x.PosToFrame(pos))
@@ -56,12 +59,19 @@ func NewMultiTransmitter(lay *dsi.Layout) (*MultiTransmitter, error) {
 				if o >= num {
 					ref.obj = -1 // padding slot of a partial last frame
 				}
-				plan[dc][dsl+o*x.ObjPackets+p] = ref
+				plan[dc][(dsl+o*x.ObjPackets+p)%len(plan[dc])] = ref
 			}
 		}
 	}
 	return &MultiTransmitter{Lay: lay, tables: tables, plan: plan}, nil
 }
+
+// Directory returns the encoded on-air channel directory of the
+// transmitter's layout (split and sharded layouts): the shard/cycle
+// catalog a station broadcasts alongside the streams so receivers can
+// interpret multi-channel pointers into unequal cycles. ScanMultiDir
+// consumes it on the receiver side.
+func (t *MultiTransmitter) Directory() ([]byte, error) { return wire.EncodeShardDir(t.Lay) }
 
 // Packet returns the packet broadcast at the given per-channel cycle
 // slot of channel ch.
@@ -122,23 +132,58 @@ type MultiFrameInfo struct {
 // every object header. It fails on any inconsistency between the
 // streams and the layout a receiver would know a priori.
 func ScanMulti(lay *dsi.Layout, streams []<-chan Packet) ([]MultiFrameInfo, error) {
-	if len(streams) != lay.Channels() {
-		return nil, fmt.Errorf("station: %d streams for %d channels", len(streams), lay.Channels())
-	}
-	x := lay.X
 	framesOn := make([]int, lay.Channels())
 	for ch := range framesOn {
 		framesOn[ch] = lay.FramesOn(ch)
 	}
+	return scanMulti(lay, framesOn, streams)
+}
+
+// ScanMultiDir is ScanMulti for a receiver that takes the per-channel
+// geometry from the broadcast's own channel directory rather than from
+// a-priori layout knowledge: the directory is decoded, cross-checked
+// against the layout geometry the slot inversions use, and its frame
+// counts validate every table pointer. A directory that contradicts
+// the streams' actual geometry is rejected.
+func ScanMultiDir(lay *dsi.Layout, dir []byte, streams []<-chan Packet) ([]MultiFrameInfo, error) {
+	entries, err := wire.DecodeShardDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) != lay.Channels() {
+		return nil, fmt.Errorf("station: directory describes %d channels, air has %d",
+			len(entries), lay.Channels())
+	}
+	for ch, e := range entries {
+		if int(e.CycleSlots) != lay.ChanLen(ch) || int(e.Frames) != lay.FramesOn(ch) {
+			return nil, fmt.Errorf("station: directory channel %d geometry (%d frames, %d slots) contradicts the air (%d, %d)",
+				ch, e.Frames, e.CycleSlots, lay.FramesOn(ch), lay.ChanLen(ch))
+		}
+	}
+	return scanMulti(lay, wire.FramesOnDir(entries), streams)
+}
+
+func scanMulti(lay *dsi.Layout, framesOn []int, streams []<-chan Packet) ([]MultiFrameInfo, error) {
+	if len(streams) != lay.Channels() {
+		return nil, fmt.Errorf("station: %d streams for %d channels", len(streams), lay.Channels())
+	}
+	x := lay.X
 	frames := make([]MultiFrameInfo, x.NF)
 	for pos := range frames {
 		frames[pos].Pos = pos
 	}
 
+	// Order-independent table assembly: table parts are placed by slot
+	// inversion rather than read sequentially, because phase-staggered
+	// stripe channels can wrap a frame — table included — across the
+	// cycle seam, and shard channels of unequal cycles interleave
+	// arbitrarily with the index channel.
+	tabSize := wire.MCTableSize(x.E)
+	tabBuf := make([]byte, x.NF*tabSize)
+	tabParts := make([]int, x.NF)
+
 	for ch, in := range streams {
 		expect := 0
-		var tableBuf []byte
-		tablePos := -1
 		for p := range in {
 			if int(p.Ch) != ch {
 				return nil, fmt.Errorf("station: packet for channel %d on channel %d's stream", p.Ch, ch)
@@ -155,25 +200,29 @@ func ScanMulti(lay *dsi.Layout, streams []<-chan Packet) ([]MultiFrameInfo, erro
 			switch {
 			case p.Flags&flagIndex != 0:
 				pos, part, ok := lay.SlotTable(ch, int(p.Slot))
-				if !ok || part != 0 && pos != tablePos {
+				if !ok {
 					return nil, fmt.Errorf("station: channel %d slot %d: unexpected table packet", ch, p.Slot)
 				}
-				if part == 0 {
-					tablePos = pos
-					tableBuf = tableBuf[:0]
+				exp := tabSize - part*x.Cfg.Capacity
+				if exp < 0 {
+					exp = 0
 				}
-				tableBuf = append(tableBuf, p.Payload...)
-				if part == x.TablePackets-1 {
-					if want := wire.MCTableSize(x.E); len(tableBuf) < want {
-						return nil, fmt.Errorf("station: position %d: table truncated to %dB, want %dB",
-							tablePos, len(tableBuf), want)
-					}
-					own, entries, err := wire.DecodeTableMC(tableBuf[:wire.MCTableSize(x.E)], framesOn)
+				if exp > x.Cfg.Capacity {
+					exp = x.Cfg.Capacity
+				}
+				if len(p.Payload) != exp {
+					return nil, fmt.Errorf("station: position %d: table part %d truncated to %dB, want %dB",
+						pos, part, len(p.Payload), exp)
+				}
+				copy(tabBuf[pos*tabSize+part*x.Cfg.Capacity:], p.Payload)
+				tabParts[pos]++
+				if tabParts[pos] == x.TablePackets {
+					own, entries, err := wire.DecodeTableMC(tabBuf[pos*tabSize:(pos+1)*tabSize], framesOn)
 					if err != nil {
-						return nil, fmt.Errorf("station: position %d: %w", tablePos, err)
+						return nil, fmt.Errorf("station: position %d: %w", pos, err)
 					}
-					frames[tablePos].MinHC = own
-					frames[tablePos].Entries = entries
+					frames[pos].MinHC = own
+					frames[pos].Entries = entries
 				}
 			case p.Flags&flagObjectStart != 0:
 				pos, _, ok := lay.SlotData(ch, int(p.Slot))

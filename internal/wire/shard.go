@@ -1,0 +1,143 @@
+// Shard directory: the catalog extension a sharded (or split)
+// multi-channel broadcast ships alongside its index tables. The
+// multi-channel table format points at (channel, per-channel frame
+// index) pairs; on a sharded layout the channels run unequal cycles, so
+// a receiver additionally needs each channel's shard start, frame count
+// and cycle length to turn a pointer into a tuning slot — exactly what
+// the directory carries, one fixed-size entry per channel.
+
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dsi/internal/dsi"
+)
+
+// Directory entry kinds.
+const (
+	// DirIndex marks the channel carrying index tables.
+	DirIndex = 0
+	// DirData marks a data channel (one shard).
+	DirData = 1
+)
+
+// DirEntry describes one channel of a multi-channel layout as it
+// appears in the shard directory.
+type DirEntry struct {
+	Kind       uint8  // DirIndex or DirData
+	StartFrame uint16 // first frame id the channel carries
+	Frames     uint16 // frames per cycle on this channel
+	CycleSlots uint32 // per-channel cycle length in packet slots
+}
+
+// DirEntrySize is the encoded size of one directory entry.
+const DirEntrySize = 1 + 2 + 2 + 4
+
+// DirSize returns the encoded size of a directory over n channels.
+func DirSize(n int) int { return n * DirEntrySize }
+
+// EncodeShardDir serializes the channel directory of a layout with a
+// dedicated index channel (SchedShard or SchedSplit): per channel, its
+// kind, shard start, per-cycle frame count, and cycle length. It fails
+// when the geometry exceeds the entry field widths.
+func EncodeShardDir(lay *dsi.Layout) ([]byte, error) {
+	x := lay.X
+	n := lay.Channels()
+	if (lay.Sched != dsi.SchedShard && lay.Sched != dsi.SchedSplit) || n == 1 {
+		return nil, fmt.Errorf("wire: %v layout has no dedicated index channel to describe", lay.Sched)
+	}
+	buf := make([]byte, DirSize(n))
+	for ch := 0; ch < n; ch++ {
+		e := DirEntry{Kind: DirData, CycleSlots: uint32(lay.ChanLen(ch))}
+		start, frames := 0, lay.FramesOn(ch)
+		if ch == lay.StartCh {
+			e.Kind = DirIndex
+		} else if b := lay.ShardBounds(); b != nil {
+			start = b[ch-1]
+		} else {
+			// Split layouts: contiguous balanced blocks; recover the
+			// start from the first position the channel carries.
+			pos, _, ok := lay.SlotData(ch, 0)
+			if !ok {
+				return nil, fmt.Errorf("wire: channel %d carries no data", ch)
+			}
+			start = pos
+		}
+		if start > 0xffff || frames > 0xffff {
+			return nil, fmt.Errorf("wire: channel %d geometry (%d,%d) exceeds the directory field widths",
+				ch, start, frames)
+		}
+		if x.NF > 0xffff {
+			return nil, fmt.Errorf("wire: %d frames exceed the directory field widths", x.NF)
+		}
+		e.StartFrame = uint16(start)
+		e.Frames = uint16(frames)
+		at := ch * DirEntrySize
+		buf[at] = e.Kind
+		binary.BigEndian.PutUint16(buf[at+1:], e.StartFrame)
+		binary.BigEndian.PutUint16(buf[at+3:], e.Frames)
+		binary.BigEndian.PutUint32(buf[at+5:], e.CycleSlots)
+	}
+	return buf, nil
+}
+
+// DecodeShardDir parses a channel directory and validates its internal
+// consistency: exactly one index channel, non-empty cycles, and data
+// shards that tile the frame range contiguously.
+func DecodeShardDir(buf []byte) ([]DirEntry, error) {
+	if len(buf) == 0 || len(buf)%DirEntrySize != 0 {
+		return nil, fmt.Errorf("wire: directory payload of %d bytes is malformed", len(buf))
+	}
+	n := len(buf) / DirEntrySize
+	dir := make([]DirEntry, n)
+	indexChans := 0
+	nextStart := 0 // accumulated in int: a uint16 sum could wrap past contiguity checks
+	for ch := 0; ch < n; ch++ {
+		at := ch * DirEntrySize
+		e := DirEntry{
+			Kind:       buf[at],
+			StartFrame: binary.BigEndian.Uint16(buf[at+1:]),
+			Frames:     binary.BigEndian.Uint16(buf[at+3:]),
+			CycleSlots: binary.BigEndian.Uint32(buf[at+5:]),
+		}
+		switch e.Kind {
+		case DirIndex:
+			indexChans++
+		case DirData:
+			if int(e.StartFrame) != nextStart {
+				return nil, fmt.Errorf("wire: channel %d shard starts at frame %d, want %d",
+					ch, e.StartFrame, nextStart)
+			}
+			nextStart += int(e.Frames)
+			if nextStart > 0xffff {
+				return nil, fmt.Errorf("wire: shards overflow the 2-byte frame space at channel %d", ch)
+			}
+		default:
+			return nil, fmt.Errorf("wire: channel %d has unknown kind %d", ch, e.Kind)
+		}
+		if e.Frames == 0 || e.CycleSlots == 0 {
+			return nil, fmt.Errorf("wire: channel %d is empty", ch)
+		}
+		if e.CycleSlots%uint32(e.Frames) != 0 {
+			return nil, fmt.Errorf("wire: channel %d cycle %d not a multiple of its %d frames",
+				ch, e.CycleSlots, e.Frames)
+		}
+		dir[ch] = e
+	}
+	if indexChans != 1 {
+		return nil, fmt.Errorf("wire: directory has %d index channels, want 1", indexChans)
+	}
+	return dir, nil
+}
+
+// FramesOnDir extracts the per-channel frame counts of a decoded
+// directory — the geometry DecodeTableMC validates pointers against.
+func FramesOnDir(dir []DirEntry) []int {
+	out := make([]int, len(dir))
+	for ch, e := range dir {
+		out[ch] = int(e.Frames)
+	}
+	return out
+}

@@ -118,8 +118,10 @@ func DecodeHeader(buf []byte) (ObjectHeader, error) {
 // Multi-channel pointers extend the 2-byte forward distance with a
 // 1-byte channel id, so index entries can aim at frames carried on any
 // channel of a multi-channel air (up to 256 channels, 65,536 frames per
-// channel).
-const MCPtrBytes = 1 + ptrBytes
+// channel). The width is defined once in broadcast (dsi's frame sizing
+// reserves it via Config.ReserveMCPtr) so the sizing and the encoding
+// cannot drift apart.
+const MCPtrBytes = broadcast.MCPtrBytes
 
 // MCEntry is one multi-channel index-table entry as it appears on air:
 // the described frame's minimum HC value plus a (channel, per-channel
