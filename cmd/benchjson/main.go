@@ -1,0 +1,164 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON artifact, so CI runs accumulate a benchmark
+// trajectory (one BENCH_<sha>.json per commit) instead of burying the
+// numbers in build logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -sha $SHA -o BENCH_$SHA.json
+//
+// Every benchmark result line ("BenchmarkX-8  10  123 ns/op  45 B/op
+// 6 allocs/op  78 extra-metric") becomes one record carrying ns/op,
+// B/op, allocs/op and any custom metrics keyed by their unit. Non-
+// benchmark lines (goos/goarch/pkg headers, PASS/ok trailers) set the
+// run's metadata or are skipped. The command fails when no benchmark
+// parses — a broken bench pipeline should fail the workflow, not upload
+// an empty artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	// Name is the full benchmark name including the -P GOMAXPROCS
+	// suffix and any sub-benchmark path.
+	Name string `json:"name"`
+	// Pkg is the package the benchmark ran in (from the preceding
+	// "pkg:" header line; empty when the output carries none).
+	Pkg string `json:"pkg,omitempty"`
+	// Runs is the iteration count (the b.N the reported means cover).
+	Runs int64 `json:"runs"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are reported under -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric values keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the JSON artifact layout.
+type File struct {
+	SHA        string      `json:"sha"`
+	GoOS       string      `json:"goos"`
+	GoArch     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parse consumes `go test -bench` output and returns the artifact
+// body. goos/goarch/cpu/pkg header lines annotate the run; they default
+// to the host's when the output carries none.
+func parse(r io.Reader) (File, error) {
+	out := File{GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			out.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		}
+		if b, ok := parseLine(line); ok {
+			b.Pkg = pkg
+			out.Benchmarks = append(out.Benchmarks, b)
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseLine parses one benchmark result line. ok is false for anything
+// that is not one (headers, PASS/ok trailers, test chatter).
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	runs, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], Runs: runs}
+	seenNs := false
+	// The remainder is (value, unit) pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			val := v
+			b.BytesPerOp = &val
+		case "allocs/op":
+			val := v
+			b.AllocsPerOp = &val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, seenNs
+}
+
+func main() {
+	sha := flag.String("sha", os.Getenv("GITHUB_SHA"), "commit SHA recorded in the artifact")
+	outPath := flag.String("o", "", "output path (default BENCH_<sha>.json)")
+	flag.Parse()
+
+	file, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(file.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results in input")
+		os.Exit(1)
+	}
+	file.SHA = *sha
+	path := *outPath
+	if path == "" {
+		if *sha == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: need -sha or -o")
+			os.Exit(1)
+		}
+		path = "BENCH_" + *sha + ".json"
+	}
+	buf, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(file.Benchmarks), path)
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: dsi
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig8-8            	       1	 226103073 ns/op	       364.0 fig8a-Original-B	        82.00 fig8b-Original-B
+BenchmarkQueryThroughput/window/C=64-8         	     226	   5296936 ns/op	    2622 B/op	      30 allocs/op
+BenchmarkClientReuse/window/reused-8           	    3488	    322353 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	dsi	36.846s
+pkg: dsi/internal/experiment
+BenchmarkDrift 	       1	   1421328 ns/op
+--- BENCH: BenchmarkSomethingVerbose
+    bench_test.go:1: chatter
+FAIL
+exit status 1
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GoOS != "linux" || f.GoArch != "amd64" || !strings.Contains(f.CPU, "Xeon") {
+		t.Fatalf("metadata: %+v", f)
+	}
+	if len(f.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(f.Benchmarks))
+	}
+
+	fig8 := f.Benchmarks[0]
+	if fig8.Name != "BenchmarkFig8-8" || fig8.Runs != 1 || fig8.NsPerOp != 226103073 || fig8.Pkg != "dsi" {
+		t.Fatalf("fig8: %+v", fig8)
+	}
+	if fig8.Metrics["fig8a-Original-B"] != 364 || fig8.Metrics["fig8b-Original-B"] != 82 {
+		t.Fatalf("fig8 custom metrics: %+v", fig8.Metrics)
+	}
+	if fig8.BytesPerOp != nil {
+		t.Fatal("fig8 has no -benchmem columns")
+	}
+
+	tput := f.Benchmarks[1]
+	if tput.Name != "BenchmarkQueryThroughput/window/C=64-8" {
+		t.Fatalf("sub-benchmark name: %q", tput.Name)
+	}
+	if tput.BytesPerOp == nil || *tput.BytesPerOp != 2622 || tput.AllocsPerOp == nil || *tput.AllocsPerOp != 30 {
+		t.Fatalf("benchmem columns: %+v", tput)
+	}
+
+	reuse := f.Benchmarks[2]
+	if *reuse.BytesPerOp != 0 || *reuse.AllocsPerOp != 0 {
+		t.Fatalf("zero-alloc columns lost: %+v", reuse)
+	}
+
+	drift := f.Benchmarks[3]
+	if drift.Name != "BenchmarkDrift" || drift.Pkg != "dsi/internal/experiment" || drift.NsPerOp != 1421328 {
+		t.Fatalf("drift: %+v", drift)
+	}
+}
+
+func TestParseLineRejectsChatter(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  	dsi	36.8s",
+		"--- BENCH: BenchmarkVerbose",
+		"Benchmark without numbers",
+		"BenchmarkX-8 notanumber 12 ns/op",
+		"BenchmarkX-8 3 twelve ns/op",
+		"BenchmarkNoNs-8 3 12 B/op", // a result line must carry ns/op
+	} {
+		if b, ok := parseLine(line); ok {
+			t.Errorf("line %q parsed as %+v", line, b)
+		}
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	f, err := parse(strings.NewReader("PASS\nok x 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 0 {
+		t.Fatalf("benchmarks from empty input: %+v", f.Benchmarks)
+	}
+}

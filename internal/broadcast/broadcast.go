@@ -260,6 +260,27 @@ func (t *Tuner) Reset(probeSlot int64, loss *LossModel) {
 	}
 }
 
+// Retune points an air tuner at a different air mid-flight, preserving
+// the absolute clock, the accumulated metrics, and the channel the
+// receiver is tuned to. This models a broadcast schedule swap: the
+// carriers are the same physical channels (so no switch cost applies
+// and per-channel accounting carries over), but from this slot on they
+// transmit the new air's programs. The new air must have the same
+// channel count and capacity — a schedule swap cannot retune radios.
+func (t *Tuner) Retune(air *Air) {
+	if t.air == nil {
+		panic("broadcast: Retune on a single-program tuner")
+	}
+	if len(air.Channels) != len(t.air.Channels) {
+		panic(fmt.Sprintf("broadcast: Retune from %d channels to %d", len(t.air.Channels), len(air.Channels)))
+	}
+	if air.Capacity != t.air.Capacity {
+		panic(fmt.Sprintf("broadcast: Retune from capacity %d to %d", t.air.Capacity, air.Capacity))
+	}
+	t.air = air
+	t.prog = &air.Channels[t.ch].Program
+}
+
 // SetChannelLoss installs a per-channel loss model for channel ch,
 // overriding the tuner-wide model on that channel. Only air tuners
 // support per-channel loss. Reset clears all overrides.

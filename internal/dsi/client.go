@@ -75,6 +75,10 @@ type knowledge struct {
 	// found is the per-range scratch of the merged walk (which ranges
 	// produced an unresolved visit in the current span).
 	found []bool
+
+	// resync is the scratch of rebuildShardSpans (known frame ids in
+	// flight between the old and new span partition).
+	resync []int
 }
 
 // newKnowledge builds the classic knowledge base, whose spans are the
@@ -653,6 +657,12 @@ type Client struct {
 	// trace, when non-nil, receives an Event for every client step.
 	trace func(Event)
 
+	// pendingLay, when non-nil, is a scheduled shard-directory version
+	// bump: at clock pendingAt the broadcast swaps to pendingLay and the
+	// client re-syncs mid-query (see ScheduleResync).
+	pendingLay *Layout
+	pendingAt  int64
+
 	// scr holds per-query scratch reused across queries (see
 	// queries.go); its buffers grow to a steady state after which warm
 	// queries allocate nothing dataset-sized.
@@ -732,6 +742,7 @@ func (c *Client) Reset(probeSlot int64, loss *broadcast.LossModel) {
 	c.tu.Reset(probeSlot, loss)
 	c.kb.reset()
 	c.lastTable = nil
+	c.pendingLay = nil
 }
 
 // SetChannelLoss installs a per-channel loss model on the client's
@@ -947,9 +958,13 @@ func (c *Client) readObject(p, o, id, skip int) {
 // to override the default soonest-unresolved-frame choice.
 func (c *Client) retrieveAll(startPos int, targetsFn func() []hilbert.Range, hook func(p int) (int, bool)) {
 	p := startPos
-	nspan := c.kb.nspan
 	ver := c.scr.targetsVer - 1 // force a mark (re)build on entry
 	for {
+		// A pending shard-directory version bump is detected between
+		// navigation steps (the version rides the index channel the
+		// client mines anyway); re-syncing bumps targetsVer, so the
+		// resolution cache below rebuilds against the new spans.
+		c.maybeResync()
 		c.visit(p, targetsFn)
 		targets := targetsFn()
 		// (Re)build the resolution cache whenever the target set
@@ -958,7 +973,7 @@ func (c *Client) retrieveAll(startPos int, targetsFn func() []hilbert.Range, hoo
 		// monotone in the growing knowledge base.
 		if ver != c.scr.targetsVer {
 			ver = c.scr.targetsVer
-			need := len(targets) * nspan
+			need := len(targets) * c.kb.nspan
 			if cap(c.scr.marks) < need {
 				c.scr.marks = make([]bool, need)
 			} else {

@@ -1,0 +1,316 @@
+// The drift experiment: online re-planning under a migrating hot spot,
+// end to end across the stack. A Zipf window workload starts with its
+// hot head at the beginning of the Hilbert order — the distribution the
+// initial shard plan was trained on — and then migrates halfway around
+// the HC rank space. The static arm keeps the trained plan on air for
+// the whole run (PR 3's offline scheduler); the re-planning arm runs
+// the online loop: a decayed profiler observes every query, a
+// Replanner measures the live plan's drift against the fresh optimum
+// after every few queries, and when the drift crosses the configured
+// ratio the broadcast swaps to the fresh plan at a cycle seam — the
+// query in flight at the seam re-syncs mid-query via the shard
+// directory version bump, later queries tune into the new directory.
+//
+// The planning pass is simulation-free (range decomposition and the
+// Monge DP only) and runs sequentially before the replay, so the swap
+// schedule is part of the experiment's deterministic inputs and the
+// replay itself shards across the worker pool with bit-identical
+// results at any parallelism — including the control contract that the
+// two arms are exactly equal before the drift (no replan triggers while
+// the live plan matches the load, so the arms execute identical code on
+// identical layouts).
+
+package experiment
+
+import (
+	"fmt"
+
+	"dsi/internal/broadcast"
+	"dsi/internal/dsi"
+	"dsi/internal/hilbert"
+	"dsi/internal/sched"
+)
+
+// DriftRatios is the replan-trigger sweep: the live plan is swapped out
+// when its decayed objective exceeds ratio times the fresh optimum's.
+var DriftRatios = []float64{1.2, 1.5, 2.5}
+
+// DriftChannels is the channel-count sweep of the drift experiment.
+var DriftChannels = []int{4, 8}
+
+// DriftTheta is the Zipf skew of the drifting workload.
+const DriftTheta = 1.2
+
+// DriftCheckEvery is the replan-trigger cadence in queries.
+const DriftCheckEvery = 5
+
+// driftHalfLifeFactor sizes the profiler's half-life relative to one
+// workload phase: half a phase, so a migrated hot spot dominates the
+// decayed profile well before the phase ends.
+const driftHalfLifeFactor = 0.5
+
+// driftPoint holds one (ratio, channels) cell: per-arm metrics split at
+// the drift point, and the swap schedule the online loop produced.
+type driftPoint struct {
+	PreStatic, PreReplan   Metrics
+	PostStatic, PostReplan Metrics
+	// Replans counts directory swaps that took effect during the run;
+	// FirstReplan is the global query index whose execution crosses the
+	// first seam (-1 when no swap triggered).
+	Replans     int
+	FirstReplan int
+	// Drift is the measured objective ratio at the first trigger.
+	Drift float64
+}
+
+// driftSchedule is the output of the sequential planning pass: the
+// layouts that were on air and, per query, the layout at its tune-in
+// plus the mid-query re-sync target (-1 for none).
+type driftSchedule struct {
+	lays     []*dsi.Layout
+	planAt   []int
+	resyncTo []int
+}
+
+// staticSchedule pins every query to the initial layout.
+func staticSchedule(lay *dsi.Layout, n int) driftSchedule {
+	s := driftSchedule{
+		lays:     []*dsi.Layout{lay},
+		planAt:   make([]int, n),
+		resyncTo: make([]int, n),
+	}
+	for i := range s.resyncTo {
+		s.resyncTo[i] = -1
+	}
+	return s
+}
+
+// driftBase is the ratio-independent half of one channel count's
+// cells: the workload phases, the trained plan, and the static arm's
+// replayed metrics — shared across the trigger-ratio sweep (the same
+// hoisting the sharded experiment applies to its theta profiles).
+type driftBase struct {
+	x       *dsi.Index
+	queries []windowQuery
+	prof0   *sched.Profile
+	plan0   *sched.Plan
+	lay0    *dsi.Layout
+
+	preStatic, postStatic Metrics
+}
+
+// newDriftBase trains the initial plan on the pre-drift distribution,
+// assembles the two-phase evaluation workload, and replays the static
+// arm once.
+func newDriftBase(x *dsi.Index, wl *Workload, channels int) *driftBase {
+	n := wl.Queries
+	shift := x.DS.N() / 2
+
+	train := wl.zipfShiftWindows(DriftTheta, DefaultWinSideRatio, 7000, n*ShardedTrainFactor, 0)
+	pre := wl.zipfShiftWindows(DriftTheta, DefaultWinSideRatio, 0, n, 0)
+	post := wl.zipfShiftWindows(DriftTheta, DefaultWinSideRatio, 500, n, shift)
+	queries := append(append(make([]windowQuery, 0, 2*n), pre...), post...)
+
+	prof0 := shardProfile(x, train)
+	plan0, err := sched.Partition(prof0, channels-1)
+	if err != nil {
+		panic(err)
+	}
+	lay0, err := plan0.Layout(DefaultSwitchSlots)
+	if err != nil {
+		panic(err)
+	}
+	b := &driftBase{x: x, queries: queries, prof0: prof0, plan0: plan0, lay0: lay0}
+	static := staticSchedule(lay0, len(queries))
+	b.preStatic = wl.runDrift(static, queries, 0, n)
+	b.postStatic = wl.runDrift(static, queries, n, 2*n)
+	return b
+}
+
+// driftCell evaluates one trigger ratio over a shared base.
+func driftCell(b *driftBase, wl *Workload, ratio float64) driftPoint {
+	x := b.x
+	n := wl.Queries
+	queries := b.queries
+
+	pt := driftPoint{FirstReplan: -1, PreStatic: b.preStatic, PostStatic: b.postStatic}
+	sch := driftSchedule{
+		lays:     []*dsi.Layout{b.lay0},
+		planAt:   make([]int, len(queries)),
+		resyncTo: make([]int, len(queries)),
+	}
+
+	// Sequential planning pass: the transmitter's online loop. It is
+	// simulation-free — each query contributes its HC decomposition to
+	// the decayed profile; every DriftCheckEvery queries the Replanner
+	// compares the live plan against the fresh cut. A trigger swaps the
+	// broadcast at the next seam: the query running at that moment
+	// re-syncs mid-flight, queries after it tune into the new directory.
+	op := sched.NewOnlineProfiler(x, driftHalfLifeFactor*float64(n))
+	op.Seed(b.prof0, 1)
+	var rp sched.Replanner
+	snap := sched.NewProfile(x)
+	live := b.plan0
+	curve := x.DS.Curve
+	var ranges []hilbert.Range
+	cur, pending := 0, -1
+	for i, q := range queries {
+		sch.planAt[i] = cur
+		sch.resyncTo[i] = -1
+		if pending >= 0 {
+			sch.resyncTo[i] = pending
+			cur = pending // on air when the next query tunes in
+			pending = -1
+		}
+		rect, ok := curve.ClampRect(q.w.MinX, q.w.MinY, q.w.MaxX, q.w.MaxY)
+		if ok {
+			ranges = curve.AppendRangesFunc(ranges[:0], rect.Classify)
+			op.Observe(ranges, 1)
+		} else {
+			op.Observe(nil, 1)
+		}
+		if (i+1)%DriftCheckEvery != 0 {
+			continue
+		}
+		fresh, drift, trig, err := rp.Replan(op.Snapshot(snap), live, ratio)
+		if err != nil {
+			panic(err)
+		}
+		if !trig || i+1 >= len(queries) {
+			continue
+		}
+		lay, err := fresh.Layout(DefaultSwitchSlots)
+		if err != nil {
+			panic(err)
+		}
+		live = fresh
+		sch.lays = append(sch.lays, lay)
+		pending = len(sch.lays) - 1
+		pt.Replans++
+		if pt.FirstReplan < 0 {
+			pt.FirstReplan = i + 1
+			pt.Drift = drift
+		}
+	}
+
+	pt.PreReplan = wl.runDrift(sch, queries, 0, n)
+	pt.PostReplan = wl.runDrift(sch, queries, n, 2*n)
+	return pt
+}
+
+// driftSession is the per-worker replay state: one long-lived client
+// per layout that was on air, minted lazily and Reset between queries.
+type driftSession struct {
+	lays    []*dsi.Layout
+	clients []*dsi.Client
+	buf     []int
+}
+
+func (s *driftSession) client(idx int, probe int64, loss *broadcast.LossModel) *dsi.Client {
+	c := s.clients[idx]
+	// A client that crossed a seam last query is a client of the new
+	// layout now; the old directory's queries need a fresh one.
+	if c == nil || c.Layout() != s.lays[idx] {
+		c = dsi.NewMultiClient(s.lays[idx], probe, loss)
+		s.clients[idx] = c
+		return c
+	}
+	c.Reset(probe, loss)
+	return c
+}
+
+// runDrift replays queries [from, to) under the swap schedule on the
+// worker pool, averaging metrics in query order (bit-identical at any
+// parallelism). A query with a re-sync target starts under its tune-in
+// layout and receives the directory bump one index-channel cycle after
+// its probe — mid-query for any query that outlives one table sweep.
+func (wl *Workload) runDrift(sch driftSchedule, queries []windowQuery, from, to int) Metrics {
+	return replay(to-from,
+		func() *driftSession {
+			return &driftSession{lays: sch.lays, clients: make([]*dsi.Client, len(sch.lays))}
+		},
+		nil,
+		func(s *driftSession, i int) broadcast.Stats {
+			gi := from + i
+			q := queries[gi]
+			idx := sch.planAt[gi]
+			lay := sch.lays[idx]
+			probe := int64(q.uProb * float64(lay.ProbeCycle()))
+			c := s.client(idx, probe, wl.loss(q.seed))
+			if tgt := sch.resyncTo[gi]; tgt >= 0 {
+				if err := c.ScheduleResync(sch.lays[tgt], probe+int64(lay.ChanLen(0))); err != nil {
+					panic(fmt.Sprintf("experiment: drift resync: %v", err))
+				}
+			}
+			got, st := c.WindowAppend(s.buf[:0], q.w)
+			s.buf = got
+			if wl.Verify {
+				want := wl.DS.WindowBrute(q.w)
+				if !sameIDs(got, want) {
+					panic(fmt.Sprintf("experiment: drift window %v returned %d objects, want %d",
+						q.w, len(got), len(want)))
+				}
+			}
+			return st
+		})
+}
+
+// Drift is the online re-planning experiment: post-drift window latency
+// of the re-planning broadcast versus the static plan, swept over the
+// replan-trigger ratio per channel count, plus the number of directory
+// swaps each trigger setting produced.
+//
+// Expected shape: before the drift the arms tie exactly (no trigger
+// fires, the broadcast never changes). After the hot spot migrates, the
+// static plan serves the new hot span from its huge cold shard and its
+// latency jumps; the re-planning arm swaps to a plan that gives the
+// migrated span short cycles and holds latency near the pre-drift
+// level. Lower trigger ratios react faster (more swaps); a ratio high
+// enough to never trigger degenerates to the static arm.
+func Drift(p Params) Result {
+	p = p.withDefaults()
+	ds := p.Dataset()
+	x, err := dsi.Build(ds, dsi.Config{Capacity: 64, ObjectBytes: p.ObjectBytes})
+	if err != nil {
+		panic(err)
+	}
+	// The base of each channel count — training, initial plan, and the
+	// static arm's full replay — does not depend on the trigger ratio,
+	// so it is computed once and shared across that channel count's
+	// ratio cells.
+	bases := sweep(len(DriftChannels), func(i int) *driftBase {
+		return newDriftBase(x, p.workload(ds), DriftChannels[i])
+	})
+	type cell struct {
+		base  *driftBase
+		ratio float64
+	}
+	var cells []cell
+	for bi := range DriftChannels {
+		for _, r := range DriftRatios {
+			cells = append(cells, cell{bases[bi], r})
+		}
+	}
+	pts := sweep(len(cells), func(i int) driftPoint {
+		return driftCell(cells[i].base, p.workload(ds), cells[i].ratio)
+	})
+	var figs []Figure
+	for ni, n := range DriftChannels {
+		lat := Figure{ID: fmt.Sprintf("drift-lat-%d", n),
+			Title:  fmt.Sprintf("Online re-planning (%d channels): post-drift window access latency", n),
+			XLabel: "replan trigger ratio", YLabel: "access latency (bytes)"}
+		swaps := Figure{ID: fmt.Sprintf("drift-replans-%d", n),
+			Title:  fmt.Sprintf("Online re-planning (%d channels): directory swaps per run", n),
+			XLabel: "replan trigger ratio", YLabel: "swaps", YFmt: "%.0f"}
+		for ri, r := range DriftRatios {
+			pt := pts[ni*len(DriftRatios)+ri]
+			lat.X = append(lat.X, r)
+			swaps.X = append(swaps.X, r)
+			lat.AddPoint("Static", pt.PostStatic.LatencyBytes)
+			lat.AddPoint("Replan", pt.PostReplan.LatencyBytes)
+			swaps.AddPoint("Replan", float64(pt.Replans))
+		}
+		figs = append(figs, lat, swaps)
+	}
+	return Result{Figures: figs}
+}

@@ -1,0 +1,159 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"dsi/internal/dsi"
+)
+
+// driftParams keeps the drift cells fast while leaving enough frames
+// for eight channels and a clearly resolvable migration.
+var driftParams = Params{N: 500, Order: 7, Seed: 11, Queries: 20, Verify: true}
+
+// TestDriftReplanBeatsStaticAfterDrift is the PR's acceptance
+// criterion: under a migrating hot spot, the online re-planning loop
+// (a) never fires before the drift, so the two arms are EXACTLY equal
+// there; (b) answers the post-drift workload with latency at or below
+// the static plan's, strictly below at the tightest trigger; and (c)
+// the whole sweep is bit-identical across parallelism levels.
+func TestDriftReplanBeatsStaticAfterDrift(t *testing.T) {
+	p := driftParams
+	ds := p.Dataset()
+	x, err := dsi.Build(ds, dsi.Config{Capacity: 64, ObjectBytes: p.ObjectBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer SetParallelism(Parallelism())
+
+	type cell struct {
+		ratio float64
+		n     int
+		pt    driftPoint
+	}
+	run := func() []cell {
+		var out []cell
+		for _, n := range DriftChannels {
+			base := newDriftBase(x, p.workload(ds), n)
+			for _, r := range DriftRatios {
+				out = append(out, cell{r, n, driftCell(base, p.workload(ds), r)})
+			}
+		}
+		return out
+	}
+
+	SetParallelism(1)
+	seq := run()
+	SetParallelism(4)
+	par := run()
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("drift sweep differs across parallelism levels:\nseq: %+v\npar: %+v", seq, par)
+	}
+
+	for _, c := range seq {
+		pt := c.pt
+		t.Logf("ratio=%.1f x%d: pre static/replan %.0f/%.0f B, post %.0f/%.0f B, %d swaps (first at query %d, drift %.2f)",
+			c.ratio, c.n, pt.PreStatic.LatencyBytes, pt.PreReplan.LatencyBytes,
+			pt.PostStatic.LatencyBytes, pt.PostReplan.LatencyBytes, pt.Replans, pt.FirstReplan, pt.Drift)
+		// (a) Before the drift: no swap, and the arms tie bit for bit.
+		if pt.FirstReplan >= 0 && pt.FirstReplan < p.Queries {
+			t.Errorf("ratio=%.1f x%d: replan fired at query %d, before the drift", c.ratio, c.n, pt.FirstReplan)
+		}
+		if pt.PreReplan != pt.PreStatic {
+			t.Errorf("ratio=%.1f x%d: pre-drift arms differ: static %+v replan %+v",
+				c.ratio, c.n, pt.PreStatic, pt.PreReplan)
+		}
+		// (b) After the drift: re-planning at or below static.
+		if pt.PostReplan.LatencyBytes > pt.PostStatic.LatencyBytes {
+			t.Errorf("ratio=%.1f x%d: post-drift replan latency %.0fB above static %.0fB",
+				c.ratio, c.n, pt.PostReplan.LatencyBytes, pt.PostStatic.LatencyBytes)
+		}
+		if c.ratio == DriftRatios[len(DriftRatios)-1] {
+			// The loosest trigger is sized to never fire on this
+			// migration: the re-planning arm must degenerate to the
+			// static broadcast exactly (no swap, identical metrics).
+			if pt.Replans != 0 || pt.PostReplan != pt.PostStatic {
+				t.Errorf("ratio=%.1f x%d: loose trigger not degenerate: %d swaps, post %+v vs %+v",
+					c.ratio, c.n, pt.Replans, pt.PostReplan, pt.PostStatic)
+			}
+		} else if pt.Replans == 0 {
+			t.Errorf("ratio=%.1f x%d: migration never triggered a replan", c.ratio, c.n)
+		}
+	}
+	// Strictly better at the tightest trigger, for every channel count.
+	for _, n := range DriftChannels {
+		found := false
+		for _, c := range seq {
+			if c.n == n && c.ratio == DriftRatios[0] {
+				found = true
+				if c.pt.PostReplan.LatencyBytes >= c.pt.PostStatic.LatencyBytes {
+					t.Errorf("x%d ratio=%.1f: replan %.0fB not strictly below static %.0fB",
+						n, c.ratio, c.pt.PostReplan.LatencyBytes, c.pt.PostStatic.LatencyBytes)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("no tightest-ratio cell for %d channels", n)
+		}
+	}
+}
+
+// TestDriftExperimentStructure runs the registered experiment end to
+// end (verified queries) and checks its shape.
+func TestDriftExperimentStructure(t *testing.T) {
+	res := Drift(driftParams)
+	if want := 2 * len(DriftChannels); len(res.Figures) != want {
+		t.Fatalf("drift produced %d figures, want %d", len(res.Figures), want)
+	}
+	for _, f := range res.Figures {
+		if len(f.X) != len(DriftRatios) {
+			t.Errorf("%s: %d xs", f.ID, len(f.X))
+		}
+		for _, s := range f.Series {
+			if len(s.Y) != len(DriftRatios) {
+				t.Errorf("%s series %s: %d points", f.ID, s.Name, len(s.Y))
+			}
+		}
+	}
+}
+
+// TestZipfShiftWindowsCompat: shift 0 must reproduce zipfWindows draw
+// for draw — the sharded experiment's workloads ride on it.
+func TestZipfShiftWindowsCompat(t *testing.T) {
+	p := driftParams
+	ds := p.Dataset()
+	wl := p.workload(ds)
+	a := wl.zipfWindows(1.0, DefaultWinSideRatio, 123, 50)
+	b := wl.zipfShiftWindows(1.0, DefaultWinSideRatio, 123, 50, 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("zipfShiftWindows(shift=0) diverges from zipfWindows")
+	}
+	c := wl.zipfShiftWindows(1.0, DefaultWinSideRatio, 123, 50, ds.N()/2)
+	same := true
+	for i := range a {
+		if a[i].w != c[i].w {
+			same = false
+		}
+		if a[i].uProb != c[i].uProb || a[i].seed != c[i].seed {
+			t.Fatal("shift changed the probe/loss draws")
+		}
+	}
+	if same {
+		t.Fatal("shifted hot spot produced identical windows")
+	}
+}
+
+// BenchmarkDrift is the CI smoke benchmark of the online re-planning
+// loop: one verified migrating-workload cell at 4 channels.
+func BenchmarkDrift(b *testing.B) {
+	p := Params{N: 400, Order: 7, Seed: 11, Queries: 10, Verify: true}
+	ds := p.Dataset()
+	x, err := dsi.Build(ds, dsi.Config{Capacity: 64, ObjectBytes: p.ObjectBytes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		driftCell(newDriftBase(x, p.workload(ds), 4), p.workload(ds), DriftRatios[0])
+	}
+}

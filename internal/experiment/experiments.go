@@ -534,6 +534,7 @@ var Registry = map[string]func(Params) Result{
 	"channels":  Channels,
 	"sharded":   Sharded,
 	"chanloss":  ChanLoss,
+	"drift":     Drift,
 }
 
 // Names returns the registered experiment names, sorted.

@@ -20,6 +20,7 @@ type Figure struct {
 	XLabel string
 	YLabel string
 	XFmt   string // format for X tick labels, default %g
+	YFmt   string // format for Y values; default renders byte counts
 	X      []float64
 	Series []Series
 }
@@ -55,10 +56,13 @@ func (f *Figure) Format() string {
 	for i, x := range f.X {
 		row := fmt.Sprintf("  %-14s", fmt.Sprintf(xf, x))
 		for _, s := range f.Series {
-			if i < len(s.Y) {
-				row += fmt.Sprintf(" %16s", humanBytes(s.Y[i]))
-			} else {
+			switch {
+			case i >= len(s.Y):
 				row += fmt.Sprintf(" %16s", "-")
+			case f.YFmt != "":
+				row += fmt.Sprintf(" %16s", fmt.Sprintf(f.YFmt, s.Y[i]))
+			default:
+				row += fmt.Sprintf(" %16s", humanBytes(s.Y[i]))
 			}
 		}
 		b.WriteString(row + "\n")

@@ -61,6 +61,16 @@ func (z *zipfRanks) rank(u float64) int {
 // uniform workload keeps per-query selectivity comparable across
 // thetas.
 func (wl *Workload) zipfWindows(theta, ratio float64, seedOffset int64, n int) []windowQuery {
+	return wl.zipfShiftWindows(theta, ratio, seedOffset, n, 0)
+}
+
+// zipfShiftWindows is zipfWindows with the hot spot moved: Zipf rank r
+// maps to the object at HC rank (r+shift) mod N, so shift rotates the
+// head of the popularity distribution along the Hilbert order — the
+// drifting-workload generator. The random draws are identical to
+// zipfWindows (shift only relabels ranks), so shift 0 reproduces it bit
+// for bit.
+func (wl *Workload) zipfShiftWindows(theta, ratio float64, seedOffset int64, n, shift int) []windowQuery {
 	rng := newWorkloadRNG(wl.Seed + seedOffset)
 	z := newZipfRanks(wl.DS.N(), theta)
 	side := wl.DS.Curve.Side()
@@ -70,7 +80,7 @@ func (wl *Workload) zipfWindows(theta, ratio float64, seedOffset int64, n int) [
 	}
 	out := make([]windowQuery, n)
 	for i := range out {
-		o := wl.DS.Objects[z.rank(rng.Float64())]
+		o := wl.DS.Objects[(z.rank(rng.Float64())+shift)%wl.DS.N()]
 		out[i] = windowQuery{
 			w:     spatial.ClampedWindow(o.P.X, o.P.Y, win, side),
 			uProb: rng.Float64(),

@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"dsi/internal/spatial"
+)
+
+// TestProfileKNNTraceConcentratesHotDisks closes the ROADMAP gap that
+// Profile was only exercised with window decompositions: a kNN trace
+// profiles through the same HC-range charging, because a kNN query's
+// search space is a disk around the query point and the client visits
+// exactly the frames overlapping the disk's HC decomposition. Profiling
+// a trace of kNN disks clustered at a hot location must concentrate the
+// load on the frames under the hot spot, and the resulting partition
+// must give those frames a shard with a shorter cycle and the dominant
+// load share.
+func TestProfileKNNTraceConcentratesHotDisks(t *testing.T) {
+	x := buildIndex(t, 500, 31)
+	ds := x.DS
+	curve := ds.Curve
+	side := curve.Side()
+
+	// kNN queries cluster around a hot location; the search-disk radius
+	// varies with the draw, imitating the shrinking search spaces of a
+	// real kNN execution (large first-phase disk, tight final disk).
+	hot := spatial.Point{X: side / 5, Y: side / 5}
+	rng := rand.New(rand.NewSource(17))
+	prof := NewProfile(x)
+	for q := 0; q < 200; q++ {
+		qx := float64(hot.X) + rng.NormFloat64()*3
+		qy := float64(hot.Y) + rng.NormFloat64()*3
+		r := 2 + rng.Float64()*10
+		prof.AddRanges(curve.AppendRangesDisk(nil, qx, qy, r), 1)
+	}
+	if prof.Total() == 0 {
+		t.Fatal("kNN trace produced an empty profile")
+	}
+
+	// The hot frame: the one whose HC span contains the hot cell.
+	hotHC := curve.Encode(hot.X, hot.Y)
+	hotFrame := 0
+	for f := 0; f < x.NF; f++ {
+		if x.MinHC(f) <= hotHC {
+			hotFrame = f
+		}
+	}
+	if prof.Freq[hotFrame] == 0 {
+		t.Fatalf("hot frame %d uncharged by the kNN trace", hotFrame)
+	}
+
+	const k = 4
+	plan, err := Partition(prof, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotShard := -1
+	for s := 0; s < k; s++ {
+		if plan.Bounds[s] <= hotFrame && hotFrame < plan.Bounds[s+1] {
+			hotShard = s
+		}
+	}
+	hotLen := plan.Bounds[hotShard+1] - plan.Bounds[hotShard]
+	maxLen, maxLoad := 0, 0.0
+	for s := 0; s < k; s++ {
+		if l := plan.Bounds[s+1] - plan.Bounds[s]; l > maxLen {
+			maxLen = l
+		}
+		if s != hotShard && plan.Load[s] > maxLoad {
+			maxLoad = plan.Load[s]
+		}
+	}
+	if hotLen >= x.NF/k {
+		t.Errorf("hot shard has %d frames, not below the balanced %d: bounds %v",
+			hotLen, x.NF/k, plan.Bounds)
+	}
+	if hotLen >= maxLen {
+		t.Errorf("hot shard (%d frames) not shorter than the coldest (%d): bounds %v",
+			hotLen, maxLen, plan.Bounds)
+	}
+	if plan.Load[hotShard] <= maxLoad {
+		t.Errorf("hot shard load %.3f not dominant (best other %.3f): loads %v",
+			plan.Load[hotShard], maxLoad, plan.Load)
+	}
+	// And the plan beats uniform striping on the broadcast-disks
+	// objective for this kNN workload.
+	uni, err := Uniform(x, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni.Load = planLoads(prof, uni.Bounds)
+	if pw, uw := plan.ExpectedWait(16), uni.ExpectedWait(16); pw >= uw {
+		t.Errorf("kNN-trace plan wait %g not below uniform %g", pw, uw)
+	}
+}

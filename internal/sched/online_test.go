@@ -1,0 +1,282 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dsi/internal/dsi"
+	"dsi/internal/hilbert"
+)
+
+// frameRange returns a target range covering exactly frame f's HC span.
+func frameRange(x *dsi.Index, f int) hilbert.Range {
+	lo := x.MinHC(f)
+	hi := x.DS.Curve.Size()
+	if f+1 < x.NF {
+		hi = x.MinHC(f + 1)
+	}
+	return hilbert.Range{Lo: lo, Hi: hi}
+}
+
+// TestOnlineNoDecayMatchesOffline: with decay disabled the online
+// profiler is the offline Profile, count for count.
+func TestOnlineNoDecayMatchesOffline(t *testing.T) {
+	x := buildIndex(t, 300, 21)
+	off := NewProfile(x)
+	on := NewOnlineProfiler(x, 0)
+	rng := rand.New(rand.NewSource(5))
+	size := x.DS.Curve.Size()
+	for i := 0; i < 50; i++ {
+		lo := rng.Uint64() % size
+		hi := lo + 1 + rng.Uint64()%(size/10)
+		if hi > size {
+			hi = size
+		}
+		targets := []hilbert.Range{{Lo: lo, Hi: hi}}
+		off.AddRanges(targets, 1)
+		on.Observe(targets, 1)
+	}
+	snap := on.Snapshot(nil)
+	for f := range snap.Freq {
+		if snap.Freq[f] != off.Freq[f] {
+			t.Fatalf("frame %d: online %g != offline %g", f, snap.Freq[f], off.Freq[f])
+		}
+	}
+	if on.Queries() != 50 {
+		t.Fatalf("Queries() = %d", on.Queries())
+	}
+}
+
+// TestOnlineDecayHalfLife: an observation's weight halves every
+// halfLife further observations, to floating-point accuracy.
+func TestOnlineDecayHalfLife(t *testing.T) {
+	x := buildIndex(t, 300, 22)
+	const halfLife = 8
+	op := NewOnlineProfiler(x, halfLife)
+	early := frameRange(x, 10)
+	late := frameRange(x, 200)
+	op.Observe([]hilbert.Range{early}, 1)
+	for i := 0; i < halfLife-1; i++ {
+		op.Observe(nil, 1) // decay ticks with no charge
+	}
+	op.Observe([]hilbert.Range{late}, 1)
+	snap := op.Snapshot(nil)
+	we, wl := snap.Freq[10], snap.Freq[200]
+	if wl <= 0 || we <= 0 {
+		t.Fatalf("weights not recorded: early %g late %g", we, wl)
+	}
+	if ratio := we / wl; math.Abs(ratio-0.5) > 1e-9 {
+		t.Fatalf("early/late weight ratio %g, want 0.5 after one half-life", ratio)
+	}
+}
+
+// TestOnlineRescaleKeepsProportions: a tiny half-life drives the lazy
+// scale over the renormalization threshold within a few observations;
+// proportions between surviving observations must come through intact
+// and finite.
+func TestOnlineRescaleKeepsProportions(t *testing.T) {
+	x := buildIndex(t, 300, 23)
+	op := NewOnlineProfiler(x, 0.01) // scale grows ~2^100 per tick
+	a := frameRange(x, 50)
+	b := frameRange(x, 250)
+	for i := 0; i < 20; i++ {
+		op.Observe([]hilbert.Range{a}, 1)
+	}
+	op.Observe([]hilbert.Range{b}, 3)
+	snap := op.Snapshot(nil)
+	for f, w := range snap.Freq {
+		if math.IsInf(w, 0) || math.IsNaN(w) {
+			t.Fatalf("frame %d weight %g not finite", f, w)
+		}
+	}
+	// The b observation is the most recent: weight ~3; the last a
+	// observation is one tick older: decayed by 2^100.
+	if snap.Freq[250] < 2.99 || snap.Freq[250] > 3.01 {
+		t.Fatalf("latest observation weighs %g, want ~3", snap.Freq[250])
+	}
+	if snap.Freq[50] > 1e-20 {
+		t.Fatalf("stale observation weighs %g, want ~0", snap.Freq[50])
+	}
+}
+
+// TestOnlineObserveAllocs: the steady-state observe/snapshot/replan
+// loop must not allocate per query beyond the returned Plan.
+func TestOnlineObserveAllocs(t *testing.T) {
+	x := buildIndex(t, 300, 24)
+	op := NewOnlineProfiler(x, 16)
+	targets := []hilbert.Range{frameRange(x, 7)}
+	snap := NewProfile(x)
+	if n := testing.AllocsPerRun(200, func() {
+		op.Observe(targets, 1)
+		op.Snapshot(snap)
+	}); n != 0 {
+		t.Fatalf("observe+snapshot allocates %.1f times per query", n)
+	}
+}
+
+// TestReplanMatchesPartition: the Replanner's fresh cut is exactly the
+// offline Partition of the same snapshot — including when one Replanner
+// instance is reused across profiles and shard counts (the buffer
+// recycling must not leak state between cuts).
+func TestReplanMatchesPartition(t *testing.T) {
+	x := buildIndex(t, 200, 25)
+	rng := rand.New(rand.NewSource(9))
+	var r Replanner
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(8)
+		p := NewProfile(x)
+		for f := range p.Freq {
+			if rng.Intn(3) > 0 {
+				p.Freq[f] = rng.Float64()
+			}
+		}
+		want, err := Partition(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live, err := Uniform(x, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, drift, _, err := r.Replan(p, live, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if drift < 1 {
+			t.Fatalf("trial %d: drift %g below 1", trial, drift)
+		}
+		for s := range want.Bounds {
+			if fresh.Bounds[s] != want.Bounds[s] {
+				t.Fatalf("trial %d (k=%d): replan bounds %v != partition %v",
+					trial, k, fresh.Bounds, want.Bounds)
+			}
+		}
+	}
+}
+
+// TestReplannerGrowsAcrossInstances: one Replanner reused over indexes
+// of different frame counts — including a larger one after a smaller
+// one — must resize its DP buffers instead of reslicing past their
+// capacity.
+func TestReplannerGrowsAcrossInstances(t *testing.T) {
+	var r Replanner
+	for _, n := range []int{100, 150, 80, 400} {
+		x := buildIndex(t, n, int64(60+n))
+		p := NewProfile(x)
+		for f := 0; f < x.NF/5; f++ {
+			p.Freq[f] = 1
+		}
+		live, err := Uniform(x, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, _, _, err := r.Replan(p, live, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Partition(p, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range want.Bounds {
+			if fresh.Bounds[s] != want.Bounds[s] {
+				t.Fatalf("n=%d: reused replanner bounds %v != partition %v", n, fresh.Bounds, want.Bounds)
+			}
+		}
+	}
+}
+
+// TestReplanTriggersOnDrift is the re-planning loop end to end at the
+// planning layer: a profiler tracking a workload whose hot span
+// migrates reports no drift while the live plan matches the load, then
+// crosses the trigger threshold after the migration, and the fresh plan
+// strictly improves the decayed objective.
+func TestReplanTriggersOnDrift(t *testing.T) {
+	x := buildIndex(t, 400, 26)
+	size := x.DS.Curve.Size()
+	const ratio = 1.25
+	op := NewOnlineProfiler(x, 40)
+	head := hilbert.Range{Lo: x.MinHC(0), Hi: x.MinHC(40)}
+	tail := hilbert.Range{Lo: x.MinHC(x.NF - 40), Hi: size}
+
+	for i := 0; i < 200; i++ {
+		op.Observe([]hilbert.Range{head}, 1)
+	}
+	live, err := Partition(op.Snapshot(nil), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Replanner
+	if _, drift, replan, err := r.Replan(op.Snapshot(nil), live, ratio); err != nil || replan {
+		t.Fatalf("replan on the plan's own training profile: drift %g replan %v err %v", drift, replan, err)
+	}
+
+	// The hot spot migrates: a few half-lives of tail queries wash the
+	// head out of the decayed profile.
+	for i := 0; i < 300; i++ {
+		op.Observe([]hilbert.Range{tail}, 1)
+	}
+	snap := op.Snapshot(nil)
+	fresh, drift, replan, err := r.Replan(snap, live, ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replan {
+		t.Fatalf("drift %g did not trigger a replan at ratio %g", drift, ratio)
+	}
+	if lc, fc := PlanCost(snap.Freq, live.Bounds), PlanCost(snap.Freq, fresh.Bounds); fc >= lc {
+		t.Fatalf("fresh plan cost %g not below live %g", fc, lc)
+	}
+	// The fresh plan gives the migrated hot span a short cycle: the
+	// shard holding the tail is smaller than the one holding the head.
+	tailShard, headShard := -1, -1
+	for s := 0; s < fresh.Shards(); s++ {
+		if fresh.Bounds[s] <= x.NF-20 && x.NF-20 < fresh.Bounds[s+1] {
+			tailShard = s
+		}
+		if fresh.Bounds[s] <= 20 && 20 < fresh.Bounds[s+1] {
+			headShard = s
+		}
+	}
+	ts := fresh.Bounds[tailShard+1] - fresh.Bounds[tailShard]
+	hs := fresh.Bounds[headShard+1] - fresh.Bounds[headShard]
+	if ts >= hs {
+		t.Fatalf("tail shard (%d frames) not smaller than head shard (%d): %v", ts, hs, fresh.Bounds)
+	}
+}
+
+// TestReplanErrors covers the argument validation.
+func TestReplanErrors(t *testing.T) {
+	x := buildIndex(t, 100, 27)
+	live, err := Uniform(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProfile(x)
+	if _, _, _, err := Replan(p, live, 0.5); err == nil {
+		t.Error("ratio below 1 accepted")
+	}
+	other := buildIndex(t, 100, 28)
+	if _, _, _, err := Replan(NewProfile(other), live, 1.5); err == nil {
+		t.Error("profile of a different index accepted")
+	}
+	// Zero profile: nothing to gain, never a replan.
+	if fresh, drift, replan, err := Replan(p, live, 1.0); err != nil || replan || drift != 1 || fresh != live {
+		t.Errorf("zero profile: fresh %v drift %g replan %v err %v", fresh, drift, replan, err)
+	}
+}
+
+// TestPlanCostMatchesObjective: PlanCost is the test-reference
+// objective used by the brute-force partition checks.
+func TestPlanCostMatchesObjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := make([]float64, 50)
+	for i := range w {
+		w[i] = rng.Float64()
+	}
+	bounds := []int{0, 10, 30, 50}
+	if got, want := PlanCost(w, bounds), planCost(w, bounds); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PlanCost %g != reference %g", got, want)
+	}
+}

@@ -47,10 +47,16 @@ func NewProfile(x *dsi.Index) *Profile {
 // AddRange accumulates weight w on every frame that can hold objects
 // with HC values in [lo, hi): the frames a query for that range visits.
 func (p *Profile) AddRange(lo, hi uint64, w float64) {
+	chargeRange(p.X, p.Freq, lo, hi, w)
+}
+
+// chargeRange accumulates weight w on every frame of x that can hold
+// objects with HC values in [lo, hi) — the shared core of the offline
+// Profile and the decayed OnlineProfiler.
+func chargeRange(x *dsi.Index, freq []float64, lo, hi uint64, w float64) {
 	if lo >= hi || w == 0 {
 		return
 	}
-	x := p.X
 	// First frame whose successor starts at or above lo, up to the last
 	// frame starting below hi. The >= (rather than >) keeps a frame
 	// whose last objects duplicate the next frame's minimum HC == lo in
@@ -60,7 +66,7 @@ func (p *Profile) AddRange(lo, hi uint64, w float64) {
 		return f+1 >= x.NF || x.MinHC(f+1) >= lo
 	})
 	for ; f < x.NF && x.MinHC(f) < hi; f++ {
-		p.Freq[f] += w
+		freq[f] += w
 	}
 }
 
@@ -155,13 +161,21 @@ func Partition(p *Profile, k int) (*Plan, error) {
 		}
 	}
 	bounds := partitionMonge(freq, k)
-	// Snap cuts off duplicate minima (multi-object frames can repeat an
-	// HC value across a frame boundary): shards must begin on a strictly
-	// larger minimum than their predecessor frame ends with, so each cut
-	// moves forward past the duplicate run. Left to right, so a moved
-	// cut can push the next one along; a workload whose duplicates leave
-	// no room for k distinct cuts is rejected rather than silently
-	// emitting bounds the layout would refuse.
+	if err := snapBounds(x, bounds); err != nil {
+		return nil, err
+	}
+	return planFor(p, bounds), nil
+}
+
+// snapBounds snaps cut points off duplicate frame minima, in place
+// (multi-object frames can repeat an HC value across a frame boundary):
+// shards must begin on a strictly larger minimum than their predecessor
+// frame ends with, so each cut moves forward past the duplicate run.
+// Left to right, so a moved cut can push the next one along; a workload
+// whose duplicates leave no room for k distinct cuts is rejected rather
+// than silently emitting bounds the layout would refuse.
+func snapBounds(x *dsi.Index, bounds []int) error {
+	k := len(bounds) - 1
 	for s := 1; s < k; s++ {
 		if bounds[s] <= bounds[s-1] {
 			bounds[s] = bounds[s-1] + 1
@@ -170,10 +184,17 @@ func Partition(p *Profile, k int) (*Plan, error) {
 			bounds[s]++
 		}
 		if bounds[s] >= x.NF {
-			return nil, fmt.Errorf("sched: duplicate frame minima leave no room for %d shards", k)
+			return fmt.Errorf("sched: duplicate frame minima leave no room for %d shards", k)
 		}
 	}
-	plan := &Plan{X: x, Bounds: bounds, Load: make([]float64, k)}
+	return nil
+}
+
+// planFor assembles the plan over the given bounds, with per-shard
+// loads taken from the profile.
+func planFor(p *Profile, bounds []int) *Plan {
+	k := len(bounds) - 1
+	plan := &Plan{X: p.X, Bounds: bounds, Load: make([]float64, k)}
 	if total := p.Total(); total > 0 {
 		for s := 0; s < k; s++ {
 			var w float64
@@ -183,7 +204,7 @@ func Partition(p *Profile, k int) (*Plan, error) {
 			plan.Load[s] = w / total
 		}
 	}
-	return plan, nil
+	return plan
 }
 
 // Uniform returns the profile-free plan: k balanced shards, the
@@ -195,26 +216,60 @@ func Uniform(x *dsi.Index, k int) (*Plan, error) {
 // partitionMonge minimizes sum over shards of (shard weight)*(shard
 // length) across all partitions of w into k non-empty contiguous runs,
 // returning the boundaries (len k+1, from 0 to len(w)).
-//
-// dp[s][i] = best cost of cutting the first i frames into s shards;
-// the transition cost C(j, i) = (W[i]-W[j])*(i-j) satisfies the
-// quadrangle inequality ((c-d)(x-y) + (a-b)(u-v) >= 0 for monotone
-// prefix sums), so the row-wise argmins are monotone and each DP row
-// fills in O(n log n) by divide and conquer.
 func partitionMonge(w []float64, k int) []int {
+	var d mongeDP
+	return d.cut(w, k)
+}
+
+// mongeDP holds the working arrays of the divide-and-conquer Monge DP,
+// so a long-lived re-planner re-cutting the same broadcast over and
+// over reuses its buffers instead of reallocating O(n·k) state per cut.
+type mongeDP struct {
+	pre, prev, cur []float64
+	choice         [][]int32
+}
+
+// grow sizes the working arrays for an (n, k) instance, recycling prior
+// storage.
+func (d *mongeDP) grow(n, k int) {
+	need := n + 1
+	// cur is the smallest of the three views into the shared buffer, so
+	// its capacity decides whether the whole buffer fits this instance.
+	if cap(d.cur) < need {
+		buf := make([]float64, 3*need)
+		d.pre, d.prev, d.cur = buf[:need], buf[need:2*need], buf[2*need:]
+	} else {
+		d.pre, d.prev, d.cur = d.pre[:need], d.prev[:need], d.cur[:need]
+	}
+	if len(d.choice) < k+1 {
+		d.choice = append(d.choice, make([][]int32, k+1-len(d.choice))...)
+	}
+	for s := 0; s <= k; s++ {
+		if cap(d.choice[s]) < need {
+			d.choice[s] = make([]int32, need)
+		} else {
+			d.choice[s] = d.choice[s][:need]
+		}
+	}
+}
+
+// cut runs the DP: dp[s][i] = best cost of cutting the first i frames
+// into s shards; the transition cost C(j, i) = (W[i]-W[j])*(i-j)
+// satisfies the quadrangle inequality ((c-d)(x-y) + (a-b)(u-v) >= 0 for
+// monotone prefix sums), so the row-wise argmins are monotone and each
+// DP row fills in O(n log n) by divide and conquer.
+func (d *mongeDP) cut(w []float64, k int) []int {
 	n := len(w)
-	pre := make([]float64, n+1)
+	d.grow(n, k)
+	pre := d.pre
+	pre[0] = 0
 	for i, v := range w {
 		pre[i+1] = pre[i] + v
 	}
 	cost := func(j, i int) float64 { return (pre[i] - pre[j]) * float64(i-j) }
 
-	prev := make([]float64, n+1) // dp for s-1 shards
-	cur := make([]float64, n+1)
-	choice := make([][]int32, k+1) // choice[s][i]: best j for dp[s][i]
-	for s := range choice {
-		choice[s] = make([]int32, n+1)
-	}
+	prev, cur := d.prev, d.cur // prev: dp for s-1 shards
+	choice := d.choice         // choice[s][i]: best j for dp[s][i]
 	for i := 0; i <= n; i++ {
 		prev[i] = math.Inf(1)
 	}

@@ -1,0 +1,85 @@
+// Versioned shard directory: the on-air envelope that makes the shard
+// directory swappable. A static broadcast ships the bare directory
+// (EncodeShardDir); a transmitter that re-plans online ships it wrapped
+// in a small header carrying a magic tag, a monotonically increasing
+// version, the channel count, and the absolute seam slot at which this
+// directory took (or takes) effect. Receivers compare the version
+// against the one they seeded from; a bump tells a mid-query client to
+// re-seed its shard spans from the new entries, and the seam slot tells
+// it when each channel's old cycle gives way to the new schedule
+// (channel ch switches at its first old-cycle boundary at or after the
+// seam, so old-version frames keep streaming across the transition
+// window).
+
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dsi/internal/dsi"
+)
+
+// DirMagic tags a versioned directory payload.
+const DirMagic = 0xD51D
+
+// DirVHeaderSize is the encoded size of the versioned-directory header:
+// magic (2), version (4), channel count (2), seam slot (8).
+const DirVHeaderSize = 2 + 4 + 2 + 8
+
+// DirVSize returns the encoded size of a versioned directory over n
+// channels.
+func DirVSize(n int) int { return DirVHeaderSize + DirSize(n) }
+
+// EncodeDirV serializes the versioned channel directory of a layout:
+// the header followed by the bare directory entries EncodeShardDir
+// produces. seam is the absolute slot at which the directory took
+// effect (0 for the initial directory of a broadcast).
+func EncodeDirV(lay *dsi.Layout, version uint32, seam int64) ([]byte, error) {
+	body, err := EncodeShardDir(lay)
+	if err != nil {
+		return nil, err
+	}
+	if seam < 0 {
+		return nil, fmt.Errorf("wire: negative directory seam %d", seam)
+	}
+	n := lay.Channels()
+	buf := make([]byte, DirVHeaderSize+len(body))
+	binary.BigEndian.PutUint16(buf[0:], DirMagic)
+	binary.BigEndian.PutUint32(buf[2:], version)
+	binary.BigEndian.PutUint16(buf[6:], uint16(n))
+	binary.BigEndian.PutUint64(buf[8:], uint64(seam))
+	copy(buf[DirVHeaderSize:], body)
+	return buf, nil
+}
+
+// DecodeDirV parses a versioned channel directory: header validation
+// (magic, channel count against the body length) followed by the bare
+// directory's own consistency checks. It returns the version, the seam
+// slot at which the directory took effect, and the per-channel entries.
+func DecodeDirV(buf []byte) (version uint32, seam int64, dir []DirEntry, err error) {
+	if len(buf) < DirVHeaderSize {
+		return 0, 0, nil, fmt.Errorf("wire: versioned directory of %d bytes is truncated (header is %d)",
+			len(buf), DirVHeaderSize)
+	}
+	if m := binary.BigEndian.Uint16(buf[0:]); m != DirMagic {
+		return 0, 0, nil, fmt.Errorf("wire: directory magic %#04x, want %#04x", m, DirMagic)
+	}
+	version = binary.BigEndian.Uint32(buf[2:])
+	n := int(binary.BigEndian.Uint16(buf[6:]))
+	rawSeam := binary.BigEndian.Uint64(buf[8:])
+	if rawSeam > 1<<62 {
+		return 0, 0, nil, fmt.Errorf("wire: directory seam %d out of range", rawSeam)
+	}
+	seam = int64(rawSeam)
+	body := buf[DirVHeaderSize:]
+	if len(body) != DirSize(n) {
+		return 0, 0, nil, fmt.Errorf("wire: directory body of %d bytes for %d channels, want %d",
+			len(body), n, DirSize(n))
+	}
+	dir, err = DecodeShardDir(body)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return version, seam, dir, nil
+}

@@ -1,0 +1,150 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"dsi/internal/dataset"
+	"dsi/internal/dsi"
+)
+
+func shardLayout(t *testing.T, n int, seed int64, bounds func(nf int) []int) *dsi.Layout {
+	t.Helper()
+	ds := dataset.Uniform(n, 7, seed)
+	x, err := dsi.Build(ds, dsi.Config{ReserveMCPtr: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bounds(x.NF)
+	lay, err := dsi.NewLayout(x, dsi.MultiConfig{
+		Channels: len(b), Scheduler: dsi.SchedShard, SwitchSlots: 2, ShardBounds: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lay
+}
+
+// TestDirVRoundTrip: encode/decode preserves version, seam, and the
+// entries of the bare directory.
+func TestDirVRoundTrip(t *testing.T) {
+	lay := shardLayout(t, 300, 21, func(nf int) []int { return []int{0, 40, 120, nf} })
+	buf, err := EncodeDirV(lay, 7, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != DirVSize(lay.Channels()) {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), DirVSize(lay.Channels()))
+	}
+	version, seam, dir, err := DecodeDirV(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 7 || seam != 12345 {
+		t.Fatalf("decoded version %d seam %d", version, seam)
+	}
+	bare, err := EncodeShardDir(lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bareDir, err := DecodeShardDir(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dir) != len(bareDir) {
+		t.Fatalf("%d entries, want %d", len(dir), len(bareDir))
+	}
+	for ch := range dir {
+		if dir[ch] != bareDir[ch] {
+			t.Fatalf("channel %d entry %+v != bare %+v", ch, dir[ch], bareDir[ch])
+		}
+	}
+}
+
+// TestDirVErrors covers the malformed-payload paths a receiver must
+// reject: truncation at every interesting boundary, a wrong magic, a
+// channel count contradicting the body, and a corrupted body.
+func TestDirVErrors(t *testing.T) {
+	lay := shardLayout(t, 200, 23, func(nf int) []int { return []int{0, 30, nf} })
+	buf, err := EncodeDirV(lay, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want string
+	}{
+		{"empty", func(b []byte) []byte { return nil }, "truncated"},
+		{"header cut", func(b []byte) []byte { return b[:DirVHeaderSize-1] }, "truncated"},
+		{"body cut", func(b []byte) []byte { return b[:len(b)-3] }, "body"},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }, "magic"},
+		{"channel count lies", func(b []byte) []byte { b[7]++; return b }, "body"},
+		{"overflow seam", func(b []byte) []byte { b[8] = 0xff; return b }, "seam"},
+		{"corrupt entry kind", func(b []byte) []byte { b[DirVHeaderSize] = 9; return b }, "unknown kind"},
+	}
+	for _, tc := range cases {
+		cp := append([]byte(nil), buf...)
+		_, _, _, err := DecodeDirV(tc.mut(cp))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestDirVVersionsDistinguishable: two directories of the same
+// broadcast under different plans decode to different shard maps, and
+// the version field orders them — the property the client re-sync
+// protocol rests on.
+func TestDirVVersionsDistinguishable(t *testing.T) {
+	ds := dataset.Uniform(300, 7, 29)
+	x, err := dsi.Build(ds, dsi.Config{ReserveMCPtr: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(b []int) *dsi.Layout {
+		lay, err := dsi.NewLayout(x, dsi.MultiConfig{
+			Channels: len(b), Scheduler: dsi.SchedShard, SwitchSlots: 2, ShardBounds: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lay
+	}
+	old := mk([]int{0, 100, 200, x.NF})
+	new_ := mk([]int{0, 20, 60, x.NF})
+	bufOld, err := EncodeDirV(old, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufNew, err := EncodeDirV(new_, 2, 7777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vOld, _, dirOld, err := DecodeDirV(bufOld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vNew, seamNew, dirNew, err := DecodeDirV(bufNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vNew <= vOld {
+		t.Fatalf("version not bumped: %d -> %d", vOld, vNew)
+	}
+	if seamNew != 7777 {
+		t.Fatalf("seam %d", seamNew)
+	}
+	same := true
+	for ch := range dirOld {
+		if dirOld[ch] != dirNew[ch] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("re-planned directory decodes identically to the old one")
+	}
+}
