@@ -36,6 +36,8 @@ func main() {
 		probe    = flag.Int64("probe", -1, "probe slot (-1 = middle of the cycle)")
 		theta    = flag.Float64("theta", 0, "link-error ratio in [0,1)")
 		trace    = flag.Bool("trace", false, "print every client step (probe, table, header, object)")
+		channels = flag.Int("channels", 1, "parallel broadcast channels (>1 uses the split scheduler)")
+		switchC  = flag.Int("switch", 2, "channel-switch cost in slots (multi-channel only)")
 	)
 	flag.Parse()
 
@@ -63,7 +65,20 @@ func main() {
 	if *theta > 0 {
 		loss = broadcast.NewLossModel(*theta, *seed+42)
 	}
-	c := dsi.NewClient(x, probeSlot, loss)
+	opts := []dsi.Option{dsi.WithProbeSlot(probeSlot), dsi.WithLoss(loss)}
+	if *channels > 1 {
+		opts = append(opts, dsi.WithMultiConfig(dsi.MultiConfig{
+			Channels:    *channels,
+			Scheduler:   dsi.SchedSplit,
+			SwitchSlots: *switchC,
+		}))
+	}
+	sess, err := dsi.Open(x, opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsiquery: %v\n", err)
+		os.Exit(1)
+	}
+	c := sess.Client()
 	if *trace {
 		c.SetTracer(func(e dsi.Event) { fmt.Println(" ", e) })
 	}

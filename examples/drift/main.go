@@ -113,11 +113,20 @@ func main() {
 		return st.LatencyBytes()
 	}
 
+	mustClient := func(lay *dsi.Layout) *dsi.Client {
+		// The facade's escape hatch: scheduled re-syncs live on the
+		// client underneath the session.
+		s, err := dsi.Open(lay.X, dsi.WithLayout(lay))
+		if err != nil {
+			panic(err)
+		}
+		return s.Client()
+	}
 	var replanLat, staticLat [2]int64 // per phase
-	cs := dsi.NewMultiClient(staticLay, 0, nil)
+	cs := mustClient(staticLay)
 	for i, w := range eval {
 		phase := i / queries
-		cr := dsi.NewMultiClient(liveLay, 0, nil)
+		cr := mustClient(liveLay)
 		replanLat[phase] += run(cr, liveLay, i, w)
 		if pendingLay != nil {
 			liveLay = pendingLay // committed at the seam this query crossed

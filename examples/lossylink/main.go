@@ -55,8 +55,13 @@ func main() {
 		return lat / trials, tun / trials
 	}
 
+	sess, err := dsi.Open(dsiIdx)
+	if err != nil {
+		panic(err)
+	}
 	dsiKNN := func(probe int64, loss *broadcast.LossModel) broadcast.Stats {
-		ids, st := dsi.NewClient(dsiIdx, probe, loss).KNN(q, k, dsi.Conservative)
+		sess.Tune(probe, loss)
+		ids, st := sess.KNN(q, k, dsi.Conservative)
 		mustMatch(ids, want)
 		return st
 	}

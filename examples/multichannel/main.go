@@ -42,17 +42,17 @@ func main() {
 	fmt.Printf("window queries over %s, split scheduler, switch cost 2 slots\n\n", x)
 	fmt.Printf("%-9s %14s %14s %10s\n", "channels", "latency(B)", "tuning(B)", "switches")
 	for _, n := range []int{1, 2, 4, 8} {
-		lay, err := dsi.NewLayout(x, dsi.MultiConfig{
+		sess, err := dsi.Open(x, dsi.WithMultiConfig(dsi.MultiConfig{
 			Channels: n, Scheduler: dsi.SchedSplit, SwitchSlots: 2,
-		})
+		}))
 		if err != nil {
 			panic(err)
 		}
-		c := dsi.NewMultiClient(lay, 0, nil)
+		lay := sess.Layout()
 		var lat, tun, sw int64
 		for _, q := range qs {
-			c.Reset(int64(q.u*float64(lay.ProbeCycle())), nil)
-			got, st := c.Window(q.w)
+			sess.Tune(int64(q.u*float64(lay.ProbeCycle())), nil)
+			got, st := sess.Window(q.w)
 			if len(got) != len(ds.WindowBrute(q.w)) {
 				panic("wrong answer")
 			}

@@ -24,11 +24,15 @@ func main() {
 	}
 	fmt.Println("broadcast:", x)
 
-	// A client tunes in somewhere in the middle of the cycle and asks
-	// for everything in a 20x20 window.
+	// One session answers any number of queries; Tune re-tunes it
+	// between them. A session tunes in somewhere in the middle of the
+	// cycle and asks for everything in a 20x20 window.
 	w := spatial.Rect{MinX: 30, MinY: 30, MaxX: 49, MaxY: 49}
-	c := dsi.NewClient(x, int64(x.Prog.Len()/3), nil)
-	ids, st := c.Window(w)
+	sess, err := dsi.Open(x, dsi.WithProbeSlot(int64(x.Prog.Len()/3)))
+	if err != nil {
+		panic(err)
+	}
+	ids, st := sess.Window(w)
 	fmt.Printf("\nwindow %v -> %d objects\n", w, len(ids))
 	for i, id := range ids {
 		if i == 5 {
@@ -39,10 +43,10 @@ func main() {
 	}
 	fmt.Printf("cost: latency %d bytes, tuning %d bytes\n", st.LatencyBytes(), st.TuningBytes())
 
-	// The same client position, now asking for the 5 nearest objects.
+	// The same tune-in position, now asking for the 5 nearest objects.
 	q := spatial.Point{X: 64, Y: 64}
-	c = dsi.NewClient(x, int64(x.Prog.Len()/3), nil)
-	ids, st = c.KNN(q, 5, dsi.Conservative)
+	sess.Tune(int64(x.Prog.Len()/3), nil)
+	ids, st = sess.KNN(q, 5, dsi.Conservative)
 	fmt.Printf("\n5NN at %v:\n", q)
 	for _, id := range ids {
 		o := ds.ByID(id)

@@ -36,7 +36,10 @@ func main() {
 	fmt.Printf("user at %v looking for the 3 nearest restaurants\n\n", user)
 
 	// Show the answer once (identical under every strategy).
-	c := dsi.NewClient(original, 0, nil)
+	c, err := dsi.Open(original)
+	if err != nil {
+		panic(err)
+	}
 	ids, _ := c.KNN(user, 3, dsi.Conservative)
 	for _, id := range ids {
 		o := ds.ByID(id)
@@ -60,11 +63,14 @@ func main() {
 	const trials = 50
 	fmt.Printf("\naverage cost over %d random tune-in positions:\n", trials)
 	for _, v := range variants {
+		sess, err := dsi.Open(v.x)
+		if err != nil {
+			panic(err)
+		}
 		var lat, tun float64
 		for i := 0; i < trials; i++ {
-			probe := rng.Int63n(int64(v.x.Prog.Len()))
-			c := dsi.NewClient(v.x, probe, nil)
-			_, st := c.KNN(user, 3, v.strat)
+			sess.Tune(rng.Int63n(int64(v.x.Prog.Len())), nil)
+			_, st := sess.KNN(user, 3, v.strat)
 			lat += float64(st.LatencyBytes())
 			tun += float64(st.TuningBytes())
 		}

@@ -106,10 +106,13 @@ func main() {
 		probes[i] = prng.Float64()
 	}
 	run := func(lay *dsi.Layout) (lat, tun int64) {
-		c := dsi.NewMultiClient(lay, 0, nil)
+		sess, err := dsi.Open(lay.X, dsi.WithLayout(lay))
+		if err != nil {
+			panic(err)
+		}
 		for i, w := range eval {
-			c.Reset(int64(probes[i]*float64(lay.ProbeCycle())), nil)
-			got, st := c.Window(w)
+			sess.Tune(int64(probes[i]*float64(lay.ProbeCycle())), nil)
+			got, st := sess.Window(w)
 			if len(got) != len(ds.WindowBrute(w)) {
 				panic("wrong answer")
 			}

@@ -59,8 +59,13 @@ func main() {
 		fmt.Printf("  %-8s latency %9.0f bytes   tuning %8.0f bytes\n", name, lat/trials, tun/trials)
 	}
 
+	sess, err := dsi.Open(dsiIdx)
+	if err != nil {
+		panic(err)
+	}
 	run("DSI", dsiIdx.Prog.Len(), func(probe int64) (int, broadcast.Stats) {
-		ids, st := dsi.NewClient(dsiIdx, probe, nil).Window(w)
+		sess.Tune(probe, nil)
+		ids, st := sess.Window(w)
 		return len(ids), st
 	})
 	run("R-tree", rt.Lay.Prog.Len(), func(probe int64) (int, broadcast.Stats) {

@@ -195,6 +195,14 @@ type Tuner struct {
 	read     int64
 	switches int64
 	chRead   []int64 // per-channel tuning packets; nil for NewTuner tuners
+
+	// phase[ch] is the absolute slot at which channel ch's cycle has
+	// position 0. Nil means every channel is anchored at slot 0 — the
+	// classic simulator convention. A broadcast whose schedule was
+	// swapped at a cycle seam re-anchors each channel at its cutover
+	// slot (see RetunePhased); the phase is a property of the schedule
+	// on air, so Reset preserves it.
+	phase []int64
 }
 
 // NewTuner returns a client tuned in at the given absolute slot of a
@@ -279,14 +287,42 @@ func (t *Tuner) Retune(air *Air) {
 	}
 	t.air = air
 	t.prog = &air.Channels[t.ch].Program
+	// Plain Retune means slot-0 anchoring: a stale phase from an
+	// earlier RetunePhased would skew every position computation
+	// against the new air.
+	t.phase = nil
+}
+
+// RetunePhased is Retune for an air whose channel cycles are not
+// anchored at slot 0: phase[ch] is the absolute slot at which channel
+// ch's new cycle has position 0. A transmitter that swaps schedules at
+// a cycle seam anchors each channel at its cutover slot, so a byte-
+// level receiver following the swap must re-anchor the same way or its
+// position arithmetic drifts off the air by the seam offset. A nil
+// phase re-anchors every channel at slot 0 (the Retune convention).
+func (t *Tuner) RetunePhased(air *Air, phase []int64) {
+	if phase != nil && len(phase) != len(air.Channels) {
+		panic(fmt.Sprintf("broadcast: %d phases for %d channels", len(phase), len(air.Channels)))
+	}
+	t.Retune(air)
+	if phase == nil {
+		t.phase = nil
+		return
+	}
+	t.phase = append(t.phase[:0], phase...)
 }
 
 // SetChannelLoss installs a per-channel loss model for channel ch,
 // overriding the tuner-wide model on that channel. Only air tuners
-// support per-channel loss. Reset clears all overrides.
+// support per-channel loss; a channel outside the air panics with a
+// clear message rather than corrupting (or silently growing) the
+// override table. Reset clears all overrides.
 func (t *Tuner) SetChannelLoss(ch int, loss *LossModel) {
 	if t.air == nil {
 		panic("broadcast: per-channel loss on a single-program tuner")
+	}
+	if ch < 0 || ch >= len(t.air.Channels) {
+		panic(fmt.Sprintf("broadcast: per-channel loss on channel %d outside air of %d", ch, len(t.air.Channels)))
 	}
 	if t.chLoss == nil {
 		t.chLoss = make([]*LossModel, len(t.air.Channels))
@@ -318,8 +354,29 @@ func (t *Tuner) Switch(ch int) {
 func (t *Tuner) Now() int64 { return t.now }
 
 // Pos returns the current position within the broadcast cycle: the slot
-// about to be broadcast, which Read would receive.
-func (t *Tuner) Pos() int { return int(t.now % int64(t.prog.Len())) }
+// about to be broadcast, which Read would receive. On a phase-anchored
+// air (RetunePhased) the position is relative to the current channel's
+// anchor slot.
+func (t *Tuner) Pos() int {
+	l := int64(t.prog.Len())
+	if t.phase == nil {
+		return int(t.now % l)
+	}
+	rel := (t.now - t.phase[t.ch]) % l
+	if rel < 0 {
+		rel += l
+	}
+	return int(rel)
+}
+
+// PhaseOf returns the absolute slot at which channel ch's current cycle
+// has position 0 (always 0 for airs anchored the classic way).
+func (t *Tuner) PhaseOf(ch int) int64 {
+	if t.phase == nil {
+		return 0
+	}
+	return t.phase[ch]
+}
 
 // Read receives the packet at the current slot of the current channel.
 // It advances the clock by one slot and accounts one packet of tuning
@@ -359,9 +416,17 @@ func (t *Tuner) DozeUntil(abs int64) {
 }
 
 // NextOccurrence returns the earliest absolute slot >= now whose cycle
-// position equals pos.
+// position (under the current channel's phase anchor) equals pos.
 func (t *Tuner) NextOccurrence(pos int) int64 {
-	return NextOccurrence(t.now, pos, t.prog.Len())
+	l := t.prog.Len()
+	if pos < 0 || pos >= l {
+		panic(fmt.Sprintf("broadcast: position %d outside cycle of %d", pos, l))
+	}
+	delta := pos - t.Pos()
+	if delta < 0 {
+		delta += l
+	}
+	return t.now + int64(delta)
 }
 
 // DozeUntilPos advances the clock to the next occurrence of the given

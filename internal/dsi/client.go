@@ -515,8 +515,8 @@ func (kb *knowledge) nextUsefulMarked(nowPos int, targets []hilbert.Range, marks
 // length. Marks semantics are as in nextUsefulMarked.
 func (c *Client) nextVisitTimed(targets []hilbert.Range, marks []bool) (pos int, ok bool) {
 	kb := c.kb
-	now := c.tu.Now()
-	cur := c.tu.Channel()
+	now := c.rx.Now()
+	cur := c.rx.Channel()
 	sw := int64(c.lay.Air.SwitchSlots)
 	bestT := int64(math.MaxInt64)
 	best := -1
@@ -568,7 +568,9 @@ func (c *Client) nextVisitTimed(targets []hilbert.Range, marks []bool) (pos int,
 
 // arrivalData returns the slots from now until a visit of position p's
 // data can begin: the channel switch (if any) plus the doze to the
-// frame's data slot, exactly what gotoData would pay.
+// frame's data slot, exactly what gotoData would pay. The wait is
+// computed relative to the channel's phase anchor (0 on simulator
+// airs, the cutover seam on a swapped wire schedule).
 func (c *Client) arrivalData(p int, now int64, cur int, sw int64) int64 {
 	ch := int(c.lay.dataCh[p])
 	var t int64
@@ -576,7 +578,7 @@ func (c *Client) arrivalData(p int, now int64, cur int, sw int64) int64 {
 		t = sw
 	}
 	l := int64(c.lay.ChanLen(ch))
-	wait := (int64(c.lay.dataSlot[p]) - (now + t)) % l
+	wait := (int64(c.lay.dataSlot[p]) - (now + t - c.rx.PhaseOf(ch))) % l
 	if wait < 0 {
 		wait += l
 	}
@@ -593,7 +595,10 @@ func (c *Client) arrivalTables(posLo, posHi, stride int, now int64, cur int, sw 
 		t = sw
 	}
 	l := int64(c.lay.ChanLen(c.lay.StartCh))
-	phase := (now + t) % l
+	phase := (now + t - c.rx.PhaseOf(c.lay.StartCh)) % l
+	if phase < 0 {
+		phase += l
+	}
 	tp := int64(c.x.TablePackets)
 	pLo, pHi := int64(posLo), int64(posHi)
 	// First span position whose table starts at or after the phase.
@@ -638,15 +643,20 @@ func arrivalDelta(nowPos, posLo, posHi, stride, nf int) int {
 }
 
 // Client is a mobile client executing queries over a DSI broadcast.
-// Create one with NewClient; a client answers one query per
-// (construction or Reset), and Reset is cheap — proportional to what
-// the previous query learned, not to the dataset — so long-running
-// simulations reuse one client per worker instead of allocating
-// dataset-sized state per query.
+// Create one with Open (or the legacy NewClient/NewMultiClient
+// wrappers); a client answers one query per (construction or Reset),
+// and Reset is cheap — proportional to what the previous query
+// learned, not to the dataset — so long-running simulations reuse one
+// client per worker instead of allocating dataset-sized state per
+// query.
+//
+// All air access goes through the client's Receiver: the same query
+// engine runs over the in-memory simulator (SimReceiver) and over real
+// byte streams (station.WireReceiver).
 type Client struct {
 	x   *Index
 	lay *Layout
-	tu  *broadcast.Tuner
+	rx  Receiver
 	kb  *knowledge
 
 	// lastTable is the most recently received intact index table
@@ -669,16 +679,28 @@ type Client struct {
 	scr scratch
 }
 
+// newReceiverClient assembles a client over an arbitrary receiver: the
+// knowledge base is built for the receiver's layout (per-shard spans on
+// sharded layouts, broadcast segments otherwise).
+func newReceiverClient(rx Receiver) *Client {
+	lay := rx.Layout()
+	var kb *knowledge
+	if lay.Sched == SchedShard && lay.Channels() > 1 {
+		kb = newShardKnowledge(lay.X, lay.shardBounds)
+	} else {
+		kb = newKnowledge(lay.X)
+	}
+	return &Client{x: lay.X, lay: lay, rx: rx, kb: kb}
+}
+
 // NewClient returns a client that tunes into the single-channel
 // broadcast at the given absolute slot. A nil loss model means an
 // error-free channel.
+//
+// NewClient is a thin wrapper kept for compatibility: new code should
+// use Open, which reaches every layout and receiver through options.
 func NewClient(x *Index, probeSlot int64, loss *broadcast.LossModel) *Client {
-	return &Client{
-		x:   x,
-		lay: x.single,
-		tu:  broadcast.NewTuner(x.Prog, probeSlot, loss),
-		kb:  newKnowledge(x),
-	}
+	return newReceiverClient(NewSimReceiver(x.single, probeSlot, loss))
 }
 
 // NewMultiClient returns a client executing queries over a
@@ -688,38 +710,36 @@ func NewClient(x *Index, probeSlot int64, loss *broadcast.LossModel) *Client {
 // On a sharded layout the client's knowledge base is per-channel (one
 // span per shard). On a one-channel layout it behaves bit-identically
 // to NewClient.
+//
+// NewMultiClient is a thin wrapper kept for compatibility: new code
+// should use Open with WithLayout or WithMultiConfig.
 func NewMultiClient(lay *Layout, probeSlot int64, loss *broadcast.LossModel) *Client {
-	var kb *knowledge
-	if lay.Sched == SchedShard && lay.Channels() > 1 {
-		kb = newShardKnowledge(lay.X, lay.shardBounds)
-	} else {
-		kb = newKnowledge(lay.X)
-	}
-	return &Client{
-		x:   lay.X,
+	return newReceiverClient(&SimReceiver{
 		lay: lay,
 		tu:  broadcast.NewAirTuner(lay.Air, lay.StartCh, probeSlot, loss),
-		kb:  kb,
-	}
+	})
 }
 
 // Layout returns the channel layout the client executes over.
 func (c *Client) Layout() *Layout { return c.lay }
 
+// Receiver returns the client's radio.
+func (c *Client) Receiver() Receiver { return c.rx }
+
 // gotoTable moves the receiver to the start of the index table of the
 // frame at position p, switching channels when the layout placed the
 // table elsewhere.
 func (c *Client) gotoTable(p int) {
-	c.tu.Switch(int(c.lay.tableCh[p]))
-	c.tu.DozeUntilPos(int(c.lay.tableSlot[p]))
+	c.rx.Tune(int(c.lay.tableCh[p]))
+	c.rx.DozeUntilPos(int(c.lay.tableSlot[p]))
 }
 
 // gotoData moves the receiver to the (o*ObjPackets + skip)-th object
 // packet of the frame at position p, switching channels as needed.
 func (c *Client) gotoData(p, o, skip int) {
 	ch := int(c.lay.dataCh[p])
-	c.tu.Switch(ch)
-	c.tu.DozeUntilPos((int(c.lay.dataSlot[p]) + o*c.x.ObjPackets + skip) % c.lay.ChanLen(ch))
+	c.rx.Tune(ch)
+	c.rx.DozeUntilPos((int(c.lay.dataSlot[p]) + o*c.x.ObjPackets + skip) % c.lay.ChanLen(ch))
 }
 
 // gotoFrameEntry moves the receiver to where a tableless visit of the
@@ -739,23 +759,25 @@ func (c *Client) gotoFrameEntry(p int) {
 // behaves exactly like a freshly constructed one (identical results and
 // identical cost metrics) at a fraction of the setup cost.
 func (c *Client) Reset(probeSlot int64, loss *broadcast.LossModel) {
-	c.tu.Reset(probeSlot, loss)
+	c.rx.Reset(probeSlot, loss)
 	c.kb.reset()
 	c.lastTable = nil
 	c.pendingLay = nil
 }
 
 // SetChannelLoss installs a per-channel loss model on the client's
-// tuner, overriding the query-wide model on that channel. Only
-// multi-channel clients support per-channel loss. Reset clears the
+// receiver, overriding the query-wide model on that channel. Only
+// multi-channel clients support per-channel loss, and the channel must
+// exist in the layout: violations return a descriptive error instead
+// of indexing (or panicking) deep inside the tuner. Reset clears the
 // overrides, so heterogeneous-channel simulations reinstall them per
 // query.
-func (c *Client) SetChannelLoss(ch int, loss *broadcast.LossModel) {
-	c.tu.SetChannelLoss(ch, loss)
+func (c *Client) SetChannelLoss(ch int, loss *broadcast.LossModel) error {
+	return c.rx.SetChannelLoss(ch, loss)
 }
 
 // Stats returns the metrics accumulated so far.
-func (c *Client) Stats() broadcast.Stats { return c.tu.Stats() }
+func (c *Client) Stats() broadcast.Stats { return c.rx.Stats() }
 
 // probe performs the initial probe: receive one intact packet on the
 // start channel to synchronize with the broadcast, then doze to the
@@ -763,33 +785,28 @@ func (c *Client) Stats() broadcast.Stats { return c.tu.Stats() }
 // that table's frame.
 func (c *Client) probe() int {
 	for {
-		_, ok := c.tu.Read()
+		_, ok := c.rx.Next()
 		c.emit(Event{Op: OpProbe, OK: ok})
 		if ok {
 			break
 		}
 	}
-	p := c.lay.probePos(c.tu.Pos())
-	c.tu.DozeUntilPos(int(c.lay.tableSlot[p]))
+	p := c.lay.probePos(c.rx.Pos())
+	c.rx.DozeUntilPos(int(c.lay.tableSlot[p]))
 	return p
 }
 
 // readTable receives the index table of the frame at position p (the
-// tuner must be at the frame's first slot). It returns false when any
-// table packet was corrupted, in which case no knowledge is gained but
-// the tuning cost is still paid.
+// receiver must be at the frame's first slot). It returns false when
+// any table packet was corrupted — or, on a byte-level receiver, when
+// the payload did not decode — in which case no knowledge is gained
+// but the tuning cost is still paid.
 func (c *Client) readTable(p int) bool {
-	ok := true
-	for i := 0; i < c.x.TablePackets; i++ {
-		if _, good := c.tu.Read(); !good {
-			ok = false
-		}
-	}
+	t, ok := c.rx.Table(p)
 	c.emit(Event{Op: OpTableRead, Pos: p, Frame: c.x.PosToFrame(p), Arg: c.x.TablePackets, OK: ok})
 	if !ok {
 		return false
 	}
-	t := &c.x.tables[p]
 	c.lastTable = t
 	c.kb.addFrameFact(c.x.PosToFrame(p), t.OwnHC)
 	for _, e := range t.Entries {
@@ -870,10 +887,10 @@ func (c *Client) visit(p int, targetsFn func() []hilbert.Range) {
 			// frame's first header.
 			first, _ := c.x.FrameObjects(f)
 			c.gotoData(p, 0, 0)
-			_, okHdr := c.tu.Read()
+			hc, okHdr := c.rx.Header(p, 0)
 			c.emit(Event{Op: OpHeaderRead, Pos: p, Frame: f, Arg: first, OK: okHdr})
 			if okHdr {
-				c.kb.addFrameFact(f, c.x.DS.Objects[first].HC)
+				c.kb.addFrameFact(f, hc)
 				headerConsumed = 0
 			}
 		}
@@ -917,12 +934,11 @@ func (c *Client) fetchData(p int, targets []hilbert.Range, headerConsumed int) {
 		}
 		// Read the header packet to learn this object's HC value.
 		c.gotoData(p, t, 0)
-		_, ok := c.tu.Read()
+		hc, ok := c.rx.Header(p, t)
 		c.emit(Event{Op: OpHeaderRead, Pos: p, Frame: f, Arg: id, OK: ok})
 		if !ok {
 			continue // lost header: a later cycle rescans this object
 		}
-		hc := c.x.DS.Objects[id].HC
 		c.kb.addHeader(f, t, hc)
 		prev = hc
 		if inTargets(targets, hc) {
@@ -937,12 +953,7 @@ func (c *Client) fetchData(p int, targets []hilbert.Range, headerConsumed int) {
 // intact.
 func (c *Client) readObject(p, o, id, skip int) {
 	c.gotoData(p, o, skip)
-	ok := true
-	for i := skip; i < c.x.ObjPackets; i++ {
-		if _, good := c.tu.Read(); !good {
-			ok = false
-		}
-	}
+	ok := c.rx.Object(p, o, skip)
 	c.emit(Event{Op: OpObjectRead, Pos: p, Frame: c.x.PosToFrame(p), Arg: id, OK: ok})
 	if ok {
 		c.kb.markRetrieved(id)

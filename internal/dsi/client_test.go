@@ -270,9 +270,9 @@ func TestProbeSyncsToFrameStart(t *testing.T) {
 		if p < 0 || p >= x.NF {
 			t.Fatalf("probe from %d landed on position %d", probe, p)
 		}
-		if c.tu.Pos() != x.FrameStartSlot(p) {
+		if c.rx.Pos() != x.FrameStartSlot(p) {
 			t.Fatalf("probe from %d: tuner at slot %d, frame %d starts at %d",
-				probe, c.tu.Pos(), p, x.FrameStartSlot(p))
+				probe, c.rx.Pos(), p, x.FrameStartSlot(p))
 		}
 		st := c.Stats()
 		if st.TuningPackets != 1 {

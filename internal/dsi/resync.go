@@ -38,7 +38,7 @@ func (c *Client) Resync(lay *Layout) error {
 	}
 	c.kb.rebuildShardSpans(lay.shardBounds)
 	c.lay = lay
-	c.tu.Retune(lay.Air)
+	c.rx.Follow(lay)
 	// The resolution cache is per (range, span) and the spans moved:
 	// force the engine to rebuild it.
 	c.scr.targetsVer++
@@ -79,12 +79,23 @@ func (c *Client) ScheduleResync(lay *Layout, atSlot int64) error {
 	return nil
 }
 
-// maybeResync fires a pending scheduled re-sync once the clock has
-// passed its seam. Called between navigation steps: detection
-// granularity is one frame visit, matching a receiver that learns the
-// directory version from the index tables it reads anyway.
+// maybeResync fires a pending re-sync between navigation steps:
+// detection granularity is one frame visit, matching a receiver that
+// learns the directory version from the index tables it reads anyway.
+// Two sources feed it — a byte-level receiver that learned a new shard
+// directory from the air (Poll), and a simulator-side swap scheduled
+// with ScheduleResync once the clock has passed its seam.
 func (c *Client) maybeResync() {
-	if c.pendingLay == nil || c.tu.Now() < c.pendingAt {
+	if lay, ok := c.rx.Poll(); ok {
+		if err := c.Resync(lay); err != nil {
+			// The receiver adopted a directory the client cannot follow;
+			// the two must stay in lockstep, so this is a programming
+			// error, not an input error.
+			panic(fmt.Sprintf("dsi: directory resync failed: %v", err))
+		}
+		return
+	}
+	if c.pendingLay == nil || c.rx.Now() < c.pendingAt {
 		return
 	}
 	lay := c.pendingLay

@@ -1,0 +1,315 @@
+package dsi
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dsi/internal/broadcast"
+	"dsi/internal/dataset"
+	"dsi/internal/spatial"
+)
+
+// TestOpenBitIdenticalToLegacyConstructors is the facade's regression
+// contract: a Session opened over any layout must answer every query
+// with exactly the results and cost metrics of the legacy constructor
+// it replaces — including across Tune cycles, which must behave like
+// the legacy Reset.
+func TestOpenBitIdenticalToLegacyConstructors(t *testing.T) {
+	ds := dataset.Uniform(320, 7, 611)
+	x, err := Build(ds, Config{Capacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := Build(ds, Config{Capacity: 64, Segments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type arm struct {
+		name   string
+		legacy func(probe int64, loss *broadcast.LossModel) *Client
+		open   func() (*Session, error)
+	}
+	mkLay := func(x *Index, mc MultiConfig) *Layout {
+		lay, err := NewLayout(x, mc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lay
+	}
+	split := mkLay(x2, MultiConfig{Channels: 3, Scheduler: SchedSplit, SwitchSlots: 2})
+	shardMC := MultiConfig{Channels: 3, Scheduler: SchedShard, SwitchSlots: 2,
+		ShardBounds: []int{0, x.NF / 3, x.NF}}
+	shard := mkLay(x, shardMC)
+	arms := []arm{
+		{
+			"single",
+			func(p int64, l *broadcast.LossModel) *Client { return NewClient(x, p, l) },
+			func() (*Session, error) { return Open(x) },
+		},
+		{
+			"split layout",
+			func(p int64, l *broadcast.LossModel) *Client { return NewMultiClient(split, p, l) },
+			func() (*Session, error) { return Open(x2, WithLayout(split)) },
+		},
+		{
+			"shard via multiconfig",
+			func(p int64, l *broadcast.LossModel) *Client { return NewMultiClient(shard, p, l) },
+			func() (*Session, error) { return Open(x, WithMultiConfig(shardMC)) },
+		},
+		{
+			"shard via bounds",
+			func(p int64, l *broadcast.LossModel) *Client { return NewMultiClient(shard, p, l) },
+			func() (*Session, error) {
+				return Open(x, WithShardBounds(0, x.NF/3, x.NF), WithSwitchSlots(2))
+			},
+		},
+	}
+
+	side := int(ds.Curve.Side())
+	for _, a := range arms {
+		s, err := a.open()
+		if err != nil {
+			t.Fatalf("%s: Open: %v", a.name, err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		for trial := 0; trial < 12; trial++ {
+			probe := rng.Int63n(int64(s.Layout().ProbeCycle()))
+			var loss *broadcast.LossModel
+			mk := func() *broadcast.LossModel { return nil }
+			if trial%3 == 2 {
+				seed := rng.Int63()
+				mk = func() *broadcast.LossModel { return broadcast.NewLossModel(0.3, seed) }
+			}
+			loss = mk()
+			legacy := a.legacy(probe, mk())
+			s.Tune(probe, loss)
+			if trial%2 == 0 {
+				w := randWindow(rng, side)
+				wantIDs, wantSt := legacy.Window(w)
+				gotIDs, gotSt := s.Window(w)
+				if !equalInts(gotIDs, wantIDs) || gotSt != wantSt {
+					t.Fatalf("%s trial %d: session window (%v,%+v) != legacy (%v,%+v)",
+						a.name, trial, gotIDs, gotSt, wantIDs, wantSt)
+				}
+			} else {
+				q := spatial.Point{X: uint32(rng.Intn(side)), Y: uint32(rng.Intn(side))}
+				k := 1 + rng.Intn(6)
+				wantIDs, wantSt := legacy.KNN(q, k, Conservative)
+				gotIDs, gotSt := s.KNN(q, k, Conservative)
+				if !equalInts(gotIDs, wantIDs) || gotSt != wantSt {
+					t.Fatalf("%s trial %d: session kNN (%v,%+v) != legacy (%v,%+v)",
+						a.name, trial, gotIDs, gotSt, wantIDs, wantSt)
+				}
+			}
+		}
+	}
+}
+
+// TestSessionAutoRetune verifies that a query issued without an
+// intervening Tune behaves like an explicit re-tune at the previous
+// parameters (the legacy Reset-per-query pattern).
+func TestSessionAutoRetune(t *testing.T) {
+	ds := dataset.Uniform(200, 7, 77)
+	x, err := Build(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(x, WithProbeSlot(1234))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := spatial.ClampedWindow(40, 40, 30, ds.Curve.Side())
+	ids1, st1 := s.Window(w)
+	want := append([]int(nil), ids1...)
+	ids2, st2 := s.Window(w)
+	if !equalInts(ids2, want) || st1 != st2 {
+		t.Fatalf("repeat query diverged: (%v,%+v) then (%v,%+v)", want, st1, ids2, st2)
+	}
+	c := NewClient(x, 1234, nil)
+	wantIDs, wantSt := c.Window(w)
+	if !equalInts(ids2, wantIDs) || st2 != wantSt {
+		t.Fatalf("auto-retuned session != fresh client")
+	}
+
+	// An injected receiver's construction-time probe slot must survive
+	// the automatic re-tune too (it used to silently reset to slot 0).
+	rxSess, err := Open(x, WithReceiver(NewSimReceiver(x.SingleLayout(), 1234, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids3, st3 := rxSess.Window(w)
+	ids4, st4 := rxSess.Window(w)
+	if !equalInts(ids3, wantIDs) || st3 != wantSt {
+		t.Fatalf("receiver session first query != fresh client at its probe slot")
+	}
+	if !equalInts(ids4, wantIDs) || st4 != wantSt {
+		t.Fatalf("receiver session auto-retune lost the probe slot: %+v, want %+v", st4, wantSt)
+	}
+}
+
+// TestOpenOptionErrors covers the facade's validation: conflicting
+// layout options, orphan switch cost, cross-index layouts and
+// receivers, and channel-loss overrides that do not fit the layout.
+func TestOpenOptionErrors(t *testing.T) {
+	ds := dataset.Uniform(120, 7, 9)
+	x, err := Build(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := Build(dataset.Uniform(80, 7, 10), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := NewLayout(x, MultiConfig{Channels: 2, Scheduler: SchedSplit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge := broadcast.NewLossModel(0.1, 1)
+	cases := []struct {
+		name string
+		opts []Option
+		want string
+	}{
+		{"layout conflict", []Option{WithLayout(lay), WithMultiConfig(MultiConfig{Channels: 2})}, "more than one"},
+		{"bounds conflict", []Option{WithShardBounds(0, x.NF), WithLayout(lay)}, "more than one"},
+		{"receiver plus layout", []Option{WithReceiver(NewSimReceiver(lay, 0, nil)), WithLayout(lay)}, "carries its own layout"},
+		{"orphan switch slots", []Option{WithSwitchSlots(2)}, "WithShardBounds"},
+		{"foreign layout", []Option{WithLayout(mustLayout(t, other, MultiConfig{Channels: 1}))}, "different index"},
+		{"foreign receiver", []Option{WithReceiver(NewSimReceiver(other.single, 0, nil))}, "different index"},
+		{"bad bounds", []Option{WithShardBounds(0, 0, x.NF)}, "empty"},
+		{"channel loss on single channel", []Option{WithChannelLoss(0, ge)}, "single-channel"},
+		{"channel loss out of range", []Option{WithLayout(lay), WithChannelLoss(5, ge)}, "outside layout"},
+	}
+	for _, tc := range cases {
+		_, err := Open(x, tc.opts...)
+		if err == nil {
+			t.Errorf("%s: Open succeeded, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func mustLayout(t *testing.T, x *Index, mc MultiConfig) *Layout {
+	t.Helper()
+	lay, err := NewLayout(x, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lay
+}
+
+// TestSessionChannelLossPersists verifies WithChannelLoss overrides are
+// reinstalled after Tune (unlike the one-query Client.SetChannelLoss).
+func TestSessionChannelLossPersists(t *testing.T) {
+	ds := dataset.Uniform(200, 7, 21)
+	x, err := Build(ds, Config{Segments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := NewLayout(x, MultiConfig{Channels: 3, Scheduler: SchedSplit, SwitchSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One stateful loss model per arm, shared across that arm's two
+	// queries: the reference reinstalls its model by hand after every
+	// reset, the session must reinstall its own automatically, and the
+	// two RNG streams advance in lockstep query by query.
+	sessLoss := broadcast.NewLossModel(0.2, 99)
+	refLoss := broadcast.NewLossModel(0.2, 99)
+	s, err := Open(x, WithLayout(lay), WithChannelLoss(0, sessLoss))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := spatial.ClampedWindow(10, 10, 40, ds.Curve.Side())
+
+	c := NewMultiClient(lay, 500, nil)
+	for trial := 0; trial < 2; trial++ {
+		c.Reset(500, nil)
+		if err := c.SetChannelLoss(0, refLoss); err != nil {
+			t.Fatal(err)
+		}
+		_, wantSt := c.Window(w)
+
+		s.Tune(500, nil)
+		_, st := s.Window(w)
+		if st != wantSt {
+			t.Fatalf("trial %d: channel loss lost across Tune: %+v, want %+v", trial, st, wantSt)
+		}
+	}
+}
+
+// TestSessionSetChannelLossSurvivesAutoRetune: an override installed
+// between queries must land on the next query even when the session
+// re-tunes automatically (the re-tune used to wipe it).
+func TestSessionSetChannelLossSurvivesAutoRetune(t *testing.T) {
+	ds := dataset.Uniform(200, 7, 21)
+	x, err := Build(ds, Config{Segments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := NewLayout(x, MultiConfig{Channels: 3, Scheduler: SchedSplit, SwitchSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := spatial.ClampedWindow(10, 10, 40, ds.Curve.Side())
+
+	s, err := Open(x, WithLayout(lay), WithProbeSlot(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Window(w) // consume the fresh tune-in
+	if err := s.SetChannelLoss(0, broadcast.NewLossModel(0.2, 99)); err != nil {
+		t.Fatal(err)
+	}
+	_, got := s.Window(w) // must run with the override despite the auto re-tune
+
+	ref := NewMultiClient(lay, 500, nil)
+	if err := ref.SetChannelLoss(0, broadcast.NewLossModel(0.2, 99)); err != nil {
+		t.Fatal(err)
+	}
+	_, want := ref.Window(w)
+	if got != want {
+		t.Fatalf("override wiped by auto re-tune: %+v, want %+v", got, want)
+	}
+}
+
+// TestSessionAllocsSteadyState asserts the facade keeps the client's
+// zero-allocation append contract: a warm session answers window
+// queries within the same fixed budget as a bare client.
+func TestSessionAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets only hold in normal builds")
+	}
+	ds := dataset.Uniform(2000, 8, 31)
+	x, err := Build(ds, Config{Capacity: 64, Segments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := spatial.ClampedWindow(100, 140, 25, ds.Curve.Side())
+	var buf []int
+	for i := 0; i < 3; i++ {
+		s.Tune(int64(i*37), nil)
+		buf, _ = s.WindowAppend(buf[:0], w)
+	}
+	probe := int64(0)
+	avg := testing.AllocsPerRun(20, func() {
+		s.Tune(probe, nil)
+		buf, _ = s.WindowAppend(buf[:0], w)
+		probe = (probe + 61) % int64(x.Prog.Len())
+	})
+	if avg > windowAllocBudget {
+		t.Errorf("warm session window query allocates %.1f/run, budget %d", avg, windowAllocBudget)
+	}
+	if len(buf) == 0 {
+		t.Fatal("window query returned nothing")
+	}
+}

@@ -73,7 +73,7 @@ func (c *Client) SetTracer(fn func(Event)) { c.trace = fn }
 
 func (c *Client) emit(e Event) {
 	if c.trace != nil {
-		e.Slot = c.tu.Now()
+		e.Slot = c.rx.Now()
 		c.trace(e)
 	}
 }

@@ -41,7 +41,7 @@ func chanLossRun(lay *dsi.Layout, wl *Workload, theta float64, sc chanLossScenar
 		// One reusable client per worker; Reset re-tunes it per query
 		// and clears the per-channel loss overrides, which are then
 		// reinstalled with the query's own seeds.
-		func() *dsi.Client { return dsi.NewMultiClient(lay, 0, nil) },
+		func(int) *dsi.Client { return dsi.NewMultiClient(lay, 0, nil) },
 		nil,
 		func(c *dsi.Client, i int) broadcast.Stats {
 			q := qs[i]
@@ -53,7 +53,9 @@ func chanLossRun(lay *dsi.Layout, wl *Workload, theta float64, sc chanLossScenar
 					// packets; the loss process must corrupt them or the
 					// channel would be error-free in practice.
 					m.AffectsData = ch != lay.StartCh
-					c.SetChannelLoss(ch, m)
+					if err := c.SetChannelLoss(ch, m); err != nil {
+						panic(fmt.Sprintf("experiment: chanloss: %v", err))
+					}
 				}
 			}
 			got, st := c.Window(q.w)

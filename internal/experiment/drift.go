@@ -226,7 +226,7 @@ func (s *driftSession) client(idx int, probe int64, loss *broadcast.LossModel) *
 // its probe — mid-query for any query that outlives one table sweep.
 func (wl *Workload) runDrift(sch driftSchedule, queries []windowQuery, from, to int) Metrics {
 	return replay(to-from,
-		func() *driftSession {
+		func(int) *driftSession {
 			return &driftSession{lays: sch.lays, clients: make([]*dsi.Client, len(sch.lays))}
 		},
 		nil,

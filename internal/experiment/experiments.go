@@ -535,6 +535,7 @@ var Registry = map[string]func(Params) Result{
 	"sharded":   Sharded,
 	"chanloss":  ChanLoss,
 	"drift":     Drift,
+	"wireloss":  WireLoss,
 }
 
 // Names returns the registered experiment names, sorted.

@@ -2,7 +2,6 @@ package experiment
 
 import (
 	"fmt"
-	"sync"
 
 	"dsi/internal/broadcast"
 	"dsi/internal/dataset"
@@ -11,13 +10,13 @@ import (
 )
 
 // MultiDSISystem runs queries over a multi-channel DSI layout. Like
-// DSISystem it pools reusable sessions; use it by pointer.
+// DSISystem it pins reusable sessions per worker; use it by pointer.
 type MultiDSISystem struct {
 	Label    string
 	Lay      *dsi.Layout
 	Strategy dsi.Strategy
 
-	sessions sync.Pool // of *multiSession
+	sessions sessionArena // of *multiSession, pinned per worker
 }
 
 // NewMultiDSI builds a DSI broadcast and places it on mc.Channels
@@ -53,44 +52,21 @@ func (s *MultiDSISystem) KNN(q spatial.Point, k int, probe int64, loss *broadcas
 // data channels near phase zero and bias every measured wait).
 func (s *MultiDSISystem) CycleLen() int { return s.Lay.ProbeCycle() }
 
-// AcquireSession returns a pooled session around one long-lived
-// multi-channel client.
-func (s *MultiDSISystem) AcquireSession() QuerySession {
-	if v := s.sessions.Get(); v != nil {
-		return v.(*multiSession)
-	}
-	return &multiSession{sys: s}
+// AcquireSession returns worker's pinned session around one long-lived
+// multi-channel dsi.Session built through the Open facade.
+func (s *MultiDSISystem) AcquireSession(worker int) QuerySession {
+	return s.sessions.acquire(worker, func() QuerySession {
+		dsiSessionsMinted.Add(1)
+		sess, err := dsi.Open(s.Lay.X, dsi.WithLayout(s.Lay))
+		if err != nil {
+			panic(fmt.Sprintf("experiment: opening multi-channel session: %v", err))
+		}
+		return &sessionAdapter{s: sess, strat: s.Strategy}
+	})
 }
 
-// ReleaseSession returns a session to the pool for the next worker.
-func (s *MultiDSISystem) ReleaseSession(q QuerySession) { s.sessions.Put(q) }
-
-type multiSession struct {
-	sys *MultiDSISystem
-	c   *dsi.Client
-	buf []int
-}
-
-func (s *multiSession) client(probe int64, loss *broadcast.LossModel) *dsi.Client {
-	if s.c == nil {
-		s.c = dsi.NewMultiClient(s.sys.Lay, probe, loss)
-	} else {
-		s.c.Reset(probe, loss)
-	}
-	return s.c
-}
-
-func (s *multiSession) Window(w spatial.Rect, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
-	ids, st := s.client(probe, loss).WindowAppend(s.buf[:0], w)
-	s.buf = ids
-	return ids, st
-}
-
-func (s *multiSession) KNN(q spatial.Point, k int, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
-	ids, st := s.client(probe, loss).KNNAppend(s.buf[:0], q, k, s.sys.Strategy)
-	s.buf = ids
-	return ids, st
-}
+// ReleaseSession checks the session back into its worker slot.
+func (s *MultiDSISystem) ReleaseSession(worker int, q QuerySession) { s.sessions.release(worker, q) }
 
 // ChannelCounts is the channel sweep of the multi-channel experiment.
 var ChannelCounts = []int{1, 2, 4, 8}

@@ -11,7 +11,6 @@ package experiment
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"dsi/internal/air"
@@ -44,14 +43,15 @@ type QuerySession interface {
 	KNN(q spatial.Point, k int, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats)
 }
 
-// SessionSystem is a System that pools reusable query sessions. The
-// workload runner acquires a session per worker and releases it after
-// the run, so session state (and its pooled client) survives across
-// workload runs; systems without sessions are queried statelessly.
+// SessionSystem is a System that keeps reusable query sessions in a
+// per-worker arena: worker w always gets the session pinned to slot w,
+// so session state (and its client) survives across workload runs with
+// no pool traffic at all. Systems without sessions are queried
+// statelessly.
 type SessionSystem interface {
 	System
-	AcquireSession() QuerySession
-	ReleaseSession(QuerySession)
+	AcquireSession(worker int) QuerySession
+	ReleaseSession(worker int, s QuerySession)
 }
 
 // statelessSession adapts a plain System to the session interface.
@@ -66,13 +66,13 @@ func (s statelessSession) KNN(q spatial.Point, k int, probe int64, loss *broadca
 }
 
 // DSISystem runs queries over a DSI broadcast with a fixed kNN strategy.
-// Use it by pointer: it carries a session pool.
+// Use it by pointer: it carries a session arena.
 type DSISystem struct {
 	Label    string
 	Index    *dsi.Index
 	Strategy dsi.Strategy
 
-	sessions sync.Pool // of *dsiSession
+	sessions sessionArena // of *dsiSession, pinned per worker
 }
 
 // NewDSI builds a DSI system. The label defaults to "DSI".
@@ -103,45 +103,47 @@ func (s *DSISystem) CycleLen() int { return s.Index.Prog.Len() }
 // can assert that workloads reuse sessions instead of re-minting them.
 var dsiSessionsMinted atomic.Int64
 
-// AcquireSession returns a session around one long-lived dsi.Client
-// that is Reset between queries: identical results and metrics to
-// fresh clients, without the per-query dataset-sized allocations.
-func (s *DSISystem) AcquireSession() QuerySession {
-	if v := s.sessions.Get(); v != nil {
-		return v.(*dsiSession)
-	}
-	dsiSessionsMinted.Add(1)
-	return &dsiSession{sys: s}
+// AcquireSession returns worker's pinned session around one long-lived
+// dsi.Session (built through the Open facade) that is re-tuned between
+// queries: identical results and metrics to fresh clients, without the
+// per-query dataset-sized allocations.
+func (s *DSISystem) AcquireSession(worker int) QuerySession {
+	return s.sessions.acquire(worker, func() QuerySession {
+		dsiSessionsMinted.Add(1)
+		sess, err := dsi.Open(s.Index)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: opening DSI session: %v", err))
+		}
+		return &sessionAdapter{s: sess, strat: s.Strategy}
+	})
 }
 
-// ReleaseSession returns a session to the pool for the next worker.
-func (s *DSISystem) ReleaseSession(q QuerySession) { s.sessions.Put(q) }
+// ReleaseSession checks the session back into its worker slot.
+func (s *DSISystem) ReleaseSession(worker int, q QuerySession) { s.sessions.release(worker, q) }
 
-type dsiSession struct {
-	sys *DSISystem
-	c   *dsi.Client
-	buf []int
+// sessionAdapter adapts a dsi.Session to the harness's QuerySession:
+// re-tune per query, recycle the result buffer, run kNN with the
+// system's strategy. All session systems (classic, multi-channel,
+// wire) share it. Arena mints count into dsiSessionsMinted at the
+// mint site; stateless throwaway adapters stay uncounted so the
+// reuse tests' exact bounds hold.
+type sessionAdapter struct {
+	s     *dsi.Session
+	strat dsi.Strategy
+	buf   []int
 }
 
-// client returns the session's client tuned to the probe slot.
-func (s *dsiSession) client(probe int64, loss *broadcast.LossModel) *dsi.Client {
-	if s.c == nil {
-		s.c = dsi.NewClient(s.sys.Index, probe, loss)
-	} else {
-		s.c.Reset(probe, loss)
-	}
-	return s.c
-}
-
-func (s *dsiSession) Window(w spatial.Rect, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
-	ids, st := s.client(probe, loss).WindowAppend(s.buf[:0], w)
-	s.buf = ids
+func (a *sessionAdapter) Window(w spatial.Rect, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
+	a.s.Tune(probe, loss)
+	ids, st := a.s.WindowAppend(a.buf[:0], w)
+	a.buf = ids
 	return ids, st
 }
 
-func (s *dsiSession) KNN(q spatial.Point, k int, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
-	ids, st := s.client(probe, loss).KNNAppend(s.buf[:0], q, k, s.sys.Strategy)
-	s.buf = ids
+func (a *sessionAdapter) KNN(q spatial.Point, k int, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
+	a.s.Tune(probe, loss)
+	ids, st := a.s.KNNAppend(a.buf[:0], q, k, a.strat)
+	a.buf = ids
 	return ids, st
 }
 

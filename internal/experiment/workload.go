@@ -155,30 +155,31 @@ func (wl *Workload) RunKNN(sys System, k int) Metrics {
 }
 
 // run executes n queries on the worker pool and averages their metrics
-// in query order. Each worker owns one reusable session for its whole
-// lifetime.
+// in query order. Each worker owns the session pinned to its worker id
+// for its whole lifetime.
 func (wl *Workload) run(sys System, n int, query func(s QuerySession, i int) broadcast.Stats) Metrics {
 	return replay(n,
-		func() QuerySession { return acquireSession(sys) },
-		func(s QuerySession) { releaseSession(sys, s) },
+		func(worker int) QuerySession { return acquireSession(sys, worker) },
+		func(worker int, s QuerySession) { releaseSession(sys, worker, s) },
 		query)
 }
 
 // replay is the deterministic parallel replay core every workload
 // runner goes through: it executes n independent query simulations on
 // the worker pool, each worker owning one reusable state W (acquired
-// once, released when the worker drains), every query execution holding
-// a global token — so total in-flight query work stays within
-// SetParallelism even when a figure sweep runs several workloads
-// concurrently — and averages the per-query metrics in query order,
-// which makes the result bit-identical at any parallelism setting.
-func replay[W any](n int, acquire func() W, release func(W), query func(w W, i int) broadcast.Stats) Metrics {
+// for its worker id once, released when the worker drains), every
+// query execution holding a global token — so total in-flight query
+// work stays within SetParallelism even when a figure sweep runs
+// several workloads concurrently — and averages the per-query metrics
+// in query order, which makes the result bit-identical at any
+// parallelism setting.
+func replay[W any](n int, acquire func(worker int) W, release func(worker int, w W), query func(w W, i int) broadcast.Stats) Metrics {
 	stats := make([]broadcast.Stats, n)
 	toks := queryTokens()
-	parallelWorkers(n, func(next func() (int, bool)) {
-		w := acquire()
+	parallelWorkers(n, func(id int, next func() (int, bool)) {
+		w := acquire(id)
 		if release != nil {
-			defer release(w)
+			defer release(id, w)
 		}
 		for i, ok := next(); ok; i, ok = next() {
 			toks <- struct{}{}

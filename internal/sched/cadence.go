@@ -1,0 +1,61 @@
+// Adaptive replan cadence. The online loop's original cadence was a
+// fixed query count between drift checks (the drift experiment's
+// DriftCheckEvery): cheap while the workload is stable, but every
+// check of a stable workload is wasted, and when the hot spot finally
+// migrates the fixed interval bounds how fast the drift can be
+// noticed. A Cadence spends the same planning budget where it matters:
+// every check feeds the measured drift ratio back, a rising trend
+// halves the interval to the next check (down to Min) and a flat or
+// falling trend doubles it (up to Max), so checks thin out over stable
+// stretches and crowd together exactly while drift is building toward
+// the trigger.
+
+package sched
+
+// Cadence adapts the interval between replan checks to the drift
+// trend. Use: run a check every Interval() queries, feed the measured
+// drift ratio to Observe, and wait the returned interval until the
+// next check. The zero value is invalid; construct with NewCadence.
+type Cadence struct {
+	min, max int
+	cur      int
+	last     float64
+	primed   bool
+}
+
+// NewCadence returns a cadence starting at the initial interval and
+// adapting within [min, max]. Panics on a non-positive or inverted
+// range or an initial interval outside it.
+func NewCadence(initial, min, max int) *Cadence {
+	if min < 1 || max < min || initial < min || initial > max {
+		panic("sched: cadence needs 1 <= min <= initial <= max")
+	}
+	return &Cadence{min: min, max: max, cur: initial}
+}
+
+// Interval returns the current number of queries until the next check.
+func (c *Cadence) Interval() int { return c.cur }
+
+// Observe feeds the drift ratio measured at a check and returns the
+// interval until the next one: a ratio above the previous check's
+// halves the interval (drift is building — look again soon), anything
+// else doubles it (the plan still fits — spend the budget elsewhere).
+// The first observation only primes the trend and keeps the interval.
+func (c *Cadence) Observe(drift float64) int {
+	switch {
+	case !c.primed:
+		c.primed = true
+	case drift > c.last:
+		c.cur /= 2
+		if c.cur < c.min {
+			c.cur = c.min
+		}
+	default:
+		c.cur *= 2
+		if c.cur > c.max {
+			c.cur = c.max
+		}
+	}
+	c.last = drift
+	return c.cur
+}

@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"dsi/internal/hilbert"
+)
+
+// cadenceBed builds the migration scenario the cadence is for: a plan
+// trained on a hot span at the head of the HC order, a stable query
+// phase on that span, then a migrated phase on a span half the rank
+// space away.
+type cadenceBed struct {
+	stream    []hilbert.Range
+	migrateAt int
+	live      *Plan
+	train     *Profile
+}
+
+func newCadenceBed(t *testing.T) *cadenceBed {
+	t.Helper()
+	x := buildIndex(t, 240, 31)
+	rng := rand.New(rand.NewSource(17))
+	hot := func(base, width int) hilbert.Range {
+		return frameRange(x, base+rng.Intn(width))
+	}
+
+	train := NewProfile(x)
+	for i := 0; i < 400; i++ {
+		r := hot(0, 24)
+		train.AddRanges([]hilbert.Range{r}, 1)
+	}
+	live, err := Partition(train, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const stable, drifted = 200, 400
+	b := &cadenceBed{migrateAt: stable, live: live, train: train}
+	for i := 0; i < stable; i++ {
+		b.stream = append(b.stream, hot(0, 24))
+	}
+	// The hot spot migrates gradually: the fraction of load on the new
+	// span ramps up over 250 queries, so the measured drift climbs
+	// across several checks before crossing the trigger — the regime an
+	// adaptive cadence exploits (an instantaneous jump is detected at
+	// the very next check under any cadence).
+	for i := 0; i < drifted; i++ {
+		frac := float64(i) / 250
+		if rng.Float64() < frac {
+			b.stream = append(b.stream, hot(120, 24))
+		} else {
+			b.stream = append(b.stream, hot(0, 24))
+		}
+	}
+	return b
+}
+
+// runCadenceLoop replays the stream through the online planning loop,
+// checking for drift whenever the stepper says to, and stops at the
+// first trigger. It returns the number of checks spent (the planning
+// cost) and the query index of detection (-1 when the trigger never
+// fired).
+func (b *cadenceBed) runCadenceLoop(t *testing.T, initial int, step func(drift float64) int) (checks, detect int) {
+	t.Helper()
+	x := b.live.X
+	op := NewOnlineProfiler(x, 120)
+	op.Seed(b.train, 1.0/400)
+	var rp Replanner
+	snap := NewProfile(x)
+	nextCheck := initial
+	detect = -1
+	for i, r := range b.stream {
+		op.ObserveRange(r.Lo, r.Hi, 1)
+		if i+1 < nextCheck {
+			continue
+		}
+		checks++
+		_, drift, trig, err := rp.Replan(op.Snapshot(snap), b.live, 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trig {
+			detect = i
+			return checks, detect
+		}
+		nextCheck = i + 1 + step(drift)
+	}
+	return checks, detect
+}
+
+// TestCadenceCutsDetectionLagAtEqualCost is the adaptive-cadence
+// contract: against a fixed cadence spending the same (or more)
+// planning checks, the adaptive cadence detects the migration sooner —
+// it banks checks over the stable phase and spends them densely while
+// the measured drift is rising.
+func TestCadenceCutsDetectionLagAtEqualCost(t *testing.T) {
+	b := newCadenceBed(t)
+
+	cad := NewCadence(16, 2, 64)
+	adChecks, adDetect := b.runCadenceLoop(t, cad.Interval(), cad.Observe)
+	if adDetect < 0 {
+		t.Fatal("adaptive cadence never detected the migration")
+	}
+	if adDetect < b.migrateAt {
+		t.Fatalf("adaptive cadence triggered at %d, before the migration at %d", adDetect, b.migrateAt)
+	}
+	adLag := adDetect - b.migrateAt
+
+	// The fixed cadence of equal planning cost: the interval that would
+	// spend the adaptive run's check budget evenly over the same span.
+	equalF := (adDetect + adChecks) / adChecks
+	fxChecks, fxDetect := b.runCadenceLoop(t, equalF, func(float64) int { return equalF })
+	if fxDetect < 0 {
+		t.Fatal("fixed cadence never detected the migration")
+	}
+	fxLag := fxDetect - b.migrateAt
+
+	if adChecks > fxChecks {
+		t.Errorf("adaptive spent %d checks, fixed(%d) spent %d: not equal planning cost", adChecks, equalF, fxChecks)
+	}
+	if adLag >= fxLag {
+		t.Errorf("adaptive lag %d (cost %d checks) not below fixed(%d) lag %d (cost %d checks)",
+			adLag, adChecks, equalF, fxLag, fxChecks)
+	}
+	t.Logf("adaptive: lag %d in %d checks; fixed every %d: lag %d in %d checks",
+		adLag, adChecks, equalF, fxLag, fxChecks)
+}
+
+// TestCadenceBounds pins the interval dynamics: rising drift halves
+// down to Min, flat or falling drift doubles up to Max, and the first
+// observation only primes the trend.
+func TestCadenceBounds(t *testing.T) {
+	c := NewCadence(16, 2, 64)
+	if got := c.Observe(1.0); got != 16 {
+		t.Fatalf("priming observation moved the interval to %d", got)
+	}
+	for i, want := range []int{8, 4, 2, 2} {
+		if got := c.Observe(1.1 + float64(i)/10); got != want {
+			t.Fatalf("rising step %d: interval %d, want %d", i, got, want)
+		}
+	}
+	for i, want := range []int{4, 8, 16, 32, 64, 64} {
+		if got := c.Observe(1.0); got != want {
+			t.Fatalf("flat step %d: interval %d, want %d", i, got, want)
+		}
+	}
+	for _, bad := range [][3]int{{0, 1, 4}, {4, 2, 3}, {5, 1, 4}, {1, 2, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCadence(%v) did not panic", bad)
+				}
+			}()
+			NewCadence(bad[0], bad[1], bad[2])
+		}()
+	}
+}

@@ -10,6 +10,7 @@ package station
 
 import (
 	"fmt"
+	"sync"
 
 	"dsi/internal/dsi"
 	"dsi/internal/wire"
@@ -29,6 +30,10 @@ type MultiTransmitter struct {
 	Lay    *dsi.Layout
 	tables [][]byte    // per cycle position, multi-channel wire format
 	plan   [][]slotRef // per channel, per slot
+
+	// Cached DirectoryAt encoding (version 1, anchored at slot 0).
+	dirOnce sync.Once
+	dir     []byte
 }
 
 // NewMultiTransmitter prepares the table encodings and the per-channel

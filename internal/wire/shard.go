@@ -141,3 +141,19 @@ func FramesOnDir(dir []DirEntry) []int {
 	}
 	return out
 }
+
+// BoundsFromDir reassembles the shard boundaries a decoded directory
+// describes: ascending frame ids from 0 through the covered frame
+// count, one data shard per data channel — the MultiConfig.ShardBounds
+// a receiver rebuilds its layout from after a directory version bump.
+// DecodeShardDir has already validated that the shards tile the frame
+// range contiguously, so this is pure extraction.
+func BoundsFromDir(dir []DirEntry) []int {
+	bounds := make([]int, 1, len(dir)+1)
+	for _, e := range dir {
+		if e.Kind == DirData {
+			bounds = append(bounds, bounds[len(bounds)-1]+int(e.Frames))
+		}
+	}
+	return bounds
+}

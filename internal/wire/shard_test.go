@@ -210,3 +210,28 @@ func TestReserveMCPtrLiftsTightBudget(t *testing.T) {
 		t.Fatalf("sharded layout rejected after reservation: %v", err)
 	}
 }
+
+// TestBoundsFromDirRoundTrip: the shard boundaries a layout was built
+// with survive the encode/decode/extract round trip — the path a
+// receiver rebuilds its layout through after a directory version bump.
+func TestBoundsFromDirRoundTrip(t *testing.T) {
+	want := []int{0, 13, 60, 200}
+	lay := shardedLayout(t, want)
+	buf, err := EncodeShardDir(lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := DecodeShardDir(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := BoundsFromDir(dir)
+	if len(got) != len(want) {
+		t.Fatalf("bounds %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bounds %v, want %v", got, want)
+		}
+	}
+}

@@ -59,10 +59,18 @@ func EncodeTable(t dsi.Table, nf int) ([]byte, error) {
 
 // DecodeTable parses an index table received at cycle position pos.
 func DecodeTable(buf []byte, pos, nf int) (dsi.Table, error) {
+	return DecodeTableAppend(buf, pos, nf, nil)
+}
+
+// DecodeTableAppend is DecodeTable appending the decoded entries into
+// dst (which may be nil or a recycled buffer), so a receiver decoding
+// tables on its hot path can reuse one entry buffer instead of
+// allocating per read.
+func DecodeTableAppend(buf []byte, pos, nf int, dst []dsi.TableEntry) (dsi.Table, error) {
 	if len(buf) < hcBytes || (len(buf)-hcBytes)%(hcBytes+ptrBytes) != 0 {
 		return dsi.Table{}, fmt.Errorf("wire: table payload of %d bytes is malformed", len(buf))
 	}
-	t := dsi.Table{Pos: pos, OwnHC: getHC(buf)}
+	t := dsi.Table{Pos: pos, OwnHC: getHC(buf), Entries: dst}
 	for at := hcBytes; at < len(buf); at += hcBytes + ptrBytes {
 		dist := int(binary.BigEndian.Uint16(buf[at+hcBytes:]))
 		if dist == 0 || dist > nf {
