@@ -3,20 +3,31 @@
 // hot head at the beginning of the Hilbert order — the distribution the
 // initial shard plan was trained on — and then migrates halfway around
 // the HC rank space. The static arm keeps the trained plan on air for
-// the whole run (PR 3's offline scheduler); the re-planning arm runs
+// the whole run (PR 3's offline scheduler); the re-planning arms run
 // the online loop: a decayed profiler observes every query, a
 // Replanner measures the live plan's drift against the fresh optimum
-// after every few queries, and when the drift crosses the configured
-// ratio the broadcast swaps to the fresh plan at a cycle seam — the
-// query in flight at the seam re-syncs mid-query via the shard
-// directory version bump, later queries tune into the new directory.
+// at each check, and when the drift crosses the configured ratio the
+// broadcast swaps to the fresh plan at a cycle seam — the query in
+// flight at the seam re-syncs mid-query via the shard directory
+// version bump, later queries tune into the new directory. The fixed
+// arm checks every DriftCheckEvery queries; the adaptive arm spends
+// the same kind of budget through sched.Cadence, thinning checks out
+// over stable stretches and crowding them while measured drift rises.
+//
+// The replay is byte-level end to end: every query decodes the actual
+// packets a station source puts on air through a station.WireReceiver
+// — static stretches over each generation's MultiTransmitter with
+// per-worker session reuse, and each seam-crossing query over a
+// Rebroadcaster holding exactly that staged swap, so the directory
+// bump (and its fetch cost) is received over the air rather than
+// simulated.
 //
 // The planning pass is simulation-free (range decomposition and the
 // Monge DP only) and runs sequentially before the replay, so the swap
 // schedule is part of the experiment's deterministic inputs and the
 // replay itself shards across the worker pool with bit-identical
 // results at any parallelism — including the control contract that the
-// two arms are exactly equal before the drift (no replan triggers while
+// arms are exactly equal before the drift (no replan triggers while
 // the live plan matches the load, so the arms execute identical code on
 // identical layouts).
 
@@ -29,6 +40,7 @@ import (
 	"dsi/internal/dsi"
 	"dsi/internal/hilbert"
 	"dsi/internal/sched"
+	"dsi/internal/station"
 )
 
 // DriftRatios is the replan-trigger sweep: the live plan is swapped out
@@ -41,8 +53,17 @@ var DriftChannels = []int{4, 8}
 // DriftTheta is the Zipf skew of the drifting workload.
 const DriftTheta = 1.2
 
-// DriftCheckEvery is the replan-trigger cadence in queries.
+// DriftCheckEvery is the fixed arm's replan-trigger cadence in queries,
+// and the adaptive arm's starting interval.
 const DriftCheckEvery = 5
+
+// DriftCadenceMin and DriftCadenceMax bound the adaptive arm's check
+// interval (sched.Cadence halves toward Min while measured drift
+// rises, doubles toward Max while the plan fits).
+const (
+	DriftCadenceMin = 2
+	DriftCadenceMax = 4 * DriftCheckEvery
+)
 
 // driftHalfLifeFactor sizes the profiler's half-life relative to one
 // workload phase: half a phase, so a migrated hot spot dominates the
@@ -50,31 +71,56 @@ const DriftCheckEvery = 5
 const driftHalfLifeFactor = 0.5
 
 // driftPoint holds one (ratio, channels) cell: per-arm metrics split at
-// the drift point, and the swap schedule the online loop produced.
+// the drift point, and the swap schedules the online loops produced.
 type driftPoint struct {
-	PreStatic, PreReplan   Metrics
-	PostStatic, PostReplan Metrics
-	// Replans counts directory swaps that took effect during the run;
-	// FirstReplan is the global query index whose execution crosses the
-	// first seam (-1 when no swap triggered).
+	PreStatic, PreReplan, PreAdaptive    Metrics
+	PostStatic, PostReplan, PostAdaptive Metrics
+	// Replans counts directory swaps that took effect during the fixed
+	// arm's run; FirstReplan is the global query index whose execution
+	// crosses the first seam (-1 when no swap triggered); Drift is the
+	// measured objective ratio at the first trigger; Checks is the
+	// planning passes spent.
 	Replans     int
 	FirstReplan int
-	// Drift is the measured objective ratio at the first trigger.
-	Drift float64
+	Drift       float64
+	Checks      int
+	// The adaptive-cadence arm's counters, same meanings.
+	AdaptiveReplans int
+	AdaptiveFirst   int
+	AdaptiveChecks  int
 }
 
 // driftSchedule is the output of the sequential planning pass: the
-// layouts that were on air and, per query, the layout at its tune-in
-// plus the mid-query re-sync target (-1 for none).
+// layouts that were on air with their static byte sources and, per
+// query, the layout at its tune-in plus the mid-query re-sync target
+// (-1 for none).
 type driftSchedule struct {
+	x        *dsi.Index
 	lays     []*dsi.Layout
+	mts      []*station.MultiTransmitter
 	planAt   []int
 	resyncTo []int
 }
 
+// finish builds the static transmitter of every layout generation the
+// plan put on air (concurrency-safe read-only sources the replay
+// workers share).
+func (s *driftSchedule) finish() *driftSchedule {
+	s.mts = make([]*station.MultiTransmitter, len(s.lays))
+	for i, lay := range s.lays {
+		mt, err := station.NewMultiTransmitter(lay)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: drift transmitter: %v", err))
+		}
+		s.mts[i] = mt
+	}
+	return s
+}
+
 // staticSchedule pins every query to the initial layout.
-func staticSchedule(lay *dsi.Layout, n int) driftSchedule {
-	s := driftSchedule{
+func staticSchedule(x *dsi.Index, lay *dsi.Layout, n int) *driftSchedule {
+	s := &driftSchedule{
+		x:        x,
 		lays:     []*dsi.Layout{lay},
 		planAt:   make([]int, n),
 		resyncTo: make([]int, n),
@@ -82,7 +128,7 @@ func staticSchedule(lay *dsi.Layout, n int) driftSchedule {
 	for i := range s.resyncTo {
 		s.resyncTo[i] = -1
 	}
-	return s
+	return s.finish()
 }
 
 // driftBase is the ratio-independent half of one channel count's
@@ -121,31 +167,40 @@ func newDriftBase(x *dsi.Index, wl *Workload, channels int) *driftBase {
 		panic(err)
 	}
 	b := &driftBase{x: x, queries: queries, prof0: prof0, plan0: plan0, lay0: lay0}
-	static := staticSchedule(lay0, len(queries))
+	static := staticSchedule(x, lay0, len(queries))
 	b.preStatic = wl.runDrift(static, queries, 0, n)
 	b.postStatic = wl.runDrift(static, queries, n, 2*n)
 	return b
 }
 
-// driftCell evaluates one trigger ratio over a shared base.
-func driftCell(b *driftBase, wl *Workload, ratio float64) driftPoint {
-	x := b.x
-	n := wl.Queries
-	queries := b.queries
+// driftPlanStats is what one online planning pass produced.
+type driftPlanStats struct {
+	replans int
+	first   int
+	drift   float64
+	checks  int
+}
 
-	pt := driftPoint{FirstReplan: -1, PreStatic: b.preStatic, PostStatic: b.postStatic}
-	sch := driftSchedule{
+// driftPlan is the sequential planning pass: the transmitter's online
+// loop. It is simulation-free — each query contributes its HC
+// decomposition to the decayed profile; whenever the step policy says
+// so, the Replanner compares the live plan against the fresh cut. A
+// trigger swaps the broadcast at the next seam: the query running at
+// that moment re-syncs mid-flight, queries after it tune into the new
+// directory. step receives the measured drift ratio of a check and
+// returns the interval (in queries) to the next one — a fixed constant
+// for the classic arm, sched.Cadence.Observe for the adaptive one.
+func driftPlan(b *driftBase, n int, ratio float64, initial int, step func(drift float64) int) (*driftSchedule, driftPlanStats) {
+	x := b.x
+	queries := b.queries
+	st := driftPlanStats{first: -1}
+	sch := &driftSchedule{
+		x:        x,
 		lays:     []*dsi.Layout{b.lay0},
 		planAt:   make([]int, len(queries)),
 		resyncTo: make([]int, len(queries)),
 	}
 
-	// Sequential planning pass: the transmitter's online loop. It is
-	// simulation-free — each query contributes its HC decomposition to
-	// the decayed profile; every DriftCheckEvery queries the Replanner
-	// compares the live plan against the fresh cut. A trigger swaps the
-	// broadcast at the next seam: the query running at that moment
-	// re-syncs mid-flight, queries after it tune into the new directory.
 	op := sched.NewOnlineProfiler(x, driftHalfLifeFactor*float64(n))
 	op.Seed(b.prof0, 1)
 	var rp sched.Replanner
@@ -154,6 +209,7 @@ func driftCell(b *driftBase, wl *Workload, ratio float64) driftPoint {
 	curve := x.DS.Curve
 	var ranges []hilbert.Range
 	cur, pending := 0, -1
+	nextCheck := initial
 	for i, q := range queries {
 		sch.planAt[i] = cur
 		sch.resyncTo[i] = -1
@@ -169,13 +225,15 @@ func driftCell(b *driftBase, wl *Workload, ratio float64) driftPoint {
 		} else {
 			op.Observe(nil, 1)
 		}
-		if (i+1)%DriftCheckEvery != 0 {
+		if i+1 != nextCheck {
 			continue
 		}
 		fresh, drift, trig, err := rp.Replan(op.Snapshot(snap), live, ratio)
 		if err != nil {
 			panic(err)
 		}
+		st.checks++
+		nextCheck = i + 1 + step(drift)
 		if !trig || i+1 >= len(queries) {
 			continue
 		}
@@ -186,64 +244,111 @@ func driftCell(b *driftBase, wl *Workload, ratio float64) driftPoint {
 		live = fresh
 		sch.lays = append(sch.lays, lay)
 		pending = len(sch.lays) - 1
-		pt.Replans++
-		if pt.FirstReplan < 0 {
-			pt.FirstReplan = i + 1
-			pt.Drift = drift
+		st.replans++
+		if st.first < 0 {
+			st.first = i + 1
+			st.drift = drift
 		}
 	}
+	return sch.finish(), st
+}
 
-	pt.PreReplan = wl.runDrift(sch, queries, 0, n)
-	pt.PostReplan = wl.runDrift(sch, queries, n, 2*n)
+// driftCell evaluates one trigger ratio over a shared base: the fixed
+// check cadence and the adaptive one, each planned sequentially and
+// replayed byte-level.
+func driftCell(b *driftBase, wl *Workload, ratio float64) driftPoint {
+	n := wl.Queries
+	queries := b.queries
+	pt := driftPoint{PreStatic: b.preStatic, PostStatic: b.postStatic}
+
+	fixed, fst := driftPlan(b, n, ratio, DriftCheckEvery,
+		func(float64) int { return DriftCheckEvery })
+	pt.Replans, pt.FirstReplan, pt.Drift, pt.Checks = fst.replans, fst.first, fst.drift, fst.checks
+	pt.PreReplan = wl.runDrift(fixed, queries, 0, n)
+	pt.PostReplan = wl.runDrift(fixed, queries, n, 2*n)
+
+	cad := sched.NewCadence(DriftCheckEvery, DriftCadenceMin, DriftCadenceMax)
+	adaptive, ast := driftPlan(b, n, ratio, cad.Interval(), cad.Observe)
+	pt.AdaptiveReplans, pt.AdaptiveFirst, pt.AdaptiveChecks = ast.replans, ast.first, ast.checks
+	pt.PreAdaptive = wl.runDrift(adaptive, queries, 0, n)
+	pt.PostAdaptive = wl.runDrift(adaptive, queries, n, 2*n)
 	return pt
 }
 
-// driftSession is the per-worker replay state: one long-lived client
-// per layout that was on air, minted lazily and Reset between queries.
+// driftSession is the per-worker replay state: one long-lived
+// byte-level session per layout generation that was on air, minted
+// lazily over the schedule's shared transmitters and re-tuned between
+// queries.
 type driftSession struct {
-	lays    []*dsi.Layout
-	clients []*dsi.Client
-	buf     []int
+	sch  *driftSchedule
+	sess []*sessionAdapter
 }
 
-func (s *driftSession) client(idx int, probe int64, loss *broadcast.LossModel) *dsi.Client {
-	c := s.clients[idx]
-	// A client that crossed a seam last query is a client of the new
-	// layout now; the old directory's queries need a fresh one.
-	if c == nil || c.Layout() != s.lays[idx] {
-		c = dsi.NewMultiClient(s.lays[idx], probe, loss)
-		s.clients[idx] = c
-		return c
+func (s *driftSession) session(idx int) *sessionAdapter {
+	if s.sess[idx] == nil {
+		rx, err := station.NewWireReceiver(s.sch.lays[idx], 1, s.sch.mts[idx], 0, nil)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: drift wire receiver: %v", err))
+		}
+		sess, err := dsi.Open(s.sch.x, dsi.WithReceiver(rx))
+		if err != nil {
+			panic(fmt.Sprintf("experiment: opening drift session: %v", err))
+		}
+		s.sess[idx] = &sessionAdapter{s: sess}
 	}
-	c.Reset(probe, loss)
-	return c
+	return s.sess[idx]
+}
+
+// resyncWindow answers one seam-crossing query byte-level: a fresh
+// receiver holding the tune-in generation's catalog as directory
+// version 1, over a rebroadcaster with exactly that swap staged — the
+// seam lands at the first index-channel cycle boundary after the
+// probe, so the receiver picks the version bump and the new directory
+// off the air mid-query (exactly the machinery a live transmitter
+// would exercise).
+func (sch *driftSchedule) resyncWindow(idx, tgt int, q windowQuery, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
+	rb, err := station.NewRebroadcaster(sch.lays[idx])
+	if err != nil {
+		panic(fmt.Sprintf("experiment: drift rebroadcaster: %v", err))
+	}
+	if _, err := rb.Stage(sch.lays[tgt], probe); err != nil {
+		panic(fmt.Sprintf("experiment: drift stage: %v", err))
+	}
+	rx, err := station.NewWireReceiver(sch.lays[idx], 1, rb, probe, loss)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: drift resync receiver: %v", err))
+	}
+	sess, err := dsi.Open(sch.x, dsi.WithReceiver(rx))
+	if err != nil {
+		panic(fmt.Sprintf("experiment: opening drift resync session: %v", err))
+	}
+	return sess.Window(q.w)
 }
 
 // runDrift replays queries [from, to) under the swap schedule on the
 // worker pool, averaging metrics in query order (bit-identical at any
-// parallelism). A query with a re-sync target starts under its tune-in
-// layout and receives the directory bump one index-channel cycle after
-// its probe — mid-query for any query that outlives one table sweep.
-func (wl *Workload) runDrift(sch driftSchedule, queries []windowQuery, from, to int) Metrics {
+// parallelism). Every query decodes actual packets: static stretches
+// run through the worker's reusable receiver over that generation's
+// transmitter; a query with a re-sync target runs over a staged
+// rebroadcaster and crosses the swap seam mid-flight.
+func (wl *Workload) runDrift(sch *driftSchedule, queries []windowQuery, from, to int) Metrics {
 	return replay(to-from,
 		func(int) *driftSession {
-			return &driftSession{lays: sch.lays, clients: make([]*dsi.Client, len(sch.lays))}
+			return &driftSession{sch: sch, sess: make([]*sessionAdapter, len(sch.lays))}
 		},
 		nil,
 		func(s *driftSession, i int) broadcast.Stats {
 			gi := from + i
 			q := queries[gi]
 			idx := sch.planAt[gi]
-			lay := sch.lays[idx]
-			probe := int64(q.uProb * float64(lay.ProbeCycle()))
-			c := s.client(idx, probe, wl.loss(q.seed))
+			probe := int64(q.uProb * float64(sch.lays[idx].ProbeCycle()))
+			var got []int
+			var st broadcast.Stats
 			if tgt := sch.resyncTo[gi]; tgt >= 0 {
-				if err := c.ScheduleResync(sch.lays[tgt], probe+int64(lay.ChanLen(0))); err != nil {
-					panic(fmt.Sprintf("experiment: drift resync: %v", err))
-				}
+				got, st = sch.resyncWindow(idx, tgt, q, probe, wl.loss(q.seed))
+			} else {
+				got, st = s.session(idx).Window(q.w, probe, wl.loss(q.seed))
 			}
-			got, st := c.WindowAppend(s.buf[:0], q.w)
-			s.buf = got
 			if wl.Verify {
 				want := wl.DS.WindowBrute(q.w)
 				if !sameIDs(got, want) {
@@ -302,15 +407,23 @@ func Drift(p Params) Result {
 		swaps := Figure{ID: fmt.Sprintf("drift-replans-%d", n),
 			Title:  fmt.Sprintf("Online re-planning (%d channels): directory swaps per run", n),
 			XLabel: "replan trigger ratio", YLabel: "swaps", YFmt: "%.0f"}
+		checks := Figure{ID: fmt.Sprintf("drift-checks-%d", n),
+			Title:  fmt.Sprintf("Online re-planning (%d channels): planning checks per run", n),
+			XLabel: "replan trigger ratio", YLabel: "checks", YFmt: "%.0f"}
 		for ri, r := range DriftRatios {
 			pt := pts[ni*len(DriftRatios)+ri]
 			lat.X = append(lat.X, r)
 			swaps.X = append(swaps.X, r)
+			checks.X = append(checks.X, r)
 			lat.AddPoint("Static", pt.PostStatic.LatencyBytes)
 			lat.AddPoint("Replan", pt.PostReplan.LatencyBytes)
+			lat.AddPoint("Adaptive", pt.PostAdaptive.LatencyBytes)
 			swaps.AddPoint("Replan", float64(pt.Replans))
+			swaps.AddPoint("Adaptive", float64(pt.AdaptiveReplans))
+			checks.AddPoint("Fixed", float64(pt.Checks))
+			checks.AddPoint("Adaptive", float64(pt.AdaptiveChecks))
 		}
-		figs = append(figs, lat, swaps)
+		figs = append(figs, lat, swaps, checks)
 	}
 	return Result{Figures: figs}
 }

@@ -52,21 +52,33 @@ func TestDriftReplanBeatsStaticAfterDrift(t *testing.T) {
 
 	for _, c := range seq {
 		pt := c.pt
-		t.Logf("ratio=%.1f x%d: pre static/replan %.0f/%.0f B, post %.0f/%.0f B, %d swaps (first at query %d, drift %.2f)",
+		t.Logf("ratio=%.1f x%d: pre static/replan %.0f/%.0f B, post %.0f/%.0f B, %d swaps (first at query %d, drift %.2f); adaptive post %.0f B, %d swaps in %d checks (fixed spent %d)",
 			c.ratio, c.n, pt.PreStatic.LatencyBytes, pt.PreReplan.LatencyBytes,
-			pt.PostStatic.LatencyBytes, pt.PostReplan.LatencyBytes, pt.Replans, pt.FirstReplan, pt.Drift)
+			pt.PostStatic.LatencyBytes, pt.PostReplan.LatencyBytes, pt.Replans, pt.FirstReplan, pt.Drift,
+			pt.PostAdaptive.LatencyBytes, pt.AdaptiveReplans, pt.AdaptiveChecks, pt.Checks)
 		// (a) Before the drift: no swap, and the arms tie bit for bit.
 		if pt.FirstReplan >= 0 && pt.FirstReplan < p.Queries {
 			t.Errorf("ratio=%.1f x%d: replan fired at query %d, before the drift", c.ratio, c.n, pt.FirstReplan)
+		}
+		if pt.AdaptiveFirst >= 0 && pt.AdaptiveFirst < p.Queries {
+			t.Errorf("ratio=%.1f x%d: adaptive replan fired at query %d, before the drift", c.ratio, c.n, pt.AdaptiveFirst)
 		}
 		if pt.PreReplan != pt.PreStatic {
 			t.Errorf("ratio=%.1f x%d: pre-drift arms differ: static %+v replan %+v",
 				c.ratio, c.n, pt.PreStatic, pt.PreReplan)
 		}
+		if pt.PreAdaptive != pt.PreStatic {
+			t.Errorf("ratio=%.1f x%d: pre-drift adaptive arm differs: static %+v adaptive %+v",
+				c.ratio, c.n, pt.PreStatic, pt.PreAdaptive)
+		}
 		// (b) After the drift: re-planning at or below static.
 		if pt.PostReplan.LatencyBytes > pt.PostStatic.LatencyBytes {
 			t.Errorf("ratio=%.1f x%d: post-drift replan latency %.0fB above static %.0fB",
 				c.ratio, c.n, pt.PostReplan.LatencyBytes, pt.PostStatic.LatencyBytes)
+		}
+		if pt.PostAdaptive.LatencyBytes > pt.PostStatic.LatencyBytes {
+			t.Errorf("ratio=%.1f x%d: post-drift adaptive latency %.0fB above static %.0fB",
+				c.ratio, c.n, pt.PostAdaptive.LatencyBytes, pt.PostStatic.LatencyBytes)
 		}
 		if c.ratio == DriftRatios[len(DriftRatios)-1] {
 			// The loosest trigger is sized to never fire on this
@@ -76,8 +88,13 @@ func TestDriftReplanBeatsStaticAfterDrift(t *testing.T) {
 				t.Errorf("ratio=%.1f x%d: loose trigger not degenerate: %d swaps, post %+v vs %+v",
 					c.ratio, c.n, pt.Replans, pt.PostReplan, pt.PostStatic)
 			}
-		} else if pt.Replans == 0 {
-			t.Errorf("ratio=%.1f x%d: migration never triggered a replan", c.ratio, c.n)
+		} else {
+			if pt.Replans == 0 {
+				t.Errorf("ratio=%.1f x%d: migration never triggered a replan", c.ratio, c.n)
+			}
+			if pt.AdaptiveReplans == 0 {
+				t.Errorf("ratio=%.1f x%d: migration never triggered the adaptive arm", c.ratio, c.n)
+			}
 		}
 	}
 	// Strictly better at the tightest trigger, for every channel count.
@@ -102,7 +119,7 @@ func TestDriftReplanBeatsStaticAfterDrift(t *testing.T) {
 // end (verified queries) and checks its shape.
 func TestDriftExperimentStructure(t *testing.T) {
 	res := Drift(driftParams)
-	if want := 2 * len(DriftChannels); len(res.Figures) != want {
+	if want := 3 * len(DriftChannels); len(res.Figures) != want {
 		t.Fatalf("drift produced %d figures, want %d", len(res.Figures), want)
 	}
 	for _, f := range res.Figures {

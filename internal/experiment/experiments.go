@@ -536,6 +536,7 @@ var Registry = map[string]func(Params) Result{
 	"chanloss":  ChanLoss,
 	"drift":     Drift,
 	"wireloss":  WireLoss,
+	"fec":       FEC,
 }
 
 // Names returns the registered experiment names, sorted.

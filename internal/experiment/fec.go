@@ -1,0 +1,225 @@
+// The fec experiment: erasure-coded broadcast against the
+// rebroadcast-wait retry baseline, at matched aggregate bandwidth.
+// Every arm transmits on the same single channel at the same bit rate;
+// the coded arms spend part of that rate on parity tails (their cycles
+// are physically longer), the retry arm spends all of it on content
+// and pays for losses with whole extra cycles. The sweep runs the
+// Gilbert-Elliott burst channel, loss on every packet kind, and
+// reports the mean and the 95th-percentile access latency and tuning
+// time — the tail is where in-stream recovery earns its overhead,
+// because one unrecoverable packet costs the retry arm a full cycle.
+//
+// Code-rate choice follows the capacity bound: a unit of K content
+// packets needs its K + R coded packets to carry K surviving ones, so
+// the code rate K/(K+R) must stay below the channel's good fraction
+// 1-theta, with slack for burst variance. The light XOR arm (rate
+// ~0.8) is sized for the mild end of the sweep; the heavy
+// Reed-Solomon arm is sized for the worst theta and wins there at the
+// price of a much longer cycle everywhere else.
+
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"dsi/internal/broadcast"
+	"dsi/internal/dsi"
+	"dsi/internal/spatial"
+	"dsi/internal/station"
+	"dsi/internal/wire"
+)
+
+// FECThetas is the Gilbert-Elliott stationary loss sweep of the fec
+// experiment.
+var FECThetas = []float64{0.3, 0.6, 0.85}
+
+// FECBurstLen is the mean burst length (packets) of the fec
+// experiment's loss process.
+const FECBurstLen = 8
+
+// fecObjectBytes pins the experiment's object size to 4 packets. The
+// bound is the retry baseline, which needs a run of ObjPackets
+// consecutive good slots per object: at the sweep's worst point the
+// Gilbert-Elliott good runs average BurstLen*(1-theta)/theta ~ 1.4
+// packets, so a 4-packet object succeeds every ~10^2 cycles while the
+// default 16-packet object would take ~10^9 — the uncoded arm would
+// never terminate. The coded arms are insensitive to the choice.
+const fecObjectBytes = 256
+
+// fecLightCode is the low-overhead interleaved-XOR configuration: one
+// parity packet per group of up to four members, so a short burst
+// costs each group at most one erasure.
+func fecLightCode(x *dsi.Index) wire.FECConfig {
+	groups := func(k int) int { return (k + 3) / 4 }
+	return wire.FECConfig{
+		Table:  wire.FECCode{Groups: groups(x.TablePackets), Parity: 1},
+		Object: wire.FECCode{Groups: groups(x.ObjPackets), Parity: 1},
+	}
+}
+
+// fecHeavyCode sizes a single-group Reed-Solomon code for the worst
+// loss rate of the sweep: R grows until the expected survivors among
+// K+R packets exceed K with a 50% margin (the burst channel's variance
+// is far from binomial).
+func fecHeavyCode(x *dsi.Index, theta float64) wire.FECConfig {
+	size := func(k int) wire.FECCode {
+		r := int(math.Ceil(1.5 * float64(k) * theta / (1 - theta)))
+		if k+r > 255 {
+			r = 255 - k
+		}
+		return wire.FECCode{Groups: 1, Parity: r}
+	}
+	return wire.FECConfig{Table: size(x.TablePackets), Object: size(x.ObjPackets)}
+}
+
+// fecSystem runs queries through station.FECReceiver over a coded
+// single-channel transmitter, one receiver+session pinned per worker.
+// The zero code is exactly the retry baseline: a plain transmitter
+// decoded by the plain byte-level receiver.
+type fecSystem struct {
+	label string
+	x     *dsi.Index
+	lay   *dsi.Layout
+	src   station.PacketSource
+	cfg   wire.FECConfig
+	cycle int // physical slots per cycle — what probe positions scale to
+
+	sessions sessionArena
+}
+
+// newFECSystem builds the coded transmitter and its system wrapper.
+func newFECSystem(label string, x *dsi.Index, cfg wire.FECConfig) *fecSystem {
+	tx, err := station.NewTransmitterFEC(x, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: coded transmitter: %v", err))
+	}
+	s := &fecSystem{label: label, x: x, lay: x.SingleLayout(), src: tx, cfg: cfg}
+	rx, err := station.NewFECReceiver(s.lay, 1, s.src, s.cfg, 0, nil)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: FEC receiver: %v", err))
+	}
+	s.cycle = rx.CycleSlots()
+	return s
+}
+
+func (s *fecSystem) Name() string { return s.label }
+
+func (s *fecSystem) CycleLen() int { return s.cycle }
+
+// Rate returns the code rate: the fraction of the physical cycle
+// carrying content.
+func (s *fecSystem) Rate() float64 { return float64(s.lay.ProbeCycle()) / float64(s.cycle) }
+
+func (s *fecSystem) mint() *sessionAdapter {
+	rx, err := station.NewFECReceiver(s.lay, 1, s.src, s.cfg, 0, nil)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: FEC receiver: %v", err))
+	}
+	sess, err := dsi.Open(s.x, dsi.WithReceiver(rx))
+	if err != nil {
+		panic(fmt.Sprintf("experiment: opening FEC session: %v", err))
+	}
+	return &sessionAdapter{s: sess}
+}
+
+func (s *fecSystem) Window(w spatial.Rect, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
+	return s.mint().Window(w, probe, loss)
+}
+
+func (s *fecSystem) KNN(q spatial.Point, k int, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
+	return s.mint().KNN(q, k, probe, loss)
+}
+
+// AcquireSession returns worker's pinned coded session.
+func (s *fecSystem) AcquireSession(worker int) QuerySession {
+	return s.sessions.acquire(worker, func() QuerySession {
+		dsiSessionsMinted.Add(1)
+		return s.mint()
+	})
+}
+
+// ReleaseSession checks the session back into its worker slot.
+func (s *fecSystem) ReleaseSession(worker int, q QuerySession) { s.sessions.release(worker, q) }
+
+// fecBed assembles the experiment's arms over one index: the retry
+// baseline (rate 1), the light XOR code, and the heavy Reed-Solomon
+// code sized for the sweep's worst theta.
+func fecBed(p Params) (x *dsi.Index, arms []*fecSystem) {
+	ds := p.Dataset()
+	x, err := dsi.Build(ds, dsi.Config{Capacity: 64, ObjectBytes: fecObjectBytes})
+	if err != nil {
+		panic(err)
+	}
+	worst := FECThetas[len(FECThetas)-1]
+	arms = []*fecSystem{
+		newFECSystem("Retry", x, wire.FECConfig{}),
+		newFECSystem("FEC light", x, fecLightCode(x)),
+		newFECSystem("FEC heavy", x, fecHeavyCode(x, worst)),
+	}
+	return x, arms
+}
+
+// FEC sweeps code rate against Gilbert-Elliott burst loss and reports
+// the window-query cost distribution of every arm, plus the code-rate
+// table.
+func FEC(p Params) Result {
+	p = p.withDefaults()
+	x, arms := fecBed(p)
+	ds := x.DS
+
+	mk := func(id, title, y string) Figure {
+		return Figure{ID: id, Title: title, XLabel: "loss rate theta", YLabel: y}
+	}
+	figs := []Figure{
+		mk("fec-a", "Erasure-coded broadcast: mean window access latency", "access latency (bytes)"),
+		mk("fec-b", "Erasure-coded broadcast: p95 window access latency", "p95 access latency (bytes)"),
+		mk("fec-c", "Erasure-coded broadcast: mean window tuning time", "tuning time (bytes)"),
+		mk("fec-d", "Erasure-coded broadcast: p95 window tuning time", "p95 tuning time (bytes)"),
+	}
+	pts := sweep(len(FECThetas), func(i int) []DistMetrics {
+		out := make([]DistMetrics, len(arms))
+		for a, sys := range arms {
+			wl := p.workload(ds)
+			wl.Theta = FECThetas[i]
+			wl.BurstLen = FECBurstLen
+			wl.LossData = true
+			out[a] = wl.RunWindowDist(sys, DefaultWinSideRatio)
+		}
+		return out
+	})
+	for i, theta := range FECThetas {
+		for f := range figs {
+			figs[f].X = append(figs[f].X, theta)
+		}
+		for a, sys := range arms {
+			d := pts[i][a]
+			figs[0].AddPoint(sys.Name(), d.Mean.LatencyBytes)
+			figs[1].AddPoint(sys.Name(), d.P95.LatencyBytes)
+			figs[2].AddPoint(sys.Name(), d.Mean.TuningBytes)
+			figs[3].AddPoint(sys.Name(), d.P95.TuningBytes)
+		}
+	}
+
+	t := Table{
+		ID:     "fec-rates",
+		Title:  "Code rates at matched aggregate bandwidth (64B packets)",
+		Header: []string{"Arm", "Table code", "Object code", "Rate", "Cycle (slots)"},
+	}
+	codeStr := func(c wire.FECCode, k int) string {
+		if !c.Enabled() {
+			return "-"
+		}
+		return fmt.Sprintf("G=%d R=%d (K=%d)", c.Groups, c.Parity, k)
+	}
+	for _, sys := range arms {
+		t.Rows = append(t.Rows, []string{
+			sys.Name(),
+			codeStr(sys.cfg.Table, x.TablePackets),
+			codeStr(sys.cfg.Object, x.ObjPackets),
+			fmt.Sprintf("%.3f", sys.Rate()),
+			fmt.Sprintf("%d", sys.cycle),
+		})
+	}
+	return Result{Figures: figs, Tables: []Table{t}}
+}

@@ -26,6 +26,11 @@ type Workload struct {
 	// the Gilbert-Elliott burst model at the same stationary loss rate
 	// Theta and this mean burst length in packets.
 	BurstLen float64
+	// LossData extends the error process to data packets. The paper's
+	// link-error model (and the default here) corrupts index packets
+	// only; the FEC experiment needs losses on everything the channel
+	// carries.
+	LossData bool
 }
 
 // Metrics are per-query averages in bytes, the unit the paper reports.
@@ -97,10 +102,14 @@ func (wl *Workload) loss(seed int64) *broadcast.LossModel {
 	if wl.Theta == 0 {
 		return nil
 	}
+	var m *broadcast.LossModel
 	if wl.BurstLen > 0 {
-		return broadcast.GilbertForTheta(wl.Theta, wl.BurstLen, seed)
+		m = broadcast.GilbertForTheta(wl.Theta, wl.BurstLen, seed)
+	} else {
+		m = broadcast.NewLossModel(wl.Theta, seed)
 	}
-	return broadcast.NewLossModel(wl.Theta, seed)
+	m.AffectsData = wl.LossData
+	return m
 }
 
 // RunWindow replays the window workload with the given WinSideRatio
@@ -174,6 +183,14 @@ func (wl *Workload) run(sys System, n int, query func(s QuerySession, i int) bro
 // in query order, which makes the result bit-identical at any
 // parallelism setting.
 func replay[W any](n int, acquire func(worker int) W, release func(worker int, w W), query func(w W, i int) broadcast.Stats) Metrics {
+	return meanOf(replayStats(n, acquire, release, query))
+}
+
+// replayStats is replay returning the raw per-query stats in query
+// order instead of their average — the entry point of the
+// distribution-reporting runners (mean alone hides exactly the latency
+// tail that loss recovery is about).
+func replayStats[W any](n int, acquire func(worker int) W, release func(worker int, w W), query func(w W, i int) broadcast.Stats) []broadcast.Stats {
 	stats := make([]broadcast.Stats, n)
 	toks := queryTokens()
 	parallelWorkers(n, func(id int, next func() (int, bool)) {
@@ -187,13 +204,79 @@ func replay[W any](n int, acquire func(worker int) W, release func(worker int, w
 			<-toks
 		}
 	})
+	return stats
+}
+
+func meanOf(stats []broadcast.Stats) Metrics {
 	var lat, tun float64
 	for _, st := range stats {
 		lat += float64(st.LatencyBytes())
 		tun += float64(st.TuningBytes())
 	}
-	q := float64(n)
+	q := float64(len(stats))
 	return Metrics{LatencyBytes: lat / q, TuningBytes: tun / q}
+}
+
+// DistMetrics reports a workload's per-query cost distribution: the
+// mean and the 95th percentile, both in bytes.
+type DistMetrics struct {
+	Mean Metrics
+	P95  Metrics
+}
+
+// distOf aggregates per-query stats into mean and p95 metrics. The
+// percentile is the nearest-rank one over each metric independently.
+func distOf(stats []broadcast.Stats) DistMetrics {
+	lat := make([]float64, len(stats))
+	tun := make([]float64, len(stats))
+	for i, st := range stats {
+		lat[i] = float64(st.LatencyBytes())
+		tun[i] = float64(st.TuningBytes())
+	}
+	return DistMetrics{
+		Mean: meanOf(stats),
+		P95:  Metrics{LatencyBytes: percentile(lat, 0.95), TuningBytes: percentile(tun, 0.95)},
+	}
+}
+
+// percentile returns the nearest-rank p-percentile of vs (vs is
+// clobbered by sorting).
+func percentile(vs []float64, p float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sort.Float64s(vs)
+	rank := int(p*float64(len(vs))+0.999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(vs) {
+		rank = len(vs) - 1
+	}
+	return vs[rank]
+}
+
+// RunWindowDist replays the window workload and reports the cost
+// distribution. Determinism and sharding are as for RunWindow.
+func (wl *Workload) RunWindowDist(sys System, ratio float64) DistMetrics {
+	qs := wl.genWindows(ratio)
+	stats := replayStats(len(qs),
+		func(worker int) QuerySession { return acquireSession(sys, worker) },
+		func(worker int, s QuerySession) { releaseSession(sys, worker, s) },
+		func(s QuerySession, i int) broadcast.Stats {
+			q := qs[i]
+			probe := int64(q.uProb * float64(sys.CycleLen()))
+			got, st := s.Window(q.w, probe, wl.loss(q.seed))
+			if wl.Verify {
+				want := wl.DS.WindowBrute(q.w)
+				if !sameIDs(got, want) {
+					panic(fmt.Sprintf("experiment: %s window %v returned %d objects, want %d",
+						sys.Name(), q.w, len(got), len(want)))
+				}
+			}
+			return st
+		})
+	return distOf(stats)
 }
 
 func sameIDs(a, b []int) bool {

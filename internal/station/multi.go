@@ -34,6 +34,11 @@ type MultiTransmitter struct {
 	// Cached DirectoryAt encoding (version 1, anchored at slot 0).
 	dirOnce sync.Once
 	dir     []byte
+
+	// Erasure code (NewMultiTransmitterFEC); nil when uncoded.
+	fec     *fecGeom
+	parity  [][][]byte // per channel, per physical slot; nil for content
+	fecDesc []byte
 }
 
 // NewMultiTransmitter prepares the table encodings and the per-channel
@@ -79,8 +84,32 @@ func NewMultiTransmitter(lay *dsi.Layout) (*MultiTransmitter, error) {
 func (t *MultiTransmitter) Directory() ([]byte, error) { return wire.EncodeShardDir(t.Lay) }
 
 // Packet returns the packet broadcast at the given per-channel cycle
-// slot of channel ch.
+// slot of channel ch. On a coded transmitter the slot is physical and
+// parity slots carry their encoded parity frames.
 func (t *MultiTransmitter) Packet(ch, slot int) Packet {
+	if t.fec == nil {
+		return t.logicalPacket(ch, slot)
+	}
+	c := &t.fec.chs[ch]
+	slot %= c.physLen
+	if par := t.parity[ch][slot]; par != nil {
+		return Packet{Ch: uint8(ch), Slot: uint32(slot), Flags: flagParity, Payload: par}
+	}
+	p := t.logicalPacket(ch, int(c.logOf[slot]))
+	p.Slot = uint32(slot)
+	return p
+}
+
+// ChanSlots returns channel ch's cycle length in packet slots —
+// physical slots on a coded transmitter.
+func (t *MultiTransmitter) ChanSlots(ch int) int {
+	if t.fec != nil {
+		return t.fec.chs[ch].physLen
+	}
+	return len(t.plan[ch])
+}
+
+func (t *MultiTransmitter) logicalPacket(ch, slot int) Packet {
 	x := t.Lay.X
 	slot %= len(t.plan[ch])
 	ref := t.plan[ch][slot]
@@ -116,7 +145,7 @@ func (t *MultiTransmitter) Packet(ch, slot int) Packet {
 
 // CycleChannel streams one full cycle of channel ch and closes out.
 func (t *MultiTransmitter) CycleChannel(ch int, out chan<- Packet) {
-	for slot := 0; slot < len(t.plan[ch]); slot++ {
+	for slot := 0; slot < t.ChanSlots(ch); slot++ {
 		out <- t.Packet(ch, slot)
 	}
 	close(out)

@@ -34,6 +34,14 @@ import (
 type Rebroadcaster struct {
 	mu sync.RWMutex
 
+	// fcfg is the erasure code every generation of the broadcast runs
+	// (fixed at construction; staged layouts re-encode under it). The
+	// zero config is the uncoded rebroadcaster. curFec/nextFec are the
+	// versioned FEC descriptors mirroring curDir/nextDir.
+	fcfg    wire.FECConfig
+	curFec  []byte
+	nextFec []byte
+
 	cur     *MultiTransmitter
 	version uint32
 	// phase[ch] is the absolute slot at which channel ch's current
@@ -58,7 +66,16 @@ type Rebroadcaster struct {
 // NewRebroadcaster puts the layout on air as directory version 1,
 // anchored at slot 0.
 func NewRebroadcaster(lay *dsi.Layout) (*Rebroadcaster, error) {
-	t, err := NewMultiTransmitter(lay)
+	return NewRebroadcasterFEC(lay, wire.FECConfig{})
+}
+
+// NewRebroadcasterFEC is NewRebroadcaster with an erasure code: every
+// generation of the broadcast — the initial layout and each staged
+// one — is encoded under cfg, and the versioned FEC descriptor rides
+// alongside the shard directory. The zero config is the plain
+// rebroadcaster.
+func NewRebroadcasterFEC(lay *dsi.Layout, cfg wire.FECConfig) (*Rebroadcaster, error) {
+	t, err := NewMultiTransmitterFEC(lay, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -66,12 +83,19 @@ func NewRebroadcaster(lay *dsi.Layout) (*Rebroadcaster, error) {
 	if err != nil {
 		return nil, err // rebroadcasting is defined by its directory
 	}
-	return &Rebroadcaster{
+	r := &Rebroadcaster{
+		fcfg:    cfg,
 		cur:     t,
 		version: 1,
 		phase:   make([]int64, lay.Channels()),
 		curDir:  dir,
-	}, nil
+	}
+	if cfg.Enabled() {
+		if r.curFec, err = wire.EncodeFECDesc(cfg, 1); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
 }
 
 // Layout returns the layout currently on air (the staged one only after
@@ -119,7 +143,7 @@ func (r *Rebroadcaster) Stage(lay *dsi.Layout, now int64) (int64, error) {
 	if now < 0 {
 		return 0, fmt.Errorf("station: negative stage time %d", now)
 	}
-	t, err := NewMultiTransmitter(lay)
+	t, err := NewMultiTransmitterFEC(lay, r.fcfg)
 	if err != nil {
 		return 0, err
 	}
@@ -136,14 +160,18 @@ func (r *Rebroadcaster) Stage(lay *dsi.Layout, now int64) (int64, error) {
 	}
 
 	// Global seam: next index-channel cycle boundary strictly after now.
+	// On a coded broadcast the cycles — and so the seams — live in the
+	// physical slot domain; units tile each cycle, so a physical cycle
+	// boundary never splits a unit or its parity tail, and the staged
+	// layout re-encodes cleanly from its seam.
 	idx := old.StartCh
-	idxLen := int64(old.ChanLen(idx))
+	idxLen := int64(r.cur.ChanSlots(idx))
 	rel := now - r.phase[idx]
 	swap := r.phase[idx] + (rel/idxLen+1)*idxLen
 
 	seam := make([]int64, old.Channels())
 	for ch := range seam {
-		l := int64(old.ChanLen(ch))
+		l := int64(r.cur.ChanSlots(ch))
 		rel := swap - r.phase[ch]
 		k := rel / l
 		if rel%l != 0 {
@@ -154,6 +182,11 @@ func (r *Rebroadcaster) Stage(lay *dsi.Layout, now int64) (int64, error) {
 	dir, err := wire.EncodeDirV(lay, r.version+1, swap)
 	if err != nil {
 		return 0, err
+	}
+	if r.fcfg.Enabled() {
+		if r.nextFec, err = wire.EncodeFECDesc(r.fcfg, r.version+1); err != nil {
+			return 0, err
+		}
 	}
 	r.next = t
 	r.seam = seam
@@ -181,10 +214,14 @@ func (r *Rebroadcaster) Commit(now int64) bool {
 	r.cur = r.next
 	r.phase = r.seam
 	r.curDir = r.nextDir
+	if r.fcfg.Enabled() {
+		r.curFec = r.nextFec
+	}
 	r.version++
 	r.next = nil
 	r.seam = nil
 	r.nextDir = nil
+	r.nextFec = nil
 	return true
 }
 
@@ -195,10 +232,10 @@ func (r *Rebroadcaster) PacketAt(ch int, abs int64) (Packet, uint32) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if r.next != nil && abs >= r.seam[ch] {
-		l := int64(r.next.Lay.ChanLen(ch))
+		l := int64(r.next.ChanSlots(ch))
 		return r.next.Packet(ch, int((abs-r.seam[ch])%l)), r.version + 1
 	}
-	l := int64(r.cur.Lay.ChanLen(ch))
+	l := int64(r.cur.ChanSlots(ch))
 	rel := (abs - r.phase[ch]) % l
 	if rel < 0 {
 		rel += l
@@ -218,6 +255,18 @@ func (r *Rebroadcaster) DirectoryAt(abs int64) ([]byte, uint32) {
 		return r.nextDir, r.version + 1
 	}
 	return r.curDir, r.version
+}
+
+// FECDescAt implements FECSource: the versioned FEC descriptor on air
+// at absolute slot abs, versioned in lockstep with DirectoryAt (nil on
+// an uncoded rebroadcaster).
+func (r *Rebroadcaster) FECDescAt(abs int64) ([]byte, uint32) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.next != nil && abs >= r.swapSlot {
+		return r.nextFec, r.version + 1
+	}
+	return r.curFec, r.version
 }
 
 // SeamOf returns channel ch's cutover slot of the staged swap; ok is

@@ -29,6 +29,7 @@ import (
 const (
 	flagIndex byte = 1 << iota
 	flagObjectStart
+	flagParity
 )
 
 // Packet is one on-air packet: framing plus payload. Ch identifies the
@@ -41,10 +42,16 @@ type Packet struct {
 	Payload []byte // at most Capacity bytes
 }
 
-// Transmitter materializes the byte stream of a DSI broadcast.
+// Transmitter materializes the byte stream of a DSI broadcast. A
+// transmitter built by NewTransmitterFEC additionally interleaves
+// parity packets and runs in the physical slot domain (see fec.go).
 type Transmitter struct {
 	x      *dsi.Index
 	tables [][]byte
+
+	fec     *fecGeom
+	parity  [][]byte // per physical slot; nil for content slots
+	fecDesc []byte
 }
 
 // NewTransmitter prepares the per-frame table encodings.
@@ -58,8 +65,33 @@ func NewTransmitter(x *dsi.Index) (*Transmitter, error) {
 
 // Packet returns the packet broadcast at the given cycle slot. Object
 // payloads are the wire header followed by deterministic filler (a real
-// deployment would carry the application payload).
+// deployment would carry the application payload). On a coded
+// transmitter the slot is physical and parity slots carry their
+// encoded parity frames.
 func (t *Transmitter) Packet(slot int) Packet {
+	if t.fec == nil {
+		return t.logicalPacket(slot)
+	}
+	c := &t.fec.chs[0]
+	slot %= c.physLen
+	if par := t.parity[slot]; par != nil {
+		return Packet{Slot: uint32(slot), Flags: flagParity, Payload: par}
+	}
+	p := t.logicalPacket(int(c.logOf[slot]))
+	p.Slot = uint32(slot)
+	return p
+}
+
+// CycleSlots returns the broadcast cycle length in packet slots —
+// physical slots on a coded transmitter.
+func (t *Transmitter) CycleSlots() int {
+	if t.fec != nil {
+		return t.fec.chs[0].physLen
+	}
+	return t.x.Prog.Len()
+}
+
+func (t *Transmitter) logicalPacket(slot int) Packet {
 	x := t.x
 	slot %= x.Prog.Len()
 	pos := slot / x.FramePackets
@@ -105,7 +137,7 @@ func (t *Transmitter) Packet(slot int) Packet {
 
 // Cycle streams one full broadcast cycle into the channel and closes it.
 func (t *Transmitter) Cycle(out chan<- Packet) {
-	for slot := 0; slot < t.x.Prog.Len(); slot++ {
+	for slot := 0; slot < t.CycleSlots(); slot++ {
 		out <- t.Packet(slot)
 	}
 	close(out)

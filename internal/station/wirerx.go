@@ -47,8 +47,12 @@ type PacketSource interface {
 // PacketAt implements PacketSource: a static transmitter serves one
 // schedule forever, anchored at slot 0 as directory version 1.
 func (t *MultiTransmitter) PacketAt(ch int, abs int64) (Packet, uint32) {
-	return t.Packet(ch, int(abs%int64(len(t.plan[ch])))), 1
+	return t.Packet(ch, int(abs%int64(t.ChanSlots(ch)))), 1
 }
+
+// FECDescAt implements FECSource: the transmitter's code encoded as
+// version 1, nil for an uncoded broadcast.
+func (t *MultiTransmitter) FECDescAt(int64) ([]byte, uint32) { return t.fecDesc, 1 }
 
 // DirectoryAt implements PacketSource: the layout's directory encoded
 // as version 1 anchored at slot 0, nil for layouts without one (the
@@ -68,12 +72,16 @@ func (t *Transmitter) PacketAt(ch int, abs int64) (Packet, uint32) {
 	if ch != 0 {
 		panic(fmt.Sprintf("station: packet request for channel %d of a single-channel transmitter", ch))
 	}
-	return t.Packet(int(abs % int64(t.x.Prog.Len()))), 1
+	return t.Packet(int(abs % int64(t.CycleSlots()))), 1
 }
 
 // DirectoryAt implements PacketSource: a single-channel broadcast
 // ships no shard directory.
 func (t *Transmitter) DirectoryAt(int64) ([]byte, uint32) { return nil, 1 }
+
+// FECDescAt implements FECSource: the transmitter's code encoded as
+// version 1, nil for an uncoded broadcast.
+func (t *Transmitter) FECDescAt(int64) ([]byte, uint32) { return t.fecDesc, 1 }
 
 // WireReceiver implements dsi.Receiver over a PacketSource. It is
 // constructed with the layout (and directory version) the client knows
@@ -240,6 +248,16 @@ func (r *WireReceiver) Table(pos int) (*dsi.Table, bool) {
 	if !ok {
 		return nil, false
 	}
+	return r.decodeTable(buf, pos)
+}
+
+// decodeTable parses a fully assembled table payload (the concatenated
+// table packets of position pos) and publishes it into the receiver's
+// double-buffered scratch. Shared by the plain packet loop above and
+// the FEC receiver's recovery path, so a reconstructed table passes
+// exactly the validation a cleanly received one does.
+func (r *WireReceiver) decodeTable(buf []byte, pos int) (*dsi.Table, bool) {
+	x := r.x
 	if r.single {
 		t, err := wire.DecodeTableAppend(buf, pos, x.NF, r.entryScratch[:0])
 		if err != nil {

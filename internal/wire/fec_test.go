@@ -1,0 +1,293 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestGFFieldProperties(t *testing.T) {
+	// alpha generates the multiplicative group: all 255 powers distinct.
+	seen := map[byte]bool{}
+	for i := 0; i < 255; i++ {
+		if seen[gfExp[i]] {
+			t.Fatalf("alpha^%d = %#x repeats", i, gfExp[i])
+		}
+		seen[gfExp[i]] = true
+	}
+	for a := 1; a < 256; a++ {
+		if got := gfMul(byte(a), gfInv(byte(a))); got != 1 {
+			t.Fatalf("a * a^-1 = %d for a=%d", got, a)
+		}
+	}
+	// Spot-check associativity and distributivity on a pseudo-random sample.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		if gfMul(gfMul(a, b), c) != gfMul(a, gfMul(b, c)) {
+			t.Fatalf("associativity fails for %d,%d,%d", a, b, c)
+		}
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatalf("distributivity fails for %d,%d,%d", a, b, c)
+		}
+	}
+}
+
+func randSymbols(rng *rand.Rand, k, symLen int) [][]byte {
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, symLen)
+		rng.Read(data[i])
+	}
+	return data
+}
+
+func TestRSRecoverAllErasurePatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dim := range []struct{ k, r int }{{1, 1}, {4, 1}, {5, 2}, {8, 3}, {8, 8}} {
+		orig := randSymbols(rng, dim.k, 32)
+		parity := RSParity(orig, dim.r)
+		// Every erasure pattern with at most r erased data symbols must
+		// recover exactly, for every subset of surviving parity rows
+		// large enough to cover it.
+		for mask := 0; mask < 1<<dim.k; mask++ {
+			e := 0
+			for i := 0; i < dim.k; i++ {
+				if mask&(1<<i) != 0 {
+					e++
+				}
+			}
+			if e == 0 || e > dim.r {
+				continue
+			}
+			data := make([][]byte, dim.k)
+			for i := range data {
+				if mask&(1<<i) == 0 {
+					data[i] = orig[i]
+				}
+			}
+			// Drop parity rows from the end until exactly e survive.
+			par := make([][]byte, dim.r)
+			copy(par, parity)
+			for j := dim.r - 1; j >= e; j-- {
+				par[j] = nil
+			}
+			if !RSRecover(data, par) {
+				t.Fatalf("k=%d r=%d mask=%#x: recovery failed with %d rows", dim.k, dim.r, mask, e)
+			}
+			for i := range data {
+				if !bytes.Equal(data[i], orig[i]) {
+					t.Fatalf("k=%d r=%d mask=%#x: symbol %d mismatch", dim.k, dim.r, mask, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRSRecoverScatteredParityLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	orig := randSymbols(rng, 6, 24)
+	parity := RSParity(orig, 4)
+	data := make([][]byte, 6)
+	copy(data, orig)
+	data[1], data[4] = nil, nil
+	par := make([][]byte, 4)
+	copy(par, parity)
+	par[0], par[2] = nil, nil // only rows 1 and 3 survive — a non-prefix subset
+	if !RSRecover(data, par) {
+		t.Fatal("recovery failed with two scattered parity rows for two erasures")
+	}
+	for i := range data {
+		if !bytes.Equal(data[i], orig[i]) {
+			t.Fatalf("symbol %d mismatch", i)
+		}
+	}
+}
+
+func TestRSRecoverBeyondDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	orig := randSymbols(rng, 5, 16)
+	parity := RSParity(orig, 2)
+	data := make([][]byte, 5)
+	copy(data, orig)
+	data[0], data[2], data[3] = nil, nil, nil // 3 erasures > 2 rows
+	if RSRecover(data, parity) {
+		t.Fatal("recovery claimed success beyond the code distance")
+	}
+	if data[0] != nil || data[2] != nil || data[3] != nil {
+		t.Fatal("failed recovery wrote into erased slots")
+	}
+	// Losing parity too: 2 erasures but only 1 surviving row.
+	data = make([][]byte, 5)
+	copy(data, orig)
+	data[0], data[2] = nil, nil
+	if RSRecover(data, [][]byte{parity[0], nil}) {
+		t.Fatal("recovery claimed success with fewer rows than erasures")
+	}
+}
+
+func TestRSParityRow0IsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := randSymbols(rng, 4, 16)
+	parity := RSParity(data, 1)
+	want := make([]byte, 16)
+	for _, d := range data {
+		for b := range want {
+			want[b] ^= d[b]
+		}
+	}
+	if !bytes.Equal(parity[0], want) {
+		t.Fatal("parity row 0 is not the XOR of the group")
+	}
+}
+
+func TestFECCodeValidate(t *testing.T) {
+	ok := []struct {
+		c FECCode
+		n int
+	}{
+		{FECCode{}, 5}, {FECCode{Groups: 1, Parity: 1}, 5},
+		{FECCode{Groups: 4, Parity: 2}, 16}, {FECCode{Groups: 1, Parity: 200}, 16},
+	}
+	for _, tc := range ok {
+		if err := tc.c.Validate(tc.n); err != nil {
+			t.Fatalf("%+v over %d packets: %v", tc.c, tc.n, err)
+		}
+	}
+	bad := []struct {
+		c FECCode
+		n int
+	}{
+		{FECCode{Groups: 0, Parity: 1}, 5},  // parity with no groups
+		{FECCode{Groups: 6, Parity: 1}, 5},  // more groups than members
+		{FECCode{Groups: 1, Parity: 1}, 65}, // unit exceeds the bitmap
+		{FECCode{Groups: 1, Parity: 250}, 16},
+		{FECCode{Groups: 1, Parity: 300}, 16},
+	}
+	for _, tc := range bad {
+		if err := tc.c.Validate(tc.n); err == nil {
+			t.Fatalf("%+v over %d packets: want error", tc.c, tc.n)
+		}
+	}
+}
+
+func TestFECCodeGroupMembers(t *testing.T) {
+	c := FECCode{Groups: 3, Parity: 1}
+	n := 8 // members 0..7 interleave as groups {0,3,6}, {1,4,7}, {2,5}
+	wantBits := []uint64{1<<0 | 1<<3 | 1<<6, 1<<1 | 1<<4 | 1<<7, 1<<2 | 1<<5}
+	wantK := []int{3, 3, 2}
+	total := uint64(0)
+	for g := 0; g < c.Groups; g++ {
+		members, k := c.GroupMembers(n, g)
+		if members != wantBits[g] || k != wantK[g] {
+			t.Fatalf("group %d: members %#x k=%d, want %#x k=%d", g, members, k, wantBits[g], wantK[g])
+		}
+		total |= members
+	}
+	if total != 1<<uint(n)-1 {
+		t.Fatalf("groups cover %#x, want all %d members", total, n)
+	}
+}
+
+func TestParityRoundtrip(t *testing.T) {
+	h := ParityHeader{Unit: 1234, Group: 2, K: 3, R: 5, Index: 4, Members: 1<<2 | 1<<5 | 1<<8}
+	sym := bytes.Repeat([]byte{0xAB}, 64)
+	buf := EncodeParity(h, sym)
+	got, gotSym, err := DecodeParity(buf, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h || !bytes.Equal(gotSym, sym) {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+}
+
+func TestDecodeParityRejects(t *testing.T) {
+	h := ParityHeader{Unit: 7, Group: 0, K: 2, R: 1, Index: 0, Members: 0b11}
+	good := EncodeParity(h, make([]byte, 32))
+	cases := map[string][]byte{
+		"truncated":  good[:len(good)-1],
+		"wrong size": append(append([]byte{}, good...), 0),
+		"bad magic": func() []byte {
+			b := append([]byte{}, good...)
+			b[0] ^= 0xff
+			return b
+		}(),
+		"row outside R": func() []byte {
+			b := append([]byte{}, good...)
+			b[9] = 1 // Index == R
+			return b
+		}(),
+		"zero rows": func() []byte {
+			b := append([]byte{}, good...)
+			b[8] = 0
+			return b
+		}(),
+		"bitmap mismatch": func() []byte {
+			b := append([]byte{}, good...)
+			b[7] = 3 // K=3 but bitmap has 2 bits
+			return b
+		}(),
+		"zero members": func() []byte {
+			b := append([]byte{}, good...)
+			b[7] = 0
+			binary4zero(b[10:18])
+			return b
+		}(),
+	}
+	for name, buf := range cases {
+		if _, _, err := DecodeParity(buf, 32); err == nil {
+			t.Fatalf("%s: want error", name)
+		}
+	}
+}
+
+func binary4zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func TestFECDescRoundtrip(t *testing.T) {
+	c := FECConfig{Table: FECCode{Groups: 1, Parity: 2}, Object: FECCode{Groups: 4, Parity: 6}}
+	buf, err := EncodeFECDesc(c, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ver, err := DecodeFECDesc(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c || ver != 42 {
+		t.Fatalf("roundtrip mismatch: %+v version %d", got, ver)
+	}
+	if _, err := EncodeFECDesc(FECConfig{Table: FECCode{Groups: 256, Parity: 1}}, 1); err == nil {
+		t.Fatal("want field-width error")
+	}
+}
+
+func TestDecodeFECDescRejects(t *testing.T) {
+	good, err := EncodeFECDesc(FECConfig{Object: FECCode{Groups: 2, Parity: 1}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"truncated": good[:FECDescSize-1],
+		"oversized": append(append([]byte{}, good...), 0),
+		"bad magic": func() []byte {
+			b := append([]byte{}, good...)
+			b[1] ^= 0xff
+			return b
+		}(),
+		"parity without groups": func() []byte {
+			b := append([]byte{}, good...)
+			b[8] = 0 // object groups 0, parity still 1
+			return b
+		}(),
+	}
+	for name, buf := range cases {
+		if _, _, err := DecodeFECDesc(buf); err == nil {
+			t.Fatalf("%s: want error", name)
+		}
+	}
+}

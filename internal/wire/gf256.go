@@ -1,0 +1,198 @@
+// GF(256) arithmetic and the Vandermonde erasure code the FEC layer
+// rests on. The field is GF(2^8) with the usual primitive polynomial
+// x^8+x^4+x^3+x^2+1 (0x11d) and generator alpha = 2; addition is XOR,
+// so a rate-(k/(k+1)) code with one parity row degenerates to the plain
+// XOR parity group and the same machinery serves both code families the
+// FEC design names (XOR groups first, Reed-Solomon-style for
+// multi-loss bursts).
+//
+// Parity row j of a group is Sum_i alpha^(i*j) * data_i: row 0 is the
+// all-ones XOR row, rows 1..r-1 extend it to a Vandermonde system in
+// the distinct nodes alpha^i. Decoding solves the erased columns from
+// whichever parity rows arrived, by Gaussian elimination over all
+// received rows — recovery succeeds exactly when the received equations
+// determine the erasures, with no reliance on submatrix-regularity
+// folklore (a rank-deficient system reports failure instead of
+// producing garbage).
+
+package wire
+
+import "fmt"
+
+// gfPoly is the primitive polynomial of the field (0x11d without the
+// x^8 term once reduced).
+const gfPoly = 0x1d
+
+// gfExp holds alpha^i for i in [0, 510) so products of two logs need no
+// modular reduction; gfLog is its inverse on [1, 255].
+var gfExp, gfLog = gfTables()
+
+func gfTables() (exp [510]byte, log [256]byte) {
+	x := 1
+	for i := 0; i < 255; i++ {
+		exp[i] = byte(x)
+		exp[i+255] = byte(x)
+		log[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x = (x ^ 0x100) ^ gfPoly
+		}
+	}
+	return exp, log
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse of a non-zero element.
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("wire: inverse of zero in GF(256)")
+	}
+	return gfExp[255-int(gfLog[a])]
+}
+
+// gfCoef returns the Vandermonde coefficient alpha^(i*j) of data
+// column i in parity row j.
+func gfCoef(i, j int) byte {
+	return gfExp[(i*j)%255]
+}
+
+// mulAddInto accumulates dst ^= c * src over whole symbols.
+func mulAddInto(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for b, v := range src {
+			dst[b] ^= v
+		}
+		return
+	}
+	lc := int(gfLog[c])
+	for b, v := range src {
+		if v != 0 {
+			dst[b] ^= gfExp[lc+int(gfLog[v])]
+		}
+	}
+}
+
+// RSParity computes the r parity symbols of one code group. Every data
+// symbol must have the same length; the returned parity symbols share
+// it. Row 0 is the XOR of the group, so r = 1 is the plain XOR code.
+func RSParity(data [][]byte, r int) [][]byte {
+	if len(data) == 0 || r <= 0 {
+		return nil
+	}
+	if len(data)+r > 255 {
+		panic(fmt.Sprintf("wire: code group of %d data + %d parity exceeds GF(256)", len(data), r))
+	}
+	symLen := len(data[0])
+	out := make([][]byte, r)
+	for j := range out {
+		p := make([]byte, symLen)
+		for i, d := range data {
+			if len(d) != symLen {
+				panic(fmt.Sprintf("wire: symbol %d is %dB, group uses %dB", i, len(d), symLen))
+			}
+			mulAddInto(p, d, gfCoef(i, j))
+		}
+		out[j] = p
+	}
+	return out
+}
+
+// RSRecover reconstructs the erased data symbols of one code group in
+// place. data[i] == nil marks an erasure; parity[j] == nil marks a
+// parity symbol that was itself lost. It reports whether every erasure
+// was recovered: recovery solves the received parity equations for the
+// erased columns and fails (leaving data untouched) when they do not
+// determine all of them — more erasures than surviving parity rows, or
+// a rank-deficient system.
+func RSRecover(data [][]byte, parity [][]byte) bool {
+	var erased []int
+	symLen := -1
+	for i, d := range data {
+		if d == nil {
+			erased = append(erased, i)
+		} else if symLen < 0 {
+			symLen = len(d)
+		}
+	}
+	if len(erased) == 0 {
+		return true
+	}
+	if symLen < 0 {
+		for _, p := range parity {
+			if p != nil {
+				symLen = len(p)
+				break
+			}
+		}
+	}
+	if symLen < 0 {
+		return false // nothing received at all
+	}
+
+	// One equation per received parity row: the erased columns on the
+	// left, the parity minus the known columns on the right.
+	var rows [][]byte // coefficient vector (len(erased)) followed by rhs
+	for j, p := range parity {
+		if p == nil {
+			continue
+		}
+		row := make([]byte, len(erased)+symLen)
+		for m, i := range erased {
+			row[m] = gfCoef(i, j)
+		}
+		rhs := row[len(erased):]
+		copy(rhs, p)
+		for i, d := range data {
+			if d != nil {
+				mulAddInto(rhs, d, gfCoef(i, j))
+			}
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) < len(erased) {
+		return false
+	}
+
+	// Gauss-Jordan over the received rows.
+	for col := 0; col < len(erased); col++ {
+		pivot := -1
+		for r := col; r < len(rows); r++ {
+			if rows[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return false // rank-deficient: the erasures are undetermined
+		}
+		rows[col], rows[pivot] = rows[pivot], rows[col]
+		if c := rows[col][col]; c != 1 {
+			inv := gfInv(c)
+			row := rows[col]
+			for b := col; b < len(row); b++ {
+				row[b] = gfMul(row[b], inv)
+			}
+		}
+		for r := range rows {
+			if r != col && rows[r][col] != 0 {
+				mulAddInto(rows[r][col:], rows[col][col:], rows[r][col])
+			}
+		}
+	}
+	for m, i := range erased {
+		sym := make([]byte, symLen)
+		copy(sym, rows[m][len(erased):])
+		data[i] = sym
+	}
+	return true
+}
