@@ -45,6 +45,28 @@ type Benchmark struct {
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 	// Metrics holds custom b.ReportMetric values keyed by unit.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Percentiles promotes custom metrics whose unit names a percentile
+	// ("p95_lat_B", "p999") into their own map, so trajectory tooling
+	// can find a benchmark's distribution surface without knowing each
+	// experiment's unit vocabulary.
+	Percentiles map[string]float64 `json:"percentiles,omitempty"`
+}
+
+// percentileUnit reports whether a custom-metric unit names a
+// percentile: "p" followed by digits, optionally followed by
+// "_<qualifier>" ("p95_lat_B", "p999", "p50_tun_B").
+func percentileUnit(unit string) bool {
+	if len(unit) < 2 || unit[0] != 'p' {
+		return false
+	}
+	i := 1
+	for i < len(unit) && unit[i] >= '0' && unit[i] <= '9' {
+		i++
+	}
+	if i == 1 {
+		return false
+	}
+	return i == len(unit) || unit[i] == '_'
 }
 
 // File is the JSON artifact layout.
@@ -118,6 +140,13 @@ func parseLine(line string) (Benchmark, bool) {
 			val := v
 			b.AllocsPerOp = &val
 		default:
+			if percentileUnit(unit) {
+				if b.Percentiles == nil {
+					b.Percentiles = map[string]float64{}
+				}
+				b.Percentiles[unit] = v
+				continue
+			}
 			if b.Metrics == nil {
 				b.Metrics = map[string]float64{}
 			}

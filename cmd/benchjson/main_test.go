@@ -90,3 +90,50 @@ func TestParseEmptyInput(t *testing.T) {
 		t.Fatalf("benchmarks from empty input: %+v", f.Benchmarks)
 	}
 }
+
+const percentileSample = `pkg: dsi/internal/massive
+BenchmarkReplay/classic-8 	       1	4477069898 ns/op	      1116 clients/s	    301696 p95_lat_B	    336512 p99_lat_B	      4033 p95_tun_B	        14.00 state_B/client
+PASS
+`
+
+func TestParsePromotesPercentiles(t *testing.T) {
+	f, err := parse(strings.NewReader(percentileSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(f.Benchmarks))
+	}
+	b := f.Benchmarks[0]
+	want := map[string]float64{"p95_lat_B": 301696, "p99_lat_B": 336512, "p95_tun_B": 4033}
+	if len(b.Percentiles) != len(want) {
+		t.Fatalf("percentiles: %+v", b.Percentiles)
+	}
+	for k, v := range want {
+		if b.Percentiles[k] != v {
+			t.Errorf("percentile %s = %v, want %v", k, b.Percentiles[k], v)
+		}
+	}
+	// Non-percentile custom metrics stay in Metrics.
+	if b.Metrics["clients/s"] != 1116 || b.Metrics["state_B/client"] != 14 {
+		t.Fatalf("metrics: %+v", b.Metrics)
+	}
+	if _, ok := b.Metrics["p95_lat_B"]; ok {
+		t.Error("percentile unit duplicated into Metrics")
+	}
+}
+
+func TestPercentileUnit(t *testing.T) {
+	yes := []string{"p50", "p999", "p95_lat_B", "p99_tun_B"}
+	no := []string{"", "p", "clients/s", "pN", "px_lat", "q95", "state_B/client", "p_lat"}
+	for _, u := range yes {
+		if !percentileUnit(u) {
+			t.Errorf("percentileUnit(%q) = false, want true", u)
+		}
+	}
+	for _, u := range no {
+		if percentileUnit(u) {
+			t.Errorf("percentileUnit(%q) = true, want false", u)
+		}
+	}
+}

@@ -478,7 +478,7 @@ func (kb *knowledge) nextUsefulMarked(nowPos int, targets []hilbert.Range, marks
 		completed := kb.walkTargets(j, targets, marks, found, func(ri, gapLo, gapHi int) bool {
 			// Earliest arrival among the gap's positions, strictly
 			// after nowPos.
-			if d := arrivalDelta(nowPos, kb.spanPos(j, gapLo), kb.spanPos(j, gapHi), kb.stride, nf); d < bestDelta {
+			if d := ArrivalDelta(nowPos, kb.spanPos(j, gapLo), kb.spanPos(j, gapHi), kb.stride, nf); d < bestDelta {
 				bestDelta = d
 			}
 			return bestDelta > 1 // delta 1 cannot be beaten
@@ -618,9 +618,13 @@ func (c *Client) arrivalTables(posLo, posHi, stride int, now int64, cur int, sw 
 	return t + pLo*tp + l - phase, int(pLo)
 }
 
-// arrivalDelta returns the smallest delta in [1, nf] such that
-// nowPos+delta is one of the positions posLo, posLo+stride, ..., posHi.
-func arrivalDelta(nowPos, posLo, posHi, stride, nf int) int {
+// ArrivalDelta returns the smallest delta in [1, nf] such that
+// nowPos+delta is one of the positions posLo, posLo+stride, ..., posHi
+// on a cycle of nf positions. It is the positional-arithmetic kernel
+// behind the knowledge walk's earliest-arrival choice, exported so the
+// event-driven replay engine and property tests can check skip targets
+// against brute-force stepping.
+func ArrivalDelta(nowPos, posLo, posHi, stride, nf int) int {
 	// First candidate strictly after nowPos within this cycle.
 	cur := nowPos % nf
 	if cur < posHi {
@@ -663,6 +667,11 @@ type Client struct {
 	// (pointing into the index's precomputed tables), used by the
 	// aggressive kNN hop rule. Nil until a table is received.
 	lastTable *Table
+
+	// posHopOnly disables the arrival-time pricing of aggressive kNN
+	// hops on multi-data-channel layouts, falling back to the purely
+	// positional closest-frame rule (tests compare the two).
+	posHopOnly bool
 
 	// trace, when non-nil, receives an Event for every client step.
 	trace func(Event)

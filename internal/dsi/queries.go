@@ -277,16 +277,44 @@ func (c *Client) KNNAppend(dst []int, q spatial.Point, k int, strat Strategy) ([
 		// distribution cannot jump forever.
 		maxJumps := 4 * bitsFor(c.x.NF)
 		jumps := 0
+		// On multi-data-channel layouts (split, sharded) a hop's real
+		// cost depends on which channel the candidate frame airs on and
+		// where that channel is in its cycle: a marginally closer frame
+		// on a cold shard can cost most of a cycle in waiting. Price
+		// strictly-closer candidates by arrival time instead of picking
+		// the positionally closest one.
+		timed := c.lay.splitData() && !c.posHopOnly
 		hook = func(p int) (int, bool) {
 			if jumps >= maxJumps || c.lastTable == nil || c.lastTable.Pos != p {
 				return 0, false
 			}
 			bestD := c.frameDist2(q, c.x.PosToFrame(p))
 			best := -1
-			for _, e := range c.lastTable.Entries {
-				if d := c.frameDist2(q, c.x.PosToFrame(e.TargetPos)); d < bestD {
-					bestD = d
-					best = e.TargetPos
+			if timed {
+				// Among the candidates strictly closer than the current
+				// frame, hop to the soonest-arriving data slot; ties go
+				// to the closer frame, then the smaller position.
+				now := c.rx.Now()
+				cur := c.rx.Channel()
+				sw := int64(c.lay.Air.SwitchSlots)
+				curD := bestD
+				bestT := int64(math.MaxInt64)
+				for _, e := range c.lastTable.Entries {
+					d := c.frameDist2(q, c.x.PosToFrame(e.TargetPos))
+					if d >= curD {
+						continue
+					}
+					t := c.arrivalData(e.TargetPos, now, cur, sw)
+					if t < bestT || (t == bestT && (d < bestD || (d == bestD && e.TargetPos < best))) {
+						bestT, bestD, best = t, d, e.TargetPos
+					}
+				}
+			} else {
+				for _, e := range c.lastTable.Entries {
+					if d := c.frameDist2(q, c.x.PosToFrame(e.TargetPos)); d < bestD {
+						bestD = d
+						best = e.TargetPos
+					}
 				}
 			}
 			if best < 0 {

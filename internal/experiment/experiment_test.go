@@ -189,7 +189,7 @@ func TestAblations(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"base", "chanloss", "channels", "costmodel", "drift", "fec", "fig10", "fig11", "fig12", "fig8", "fig9", "real", "reorgm", "sharded", "sizing", "table1", "table1ge", "wireloss"}
+	want := []string{"base", "chanloss", "channels", "costmodel", "drift", "fec", "fig10", "fig11", "fig12", "fig8", "fig9", "massive", "real", "reorgm", "sharded", "sizing", "table1", "table1ge", "wireloss"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %v", got)

@@ -537,6 +537,7 @@ var Registry = map[string]func(Params) Result{
 	"drift":     Drift,
 	"wireloss":  WireLoss,
 	"fec":       FEC,
+	"massive":   Massive,
 }
 
 // Names returns the registered experiment names, sorted.

@@ -160,12 +160,34 @@ func fecBed(p Params) (x *dsi.Index, arms []*fecSystem) {
 	return x, arms
 }
 
+// fecBed1024 assembles the coded-only arm at the paper-default
+// 1024-byte object size. The retry baseline is deliberately absent —
+// a 16-packet object needs 16 consecutive good slots, which at the
+// sweep's high thetas arrives roughly never (see fecObjectBytes) —
+// and so is the light code, whose rate ~0.8 sits just as hopelessly
+// above the worst theta's capacity bound 1-theta. Only the heavy
+// Reed-Solomon code, sized for the worst theta, terminates across the
+// full sweep at paper-size objects.
+func fecBed1024(p Params) (x *dsi.Index, arms []*fecSystem) {
+	ds := p.Dataset()
+	x, err := dsi.Build(ds, dsi.Config{Capacity: 64, ObjectBytes: p.ObjectBytes})
+	if err != nil {
+		panic(err)
+	}
+	worst := FECThetas[len(FECThetas)-1]
+	arms = []*fecSystem{
+		newFECSystem("FEC heavy 1KB", x, fecHeavyCode(x, worst)),
+	}
+	return x, arms
+}
+
 // FEC sweeps code rate against Gilbert-Elliott burst loss and reports
 // the window-query cost distribution of every arm, plus the code-rate
 // table.
 func FEC(p Params) Result {
 	p = p.withDefaults()
 	x, arms := fecBed(p)
+	x1k, arms1k := fecBed1024(p)
 	ds := x.DS
 
 	mk := func(id, title, y string) Figure {
@@ -176,28 +198,44 @@ func FEC(p Params) Result {
 		mk("fec-b", "Erasure-coded broadcast: p95 window access latency", "p95 access latency (bytes)"),
 		mk("fec-c", "Erasure-coded broadcast: mean window tuning time", "tuning time (bytes)"),
 		mk("fec-d", "Erasure-coded broadcast: p95 window tuning time", "p95 tuning time (bytes)"),
+		mk("fec-e", "Erasure-coded broadcast, 1KB objects: mean window access latency", "access latency (bytes)"),
+		mk("fec-f", "Erasure-coded broadcast, 1KB objects: p95 window access latency", "p95 access latency (bytes)"),
 	}
-	pts := sweep(len(FECThetas), func(i int) []DistMetrics {
-		out := make([]DistMetrics, len(arms))
-		for a, sys := range arms {
-			wl := p.workload(ds)
-			wl.Theta = FECThetas[i]
-			wl.BurstLen = FECBurstLen
-			wl.LossData = true
-			out[a] = wl.RunWindowDist(sys, DefaultWinSideRatio)
+	type thetaPoint struct {
+		small, paper []DistMetrics
+	}
+	run := func(sys *fecSystem, theta float64) DistMetrics {
+		wl := p.workload(ds)
+		wl.Theta = theta
+		wl.BurstLen = FECBurstLen
+		wl.LossData = true
+		return wl.RunWindowDist(sys, DefaultWinSideRatio)
+	}
+	pts := sweep(len(FECThetas), func(i int) thetaPoint {
+		var pt thetaPoint
+		for _, sys := range arms {
+			pt.small = append(pt.small, run(sys, FECThetas[i]))
 		}
-		return out
+		for _, sys := range arms1k {
+			pt.paper = append(pt.paper, run(sys, FECThetas[i]))
+		}
+		return pt
 	})
 	for i, theta := range FECThetas {
 		for f := range figs {
 			figs[f].X = append(figs[f].X, theta)
 		}
 		for a, sys := range arms {
-			d := pts[i][a]
+			d := pts[i].small[a]
 			figs[0].AddPoint(sys.Name(), d.Mean.LatencyBytes)
 			figs[1].AddPoint(sys.Name(), d.P95.LatencyBytes)
 			figs[2].AddPoint(sys.Name(), d.Mean.TuningBytes)
 			figs[3].AddPoint(sys.Name(), d.P95.TuningBytes)
+		}
+		for a, sys := range arms1k {
+			d := pts[i].paper[a]
+			figs[4].AddPoint(sys.Name(), d.Mean.LatencyBytes)
+			figs[5].AddPoint(sys.Name(), d.P95.LatencyBytes)
 		}
 	}
 
@@ -212,14 +250,18 @@ func FEC(p Params) Result {
 		}
 		return fmt.Sprintf("G=%d R=%d (K=%d)", c.Groups, c.Parity, k)
 	}
-	for _, sys := range arms {
-		t.Rows = append(t.Rows, []string{
-			sys.Name(),
-			codeStr(sys.cfg.Table, x.TablePackets),
-			codeStr(sys.cfg.Object, x.ObjPackets),
-			fmt.Sprintf("%.3f", sys.Rate()),
-			fmt.Sprintf("%d", sys.cycle),
-		})
+	addRows := func(xr *dsi.Index, systems []*fecSystem) {
+		for _, sys := range systems {
+			t.Rows = append(t.Rows, []string{
+				sys.Name(),
+				codeStr(sys.cfg.Table, xr.TablePackets),
+				codeStr(sys.cfg.Object, xr.ObjPackets),
+				fmt.Sprintf("%.3f", sys.Rate()),
+				fmt.Sprintf("%d", sys.cycle),
+			})
+		}
 	}
+	addRows(x, arms)
+	addRows(x1k, arms1k)
 	return Result{Figures: figs, Tables: []Table{t}}
 }

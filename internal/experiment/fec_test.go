@@ -89,12 +89,18 @@ func TestFECExperimentRuns(t *testing.T) {
 		t.Skip("fec sweep is minutes-long at full size")
 	}
 	res := FEC(Params{N: 300, Order: 7, Seed: 43, Queries: 4, Verify: true})
-	if len(res.Figures) != 4 {
-		t.Fatalf("fec produced %d figures, want 4", len(res.Figures))
+	if len(res.Figures) != 6 {
+		t.Fatalf("fec produced %d figures, want 6", len(res.Figures))
 	}
-	for _, f := range res.Figures {
-		if len(f.Series) != 3 {
-			t.Fatalf("figure %s has %d series, want 3", f.ID, len(f.Series))
+	for i, f := range res.Figures {
+		// fec-a..d sweep the three small-object arms; fec-e/f sweep the
+		// coded-only paper-size (1KB) arm.
+		wantSeries := 3
+		if i >= 4 {
+			wantSeries = 1
+		}
+		if len(f.Series) != wantSeries {
+			t.Fatalf("figure %s has %d series, want %d", f.ID, len(f.Series), wantSeries)
 		}
 		for _, s := range f.Series {
 			if len(s.Y) != len(FECThetas) {
@@ -102,8 +108,30 @@ func TestFECExperimentRuns(t *testing.T) {
 			}
 		}
 	}
-	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 3 {
+	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 4 {
 		t.Fatalf("fec code-rate table malformed: %+v", res.Tables)
+	}
+}
+
+// TestFECBed1024PaperSizeCodedOnly pins the paper-size bed: 1024-byte
+// objects, no uncoded retry arm (it would not terminate at the sweep's
+// high thetas), and codes that validate at the 16-packet geometry.
+func TestFECBed1024PaperSizeCodedOnly(t *testing.T) {
+	p := Params{N: 300, Order: 7, Seed: 53, Queries: 1}.withDefaults()
+	x, arms := fecBed1024(p)
+	if x.Cfg.ObjectBytes != 1024 {
+		t.Fatalf("paper-size bed has %d-byte objects, want 1024", x.Cfg.ObjectBytes)
+	}
+	if len(arms) != 1 {
+		t.Fatalf("paper-size bed has %d arms, want the single heavy coded arm", len(arms))
+	}
+	for _, sys := range arms {
+		if !sys.cfg.Enabled() {
+			t.Fatalf("%s: paper-size bed must not carry an uncoded arm", sys.Name())
+		}
+		if err := sys.cfg.Validate(x.TablePackets, x.ObjPackets); err != nil {
+			t.Errorf("%s: %v", sys.Name(), err)
+		}
 	}
 }
 

@@ -1,0 +1,91 @@
+// The massive experiment: the event-driven replay engine at
+// population scale. Where every other experiment measures a broadcast
+// organization with a few hundred step-wise queries, massive replays a
+// whole population of concurrent clients — up to millions on one
+// machine — against the four organizations (classic single channel,
+// index/data split, sharded, erasure-coded) at matched per-channel
+// bandwidth, and reports the percentile surface: p50/p95/p99/p999
+// access latency and tuning time per layout, plus the engine's own
+// throughput (clients/sec) and per-client state budget. Queries is the
+// population knob: the default 100 is a smoke run, cmd/dsiload drives
+// the same testbed at a million.
+
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"dsi/internal/massive"
+)
+
+// massivePercentiles is the percentile axis of the massive figures.
+var massivePercentiles = []float64{50, 95, 99, 99.9}
+
+// distAt indexes a massive.Dist by the percentile axis.
+func distAt(d massive.Dist, p float64) float64 {
+	switch p {
+	case 50:
+		return d.P50
+	case 95:
+		return d.P95
+	case 99:
+		return d.P99
+	default:
+		return d.P999
+	}
+}
+
+// Massive replays the population on the event-driven engine, one arm
+// at a time (each run already saturates the machine's cores, and
+// sequential arms keep clients/sec honest).
+func Massive(p Params) Result {
+	p = p.withDefaults()
+	bed, err := massive.NewTestbed(massive.BedConfig{
+		N: p.N, Order: int(p.Order), Seed: p.Seed, ObjectBytes: p.ObjectBytes,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiment: massive testbed: %v", err))
+	}
+	cfg := massive.Config{Clients: p.Queries, Seed: p.Seed + 1000}
+
+	reports := make([]massive.Report, len(bed.Arms))
+	for i, arm := range bed.Arms {
+		t0 := time.Now()
+		res := massive.Run(bed, arm, cfg)
+		reports[i] = res.ReportOf(arm, bed.X.Cfg.Capacity, time.Since(t0).Seconds())
+	}
+
+	lat := Figure{ID: "massive-lat", Title: "Population replay: access latency percentile surface",
+		XLabel: "percentile", YLabel: "access latency (bytes)"}
+	tun := Figure{ID: "massive-tun", Title: "Population replay: tuning time percentile surface",
+		XLabel: "percentile", YLabel: "tuning time (bytes)"}
+	for _, pc := range massivePercentiles {
+		lat.X = append(lat.X, pc)
+		tun.X = append(tun.X, pc)
+		for _, rep := range reports {
+			lat.AddPoint(rep.Name, distAt(rep.Latency, pc))
+			tun.AddPoint(rep.Name, distAt(rep.Tuning, pc))
+		}
+	}
+
+	t := Table{
+		ID:    "massive",
+		Title: fmt.Sprintf("Event-driven replay of %d concurrent clients per arm (64B packets)", cfg.Clients),
+		Header: []string{"Arm", "Clients", "Lat p50", "Lat p95", "Lat p99", "Lat p999",
+			"Tun p50", "Tun p99", "Sw p99", "clients/s", "B/client"},
+	}
+	for _, rep := range reports {
+		t.Rows = append(t.Rows, []string{
+			rep.Name,
+			fmt.Sprintf("%d", rep.Clients),
+			humanBytes(rep.Latency.P50), humanBytes(rep.Latency.P95),
+			humanBytes(rep.Latency.P99), humanBytes(rep.Latency.P999),
+			humanBytes(rep.Tuning.P50), humanBytes(rep.Tuning.P99),
+			fmt.Sprintf("%.0f", rep.Switches.P99),
+			fmt.Sprintf("%.0f", rep.ClientsPerSec),
+			fmt.Sprintf("%.0f", rep.BytesPerClient),
+		})
+	}
+	return Result{Figures: []Figure{lat, tun}, Tables: []Table{t}}
+}

@@ -1,0 +1,40 @@
+package experiment
+
+import "testing"
+
+// TestMassiveExperimentRuns smoke-runs the registered massive
+// experiment: four arms, the full percentile surface, and a sane
+// throughput/state-budget column.
+func TestMassiveExperimentRuns(t *testing.T) {
+	res := Massive(Params{N: 400, Order: 7, Seed: 17, Queries: 200})
+	if len(res.Figures) != 2 {
+		t.Fatalf("massive produced %d figures, want 2", len(res.Figures))
+	}
+	for _, f := range res.Figures {
+		if len(f.Series) != 4 {
+			t.Fatalf("figure %s has %d series, want 4 arms", f.ID, len(f.Series))
+		}
+		for _, s := range f.Series {
+			if len(s.Y) != len(massivePercentiles) {
+				t.Fatalf("figure %s series %s has %d points, want %d",
+					f.ID, s.Name, len(s.Y), len(massivePercentiles))
+			}
+			// Percentile surfaces are monotone nondecreasing.
+			for i := 1; i < len(s.Y); i++ {
+				if s.Y[i] < s.Y[i-1] {
+					t.Fatalf("figure %s series %s not monotone at %d: %v", f.ID, s.Name, i, s.Y)
+				}
+			}
+		}
+	}
+	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 4 {
+		t.Fatalf("massive table malformed: %+v", res.Tables)
+	}
+}
+
+// BenchmarkMassive is the CI smoke benchmark of the massive replay.
+func BenchmarkMassive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Massive(Params{N: 400, Order: 7, Seed: 19, Queries: 500})
+	}
+}

@@ -169,9 +169,26 @@ func (c Curve) RangesFunc(region RegionFunc) []Range {
 	return c.AppendRangesFunc(nil, region)
 }
 
-// qblock is a pending block of the iterative quadrant subdivision.
+// qblock is a pending block of the iterative quadrant subdivision: its
+// lower-left corner and side, plus the HC value of its first cell and
+// the curve orientation inside it.
 type qblock struct {
 	x0, y0, s uint32
+	lo        uint64
+	state     uint8
+}
+
+// quadOrder drives the curve-ordered subdivision. The 2D Hilbert curve
+// has four reachable orientations (identity, swap, point reflection,
+// and their composition — derived from the rotations in encodeScalar);
+// for each, the table lists the four child quadrants in the order the
+// curve visits them (dx, dy select the quadrant's corner offset in
+// half-side units) and the orientation of the curve inside each child.
+var quadOrder = [4][4]struct{ dx, dy, next uint8 }{
+	{{0, 0, 1}, {0, 1, 0}, {1, 1, 0}, {1, 0, 3}}, // identity
+	{{0, 0, 0}, {1, 0, 1}, {1, 1, 1}, {0, 1, 2}}, // swap
+	{{1, 1, 3}, {1, 0, 2}, {0, 0, 2}, {0, 1, 1}}, // invert both
+	{{1, 1, 2}, {0, 1, 3}, {0, 0, 3}, {1, 0, 0}}, // swap + invert
 }
 
 // stackPool recycles subdivision stacks across decompositions, so a
@@ -183,41 +200,60 @@ var stackPool = sync.Pool{New: func() any {
 }}
 
 // AppendRangesFunc is RangesFunc appending into dst (which may be nil
-// or a recycled buffer): the new ranges occupy dst[len(dst):]. Only the
-// appended tail is sorted and merged; previously present elements are
-// left untouched.
+// or a recycled buffer): the new ranges occupy dst[len(dst):], sorted
+// and merged; previously present elements are left untouched.
+//
+// The subdivision descends quadrants in curve-visit order (quadOrder),
+// so blocks surface with strictly increasing HC values: each block's
+// base is the parent's base plus its visit rank times the child area —
+// no per-block Encode — and adjacent blocks coalesce with a single
+// comparison instead of a sort-and-merge pass over the tail.
 func (c Curve) AppendRangesFunc(dst []Range, region RegionFunc) []Range {
 	base := len(dst)
 	sp := stackPool.Get().(*[]qblock)
-	stack := append((*sp)[:0], qblock{0, 0, c.Side()})
+	stack := append((*sp)[:0], qblock{0, 0, c.Side(), 0, 0})
 	for len(stack) > 0 {
 		b := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		switch region(b.x0, b.y0, b.x0+b.s-1, b.y0+b.s-1) {
 		case Outside:
 		case Inside:
-			lo := c.blockBase(b.x0, b.y0, b.s)
-			dst = append(dst, Range{Lo: lo, Hi: lo + uint64(b.s)*uint64(b.s)})
+			dst = appendRun(dst, base, b.lo, b.lo+uint64(b.s)*uint64(b.s))
 		default:
 			if b.s == 1 {
 				// A 1x1 block classified Partial is a classifier bug;
 				// treat as inside to stay conservative (never lose a
 				// cell).
-				lo := c.Encode(b.x0, b.y0)
-				dst = append(dst, Range{Lo: lo, Hi: lo + 1})
+				dst = appendRun(dst, base, b.lo, b.lo+1)
 				continue
 			}
 			h := b.s >> 1
-			stack = append(stack,
-				qblock{b.x0, b.y0, h},
-				qblock{b.x0 + h, b.y0, h},
-				qblock{b.x0, b.y0 + h, h},
-				qblock{b.x0 + h, b.y0 + h, h})
+			area := uint64(h) * uint64(h)
+			q := &quadOrder[b.state]
+			// Push in reverse visit order so pops follow the curve.
+			for r := 3; r >= 0; r-- {
+				stack = append(stack, qblock{
+					b.x0 + uint32(q[r].dx)*h, b.y0 + uint32(q[r].dy)*h, h,
+					b.lo + uint64(r)*area, q[r].next,
+				})
+			}
 		}
 	}
 	*sp = stack
 	stackPool.Put(sp)
-	return mergeRangesTail(dst, base)
+	return dst
+}
+
+// appendRun appends the half-open HC run [lo, hi) to dst, coalescing
+// with the last range of the tail dst[base:] when adjacent. Runs arrive
+// in strictly increasing curve order, so adjacency is the only merge
+// case.
+func appendRun(dst []Range, base int, lo, hi uint64) []Range {
+	if n := len(dst); n > base && dst[n-1].Hi == lo {
+		dst[n-1].Hi = hi
+		return dst
+	}
+	return append(dst, Range{Lo: lo, Hi: hi})
 }
 
 // blockBase returns the smallest HC value within the size-s aligned block

@@ -324,3 +324,40 @@ func BenchmarkRangesWindow(b *testing.B) {
 		c.Ranges(100, 100, 200, 200)
 	}
 }
+
+// TestRangesSingleCellMatchesEncode pins the curve-ordered subdivision's
+// arithmetic block bases to the Encode tables: a one-cell query descends
+// the full tree through every orientation on its path, so the derived
+// base must equal the cell's HC value for every cell of the grid.
+func TestRangesSingleCellMatchesEncode(t *testing.T) {
+	c := New(4)
+	for x := uint32(0); x < c.Side(); x++ {
+		for y := uint32(0); y < c.Side(); y++ {
+			rs := c.Ranges(x, y, x, y)
+			want := c.Encode(x, y)
+			if len(rs) != 1 || rs[0].Lo != want || rs[0].Hi != want+1 {
+				t.Fatalf("Ranges(%d,%d) = %v, want [%d,%d)", x, y, rs, want, want+1)
+			}
+		}
+	}
+}
+
+// TestRangesDiskMaximal asserts disk decompositions surface sorted,
+// disjoint, non-adjacent ranges — the invariant the curve-ordered
+// traversal maintains without a sort pass.
+func TestRangesDiskMaximal(t *testing.T) {
+	c := New(5)
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 100; i++ {
+		qx := rng.Float64() * float64(c.Side())
+		qy := rng.Float64() * float64(c.Side())
+		r := rng.Float64() * float64(c.Side()) / 2
+		rs := c.RangesDisk(qx, qy, r)
+		for j := 1; j < len(rs); j++ {
+			if rs[j].Lo <= rs[j-1].Hi {
+				t.Fatalf("RangesDisk(%.3f,%.3f,%.3f): ranges %v and %v not maximal/disjoint",
+					qx, qy, r, rs[j-1], rs[j])
+			}
+		}
+	}
+}

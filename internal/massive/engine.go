@@ -1,0 +1,229 @@
+// The event-driven replay engine. A population of simulated clients —
+// each a (query, tune-in slot) pair derived deterministically from its
+// client id — replays against one shared immutable air snapshot (the
+// testbed arm). Workers own contiguous client-id ranges; within a
+// range, clients are ordered on the slot clock by a calendar/bucket
+// queue over their tune-in slots and each activation runs its query to
+// completion through a flat receiver that skips between tune-in slots
+// with batched arithmetic (broadcast clients never interact, so
+// slot-clock order is a locality choice, not a correctness one —
+// which is exactly why replay is deterministic at any parallelism:
+// every client's outcome is a function of its id alone).
+//
+// Durable per-client state is three packed result columns plus the
+// queue link — 14 bytes per client (StateBytesPerClient); the
+// navigation state (knowledge base, scratch buffers) lives in one
+// session per worker, reset in O(facts learned) between clients. The
+// step-wise reference engine (RunReference) replays the identical
+// population through the tuner-stepping receivers; the equivalence
+// suite pins the two bit-identically per client.
+
+package massive
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dsi/internal/broadcast"
+	"dsi/internal/dsi"
+	"dsi/internal/spatial"
+
+	"math/rand/v2"
+)
+
+// Config shapes the replayed population.
+type Config struct {
+	Clients      int          // concurrent clients (required)
+	KNNFrac      float64      // fraction running kNN queries (default 0.5)
+	K            int          // kNN k (default 5)
+	WinSideRatio float64      // window side / grid side (default 0.1)
+	Seed         int64        // population seed (default 1)
+	Workers      int          // worker count (default GOMAXPROCS)
+	Strategy     dsi.Strategy // kNN navigation strategy (default Conservative)
+}
+
+func (c Config) withDefaults() Config {
+	if c.KNNFrac == 0 {
+		c.KNNFrac = 0.5
+	}
+	if c.K == 0 {
+		c.K = 5
+	}
+	if c.WinSideRatio == 0 {
+		c.WinSideRatio = 0.1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// StateBytesPerClient is the durable per-client storage of a run: the
+// three packed result columns (latency, tuning, switches) plus the
+// calendar-queue link. Everything else a client "is" — its query and
+// tune-in slot — is recomputed from its id, and the navigation state
+// is amortized across a worker's whole id range.
+const StateBytesPerClient = 4 + 4 + 2 + 4
+
+// Result holds the per-client outcomes of one arm's replay as packed
+// struct-of-arrays columns, indexed by client id.
+type Result struct {
+	Lat []uint32 // access latency, packets
+	Tun []uint32 // tuning time, packets
+	Sw  []uint16 // channel switches
+}
+
+func newResult(n int) *Result {
+	return &Result{Lat: make([]uint32, n), Tun: make([]uint32, n), Sw: make([]uint16, n)}
+}
+
+// clientQuery is the deterministic population member derived from a
+// client id: every draw comes from the client's own PCG stream, so
+// outcomes are independent of worker count and processing order.
+type clientQuery struct {
+	knn   bool
+	x, y  uint32
+	probe int64 // tune-in slot, scaled to the arm's cycle
+}
+
+// queryOf derives client id's query against an arm. The probe slot
+// scales a uniform fraction by the arm's cycle length (physical slots
+// on the coded arm), mirroring the experiment workload convention.
+func queryOf(cfg Config, side uint32, cycle int, id int) clientQuery {
+	rng := rand.New(rand.NewPCG(uint64(cfg.Seed), 0x9e3779b97f4a7c15*(uint64(id)+1)))
+	q := clientQuery{}
+	q.knn = rng.Float64() < cfg.KNNFrac
+	q.x = uint32(rng.IntN(int(side)))
+	q.y = uint32(rng.IntN(int(side)))
+	q.probe = int64(rng.Float64() * float64(cycle))
+	return q
+}
+
+// runPopulation replays every client of cfg against the arm, one
+// session per worker over contiguous client-id ranges. The evented
+// engine activates a worker's clients in slot-clock order through the
+// calendar/bucket queue over flat receivers; the reference engine
+// scans ids in order over the step-wise receivers.
+func runPopulation(bed *Testbed, arm *Arm, cfg Config, evented bool) *Result {
+	cfg = cfg.withDefaults()
+	if cfg.Clients <= 0 {
+		panic("massive: Config.Clients must be positive")
+	}
+	res := newResult(cfg.Clients)
+	side := bed.DS.Curve.Side()
+	cycle := arm.CycleSlots()
+	winSide := uint32(cfg.WinSideRatio * float64(side))
+
+	workers := cfg.Workers
+	if workers > cfg.Clients {
+		workers = cfg.Clients
+	}
+	chunk := (cfg.Clients + workers - 1) / workers
+
+	var wg sync.WaitGroup
+	panics := make(chan any, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > cfg.Clients {
+			hi = cfg.Clients
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- p
+				}
+			}()
+			var rx dsi.Receiver
+			if evented {
+				rx = arm.newFlat()
+			} else {
+				rx = arm.newReference()
+			}
+			sess, err := dsi.Open(bed.X, dsi.WithReceiver(rx))
+			if err != nil {
+				panic(fmt.Sprintf("massive: opening session: %v", err))
+			}
+
+			// buf recycles the result-ID storage across the worker's
+			// whole range: massive replay measures cost distributions,
+			// not result sets (the equivalence suite checks results on
+			// small populations).
+			var buf []int
+			run := func(id int) {
+				q := queryOf(cfg, side, cycle, id)
+				sess.Tune(q.probe, nil)
+				var st broadcast.Stats
+				if q.knn {
+					buf, st = sess.KNNAppend(buf[:0], spatial.Point{X: q.x, Y: q.y}, cfg.K, cfg.Strategy)
+				} else {
+					w := spatial.ClampedWindow(q.x, q.y, winSide, side)
+					buf, st = sess.WindowAppend(buf[:0], w)
+				}
+				res.Lat[id] = uint32(st.LatencyPackets)
+				res.Tun[id] = uint32(st.TuningPackets)
+				res.Sw[id] = uint16(st.Switches)
+			}
+
+			if !evented {
+				// Step-wise reference scan: id order.
+				for id := lo; id < hi; id++ {
+					run(id)
+				}
+				return
+			}
+			// Calendar/bucket queue keyed on the slot clock: clients
+			// activate in tune-in-slot order within the worker's range.
+			n := hi - lo
+			nb := cycle
+			if nb > 1<<12 {
+				nb = 1 << 12
+			}
+			head := make([]int32, nb)
+			for b := range head {
+				head[b] = -1
+			}
+			next := make([]int32, n)
+			for id := hi - 1; id >= lo; id-- {
+				probe := queryOf(cfg, side, cycle, id).probe
+				b := int(probe % int64(cycle) * int64(nb) / int64(cycle))
+				next[id-lo] = head[b]
+				head[b] = int32(id - lo)
+			}
+			for b := 0; b < nb; b++ {
+				for i := head[b]; i >= 0; i = next[i] {
+					run(lo + int(i))
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	close(panics)
+	for p := range panics {
+		panic(p)
+	}
+	return res
+}
+
+// Run replays cfg's population against the arm on the event-driven
+// flat engine.
+func Run(bed *Testbed, arm *Arm, cfg Config) *Result {
+	return runPopulation(bed, arm, cfg, true)
+}
+
+// RunReference replays the identical population through the step-wise
+// reference receivers (broadcast.Tuner stepping under SimReceiver, or
+// the byte-level coded receiver) — the correctness anchor the
+// event-driven engine is pinned against.
+func RunReference(bed *Testbed, arm *Arm, cfg Config) *Result {
+	return runPopulation(bed, arm, cfg, false)
+}

@@ -1,0 +1,128 @@
+// The correctness anchor: on small populations the event-driven flat
+// engine must be bit-identical to the step-wise reference replay —
+// per-client stats equal across window/kNN mixes, every arm (classic,
+// split, sharded, coded), both kNN strategies, and any parallelism.
+
+package massive
+
+import (
+	"testing"
+
+	"dsi/internal/dsi"
+	"dsi/internal/spatial"
+
+	"math/rand/v2"
+)
+
+func testBed(t testing.TB) *Testbed {
+	t.Helper()
+	bed, err := NewTestbed(BedConfig{N: 600, Order: 7, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bed
+}
+
+// TestEventDrivenBitIdentical pins the flat engine to the step-wise
+// reference per client, on every arm, for both strategies, at two
+// parallelism levels.
+func TestEventDrivenBitIdentical(t *testing.T) {
+	bed := testBed(t)
+	for _, strat := range []dsi.Strategy{dsi.Conservative, dsi.Aggressive} {
+		base := Config{Clients: 48, Seed: 5, Strategy: strat}
+		for _, arm := range bed.Arms {
+			refCfg := base
+			refCfg.Workers = 2
+			ref := RunReference(bed, arm, refCfg)
+			for _, workers := range []int{1, 4} {
+				cfg := base
+				cfg.Workers = workers
+				got := Run(bed, arm, cfg)
+				for id := 0; id < base.Clients; id++ {
+					if got.Lat[id] != ref.Lat[id] || got.Tun[id] != ref.Tun[id] || got.Sw[id] != ref.Sw[id] {
+						t.Fatalf("%s/%v workers=%d client %d: event-driven (lat %d, tun %d, sw %d) != step-wise (lat %d, tun %d, sw %d)",
+							arm.Name, strat, workers, id,
+							got.Lat[id], got.Tun[id], got.Sw[id],
+							ref.Lat[id], ref.Tun[id], ref.Sw[id])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEventDrivenDeterministicAcrossParallelism re-runs the flat
+// engine at several worker counts and demands identical columns —
+// replay is a function of client ids, never of scheduling.
+func TestEventDrivenDeterministicAcrossParallelism(t *testing.T) {
+	bed := testBed(t)
+	for _, arm := range bed.Arms {
+		var want *Result
+		for _, workers := range []int{1, 3, 8} {
+			got := Run(bed, arm, Config{Clients: 40, Seed: 7, Workers: workers})
+			if want == nil {
+				want = got
+				continue
+			}
+			for id := range want.Lat {
+				if got.Lat[id] != want.Lat[id] || got.Tun[id] != want.Tun[id] || got.Sw[id] != want.Sw[id] {
+					t.Fatalf("%s client %d differs between worker counts", arm.Name, id)
+				}
+			}
+		}
+	}
+}
+
+// TestFlatReceiverResultsMatchReference runs full queries through flat
+// and reference sessions directly and compares result IDs as well as
+// stats — the flat receivers must not only cost the same but navigate
+// to the same answers.
+func TestFlatReceiverResultsMatchReference(t *testing.T) {
+	bed := testBed(t)
+	side := int(bed.DS.Curve.Side())
+	rng := rand.New(rand.NewPCG(11, 13))
+	for _, arm := range bed.Arms {
+		flatSess, err := dsi.Open(bed.X, dsi.WithReceiver(arm.newFlat()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refSess, err := dsi.Open(bed.X, dsi.WithReceiver(arm.newReference()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 12; trial++ {
+			probe := rng.Int64N(int64(arm.CycleSlots()))
+			flatSess.Tune(probe, nil)
+			refSess.Tune(probe, nil)
+			x, y := uint32(rng.IntN(side)), uint32(rng.IntN(side))
+			var gotIDs, wantIDs []int
+			var gotSt, wantSt interface{ String() string }
+			switch trial % 3 {
+			case 0:
+				w := spatial.ClampedWindow(x, y, uint32(side/10), bed.DS.Curve.Side())
+				g, gs := flatSess.Window(w)
+				r, rs := refSess.Window(w)
+				gotIDs, wantIDs, gotSt, wantSt = g, r, gs, rs
+			case 1:
+				g, gs := flatSess.KNN(spatial.Point{X: x, Y: y}, 4, dsi.Conservative)
+				r, rs := refSess.KNN(spatial.Point{X: x, Y: y}, 4, dsi.Conservative)
+				gotIDs, wantIDs, gotSt, wantSt = g, r, gs, rs
+			default:
+				g, gs := flatSess.KNN(spatial.Point{X: x, Y: y}, 4, dsi.Aggressive)
+				r, rs := refSess.KNN(spatial.Point{X: x, Y: y}, 4, dsi.Aggressive)
+				gotIDs, wantIDs, gotSt, wantSt = g, r, gs, rs
+			}
+			if len(gotIDs) != len(wantIDs) {
+				t.Fatalf("%s trial %d: %d results != %d", arm.Name, trial, len(gotIDs), len(wantIDs))
+			}
+			for i := range gotIDs {
+				if gotIDs[i] != wantIDs[i] {
+					t.Fatalf("%s trial %d: result %d is %d, want %d", arm.Name, trial, i, gotIDs[i], wantIDs[i])
+				}
+			}
+			if gotSt.String() != wantSt.String() {
+				t.Fatalf("%s trial %d: flat stats %v != reference %v", arm.Name, trial, gotSt, wantSt)
+			}
+		}
+	}
+}

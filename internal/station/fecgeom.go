@@ -1,0 +1,47 @@
+// Exported view of the coded physical geometry. A coded broadcast's
+// transmitter and receiver both derive the parity-bearing slot layout
+// from catalog knowledge (newFECGeom); external replay engines that
+// model a coded client's clock without running a byte-level receiver
+// need the same two slot maps per channel. CodedGeometry hands them
+// out read-only.
+
+package station
+
+import (
+	"dsi/internal/dsi"
+	"dsi/internal/wire"
+)
+
+// CodedChannel is the physical slot geometry of one channel of an
+// erasure-coded broadcast: the cycle length including parity tails and
+// the two maps between the logical (content-only) and physical
+// (parity-bearing) slot domains. The slices alias the receiver-side
+// geometry tables and must not be modified.
+type CodedChannel struct {
+	// PhysLen is the physical slots per cycle: the logical channel
+	// length plus every unit's parity tail.
+	PhysLen int
+	// Log2Phys maps a logical slot to the physical slot carrying it.
+	Log2Phys []int32
+	// LogOf maps a physical slot to its logical slot; parity slots map
+	// forward to the next content slot, exactly as a coded receiver's
+	// Pos reports them.
+	LogOf []int32
+}
+
+// CodedGeometry derives the per-channel physical geometry of a layout
+// under a code — the same derivation every coded transmitter and
+// receiver performs, subject to the same layout constraints
+// (per-unit-contiguous channels: single, split, sharded).
+func CodedGeometry(lay *dsi.Layout, cfg wire.FECConfig) ([]CodedChannel, error) {
+	g, err := newFECGeom(lay, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CodedChannel, len(g.chs))
+	for ch := range g.chs {
+		c := &g.chs[ch]
+		out[ch] = CodedChannel{PhysLen: c.physLen, Log2Phys: c.log2phys, LogOf: c.logOf}
+	}
+	return out, nil
+}

@@ -56,13 +56,23 @@ type FECReceiver struct {
 	payBuf  [][]byte // member scratch
 	tailBuf [][]byte // parity-tail scratch
 
+	// cache keeps recently recovered units across queries (feccache.go):
+	// Table re-reads of a unit that cost a recovery decode from it with
+	// zero air slots. Survives Reset; dropped on schedule adoption.
+	cache fecCache
+
 	recovered int // packets reconstructed from parity since construction
+	cacheHits int // table reads served from the recovered-unit cache
 }
 
 // Recovered returns the number of packets reconstructed from parity —
 // losses the code absorbed that would otherwise have cost a
 // rebroadcast wait.
 func (r *FECReceiver) Recovered() int { return r.recovered }
+
+// CacheHits returns the number of Table reads served entirely from the
+// recovered-unit cache — re-reads that cost zero air slots.
+func (r *FECReceiver) CacheHits() int { return r.cacheHits }
 
 // NewFECReceiver returns a recovering byte-level receiver tuned to the
 // layout's start channel at the given absolute slot of the physical
@@ -180,7 +190,10 @@ func (r *FECReceiver) SetChannelLoss(ch int, loss *broadcast.LossModel) error {
 }
 
 // Follow commits the client's re-seed onto a layout obtained from Poll.
-func (r *FECReceiver) Follow(lay *dsi.Layout) { r.w.Follow(lay) }
+func (r *FECReceiver) Follow(lay *dsi.Layout) {
+	r.w.Follow(lay)
+	r.cache.drop()
+}
 
 // allMask returns the bitmap of an n-member unit.
 func allMask(n int) uint64 { return ^uint64(0) >> uint(64-n) }
@@ -362,8 +375,20 @@ func (r *FECReceiver) Table(pos int) (*dsi.Table, bool) {
 		return r.w.Table(pos)
 	}
 	w := r.w
-	u, _, _ := r.tableUnit(pos)
+	u, ui, ch := r.tableUnit(pos)
 	n := u.n
+	base := w.tu.Now()
+	if cached := r.cache.lookup(ch, ui, w.ver, base, r.geo.chs[ch].physLen); cached != nil {
+		// The whole unit was recovered at an earlier occurrence: decode
+		// from the cache with zero air slots — the radio stays dozing.
+		r.cacheHits++
+		buf := w.tabBuf[:0]
+		for i := 0; i < n; i++ {
+			buf = append(buf, cached[i]...)
+		}
+		w.tabBuf = buf
+		return w.decodeTable(buf, pos)
+	}
 	pay := r.members(n)
 	okm := uint64(0)
 	for i := 0; i < n; i++ {
@@ -389,6 +414,10 @@ func (r *FECReceiver) Table(pos int) (*dsi.Table, bool) {
 				r.recovered++
 			}
 		}
+		// Only recovered units are cached: a cleanly received unit
+		// re-airs every cycle for free, so the error-free cost model
+		// stays exactly the plain receiver's.
+		r.cache.store(ch, ui, w.ver, base, pay)
 	}
 	buf := w.tabBuf[:0]
 	for i := 0; i < n; i++ {
@@ -632,5 +661,6 @@ func (r *FECReceiver) Poll() (*dsi.Layout, bool) {
 	w.adoptGeometry(lay)
 	r.geo = geo
 	r.win.unit = -1
+	r.cache.drop()
 	return lay, true
 }
