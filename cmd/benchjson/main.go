@@ -50,6 +50,11 @@ type Benchmark struct {
 	// can find a benchmark's distribution surface without knowing each
 	// experiment's unit vocabulary.
 	Percentiles map[string]float64 `json:"percentiles,omitempty"`
+	// Counters promotes custom metrics whose unit carries the "_total"
+	// counter suffix ("resyncs_total") — the obs counter snapshots the
+	// instrumented benchmarks report per op — so the artifact serves
+	// operational counts next to the latency surface.
+	Counters map[string]float64 `json:"counters,omitempty"`
 }
 
 // percentileUnit reports whether a custom-metric unit names a
@@ -145,6 +150,13 @@ func parseLine(line string) (Benchmark, bool) {
 					b.Percentiles = map[string]float64{}
 				}
 				b.Percentiles[unit] = v
+				continue
+			}
+			if strings.HasSuffix(unit, "_total") {
+				if b.Counters == nil {
+					b.Counters = map[string]float64{}
+				}
+				b.Counters[unit] = v
 				continue
 			}
 			if b.Metrics == nil {

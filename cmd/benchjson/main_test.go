@@ -123,6 +123,38 @@ func TestParsePromotesPercentiles(t *testing.T) {
 	}
 }
 
+const counterSample = `pkg: dsi/internal/experiment
+BenchmarkDrift-8 	       2	 812345678 ns/op	        42.00 resyncs_total	        12.00 seam_swaps_total	      1234 lat_B
+PASS
+`
+
+func TestParsePromotesCounters(t *testing.T) {
+	f, err := parse(strings.NewReader(counterSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(f.Benchmarks))
+	}
+	b := f.Benchmarks[0]
+	want := map[string]float64{"resyncs_total": 42, "seam_swaps_total": 12}
+	if len(b.Counters) != len(want) {
+		t.Fatalf("counters: %+v", b.Counters)
+	}
+	for k, v := range want {
+		if b.Counters[k] != v {
+			t.Errorf("counter %s = %v, want %v", k, b.Counters[k], v)
+		}
+	}
+	// Non-counter custom metrics stay in Metrics; counters don't leak in.
+	if b.Metrics["lat_B"] != 1234 {
+		t.Fatalf("metrics: %+v", b.Metrics)
+	}
+	if _, ok := b.Metrics["resyncs_total"]; ok {
+		t.Error("counter unit duplicated into Metrics")
+	}
+}
+
 func TestPercentileUnit(t *testing.T) {
 	yes := []string{"p50", "p999", "p95_lat_B", "p99_tun_B"}
 	no := []string{"", "p", "clients/s", "pN", "px_lat", "q95", "state_B/client", "p_lat"}

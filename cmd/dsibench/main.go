@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"dsi/internal/experiment"
+	"dsi/internal/obs"
 )
 
 func main() {
@@ -35,9 +36,21 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit figures as CSV instead of text tables")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"worker bound for sharding data points and queries (results are identical at any value; 1 = sequential)")
+		metrics = flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. :9090; empty = off)")
 	)
 	flag.Parse()
 	experiment.SetParallelism(*parallel)
+
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		addr, err := obs.Serve(*metrics, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsibench: metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("dsibench: serving /metrics and /debug/pprof on http://%s\n", addr)
+	}
 
 	if *list {
 		fmt.Println("available experiments:")
@@ -53,6 +66,7 @@ func main() {
 		Seed:    *seed,
 		Queries: *queries,
 		Verify:  *verify,
+		Obs:     reg,
 	}
 
 	var names []string

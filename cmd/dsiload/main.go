@@ -10,33 +10,44 @@
 //	dsiload                          # 1M clients, all four arms
 //	dsiload -clients 250000 -arms classic,shard
 //	dsiload -json                    # machine-readable reports
+//	dsiload -metrics :9090           # live /metrics + /debug/pprof
+//	dsiload -trace out.jsonl         # slot timelines of a client sample
+//	dsiload -parallel                # interleave the arms across workers
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"dsi/internal/massive"
+	"dsi/internal/obs"
 )
 
 func main() {
 	var (
-		clients = flag.Int("clients", 1_000_000, "concurrent clients per arm")
-		n       = flag.Int("n", 10000, "number of objects")
-		order   = flag.Int("order", 8, "Hilbert curve order")
-		seed    = flag.Int64("seed", 1, "dataset + population seed")
-		objB    = flag.Int("objbytes", 1024, "object payload bytes")
-		chans   = flag.Int("channels", 4, "channels of the split and sharded arms")
-		knnFrac = flag.Float64("knnfrac", 0.5, "fraction of clients running kNN queries")
-		k       = flag.Int("k", 5, "kNN k")
-		win     = flag.Float64("win", 0.1, "window side / grid side")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		arms    = flag.String("arms", "", "comma-separated arm subset (classic,split,shard,fec); empty = all")
-		asJSON  = flag.Bool("json", false, "emit reports as JSON")
+		clients  = flag.Int("clients", 1_000_000, "concurrent clients per arm")
+		n        = flag.Int("n", 10000, "number of objects")
+		order    = flag.Int("order", 8, "Hilbert curve order")
+		seed     = flag.Int64("seed", 1, "dataset + population seed")
+		objB     = flag.Int("objbytes", 1024, "object payload bytes")
+		chans    = flag.Int("channels", 4, "channels of the split and sharded arms")
+		knnFrac  = flag.Float64("knnfrac", 0.5, "fraction of clients running kNN queries")
+		k        = flag.Int("k", 5, "kNN k")
+		win      = flag.Float64("win", 0.1, "window side / grid side")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		arms     = flag.String("arms", "", "comma-separated arm subset (classic,split,shard,fec); empty = all")
+		asJSON   = flag.Bool("json", false, "emit reports as JSON")
+		metrics  = flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. :9090; empty = off)")
+		trace    = flag.String("trace", "", "write per-query slot-timeline JSONL for a sampled client subset to this file")
+		traceSmp = flag.Int("tracesample", 1000, "trace roughly one in this many clients (deterministic sample)")
+		parallel = flag.Bool("parallel", false, "replay the selected arms concurrently, splitting the workers among them")
 	)
 	flag.Parse()
 
@@ -66,6 +77,33 @@ func main() {
 		}
 	}
 
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		massive.RegisterMetrics(reg, bed)
+		addr, err := obs.Serve(*metrics, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsiload: metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("dsiload: serving /metrics and /debug/pprof on http://%s\n", addr)
+	}
+	var tracer *obs.Tracer
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsiload: trace file: %v\n", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		tracer = obs.NewTracer(bw, *traceSmp, *seed)
+		defer func() {
+			bw.Flush()
+			f.Close()
+			fmt.Printf("dsiload: traced %d client timelines to %s\n", tracer.Emitted(), *trace)
+		}()
+	}
+
 	kf := *knnFrac
 	if kf == 0 {
 		// Config treats a zero KNNFrac as unset (default 0.5); a negative
@@ -75,20 +113,56 @@ func main() {
 	cfg := massive.Config{
 		Clients: *clients, KNNFrac: kf, K: *k,
 		WinSideRatio: *win, Seed: *seed + 1000, Workers: *workers,
+		Obs: reg, Trace: tracer,
 	}
 	fmt.Printf("dsiload: %d clients/arm over %d objects (order %d), %d-byte objects\n",
 		*clients, *n, *order, *objB)
 
-	var reports []massive.Report
-	for _, arm := range picked {
-		t0 := time.Now()
-		res := massive.Run(bed, arm, cfg)
-		secs := time.Since(t0).Seconds()
-		rep := res.ReportOf(arm, bed.X.Cfg.Capacity, secs)
-		reports = append(reports, rep)
+	reports := make([]massive.Report, len(picked))
+	if *parallel {
+		// Arms share the machine, so per-arm wall time — and with it the
+		// clients/sec column — measures contention, not engine throughput;
+		// only the sequential mode reports honest per-arm rates. The
+		// percentile surfaces are unaffected (client outcomes are a
+		// function of client id alone, at any scheduling).
+		per := cfg
+		per.Workers = *workers
+		if per.Workers <= 0 {
+			per.Workers = runtime.GOMAXPROCS(0)
+		}
+		if per.Workers > len(picked) {
+			per.Workers /= len(picked)
+		} else {
+			per.Workers = 1
+		}
+		var wg sync.WaitGroup
+		for i, arm := range picked {
+			wg.Add(1)
+			go func(i int, arm *massive.Arm) {
+				defer wg.Done()
+				t0 := time.Now()
+				res := massive.Run(bed, arm, per)
+				reports[i] = res.ReportOf(arm, bed.X.Cfg.Capacity, time.Since(t0).Seconds())
+			}(i, arm)
+		}
+		wg.Wait()
 		if !*asJSON {
-			fmt.Printf("%-8s %9.1fs  %12.0f clients/s  %2.0f B/client\n",
-				arm.Name, secs, rep.ClientsPerSec, rep.BytesPerClient)
+			for _, rep := range reports {
+				fmt.Printf("%-8s %9.1fs  %12.0f clients/s (interleaved; rate reflects contention)  %2.0f B/client\n",
+					rep.Name, rep.Seconds, rep.ClientsPerSec, rep.BytesPerClient)
+			}
+		}
+	} else {
+		for i, arm := range picked {
+			t0 := time.Now()
+			res := massive.Run(bed, arm, cfg)
+			secs := time.Since(t0).Seconds()
+			rep := res.ReportOf(arm, bed.X.Cfg.Capacity, secs)
+			reports[i] = rep
+			if !*asJSON {
+				fmt.Printf("%-8s %9.1fs  %12.0f clients/s  %2.0f B/client\n",
+					arm.Name, secs, rep.ClientsPerSec, rep.BytesPerClient)
+			}
 		}
 	}
 

@@ -39,6 +39,7 @@ import (
 	"dsi/internal/broadcast"
 	"dsi/internal/dsi"
 	"dsi/internal/hilbert"
+	"dsi/internal/obs"
 	"dsi/internal/sched"
 	"dsi/internal/station"
 )
@@ -141,6 +142,7 @@ type driftBase struct {
 	prof0   *sched.Profile
 	plan0   *sched.Plan
 	lay0    *dsi.Layout
+	reg     *obs.Registry
 
 	preStatic, postStatic Metrics
 }
@@ -166,7 +168,7 @@ func newDriftBase(x *dsi.Index, wl *Workload, channels int) *driftBase {
 	if err != nil {
 		panic(err)
 	}
-	b := &driftBase{x: x, queries: queries, prof0: prof0, plan0: plan0, lay0: lay0}
+	b := &driftBase{x: x, queries: queries, prof0: prof0, plan0: plan0, lay0: lay0, reg: wl.Obs}
 	static := staticSchedule(x, lay0, len(queries))
 	b.preStatic = wl.runDrift(static, queries, 0, n)
 	b.postStatic = wl.runDrift(static, queries, n, 2*n)
@@ -204,6 +206,7 @@ func driftPlan(b *driftBase, n int, ratio float64, initial int, step func(drift 
 	op := sched.NewOnlineProfiler(x, driftHalfLifeFactor*float64(n))
 	op.Seed(b.prof0, 1)
 	var rp sched.Replanner
+	rp.SetObs(obs.NewSchedMetrics(b.reg))
 	snap := sched.NewProfile(x)
 	live := b.plan0
 	curve := x.DS.Curve
@@ -281,14 +284,20 @@ func driftCell(b *driftBase, wl *Workload, ratio float64) driftPoint {
 // queries.
 type driftSession struct {
 	sch  *driftSchedule
+	reg  *obs.Registry
 	sess []*sessionAdapter
 }
 
 func (s *driftSession) session(idx int) *sessionAdapter {
 	if s.sess[idx] == nil {
-		rx, err := station.NewWireReceiver(s.sch.lays[idx], 1, s.sch.mts[idx], 0, nil)
+		var rx dsi.Receiver
+		wrx, err := station.NewWireReceiver(s.sch.lays[idx], 1, s.sch.mts[idx], 0, nil)
 		if err != nil {
 			panic(fmt.Sprintf("experiment: drift wire receiver: %v", err))
+		}
+		rx = wrx
+		if s.reg != nil {
+			rx = obs.InstrumentReceiver(rx, obs.NewReceiverMetrics(s.reg, s.sch.lays[idx].Channels()))
 		}
 		sess, err := dsi.Open(s.sch.x, dsi.WithReceiver(rx))
 		if err != nil {
@@ -306,17 +315,25 @@ func (s *driftSession) session(idx int) *sessionAdapter {
 // probe, so the receiver picks the version bump and the new directory
 // off the air mid-query (exactly the machinery a live transmitter
 // would exercise).
-func (sch *driftSchedule) resyncWindow(idx, tgt int, q windowQuery, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
+func (sch *driftSchedule) resyncWindow(reg *obs.Registry, idx, tgt int, q windowQuery, probe int64, loss *broadcast.LossModel) ([]int, broadcast.Stats) {
 	rb, err := station.NewRebroadcaster(sch.lays[idx])
 	if err != nil {
 		panic(fmt.Sprintf("experiment: drift rebroadcaster: %v", err))
 	}
+	if reg != nil {
+		rb.SetObs(obs.NewStationMetrics(reg, sch.lays[idx].Channels()))
+	}
 	if _, err := rb.Stage(sch.lays[tgt], probe); err != nil {
 		panic(fmt.Sprintf("experiment: drift stage: %v", err))
 	}
-	rx, err := station.NewWireReceiver(sch.lays[idx], 1, rb, probe, loss)
+	var rx dsi.Receiver
+	wrx, err := station.NewWireReceiver(sch.lays[idx], 1, rb, probe, loss)
 	if err != nil {
 		panic(fmt.Sprintf("experiment: drift resync receiver: %v", err))
+	}
+	rx = wrx
+	if reg != nil {
+		rx = obs.InstrumentReceiver(rx, obs.NewReceiverMetrics(reg, sch.lays[idx].Channels()))
 	}
 	sess, err := dsi.Open(sch.x, dsi.WithReceiver(rx))
 	if err != nil {
@@ -332,9 +349,15 @@ func (sch *driftSchedule) resyncWindow(idx, tgt int, q windowQuery, probe int64,
 // transmitter; a query with a re-sync target runs over a staged
 // rebroadcaster and crosses the swap seam mid-flight.
 func (wl *Workload) runDrift(sch *driftSchedule, queries []windowQuery, from, to int) Metrics {
+	if wl.Obs != nil {
+		m := obs.NewStationMetrics(wl.Obs, sch.lays[0].Channels())
+		for _, mt := range sch.mts {
+			mt.SetObs(m)
+		}
+	}
 	return replay(to-from,
 		func(int) *driftSession {
-			return &driftSession{sch: sch, sess: make([]*sessionAdapter, len(sch.lays))}
+			return &driftSession{sch: sch, reg: wl.Obs, sess: make([]*sessionAdapter, len(sch.lays))}
 		},
 		nil,
 		func(s *driftSession, i int) broadcast.Stats {
@@ -345,7 +368,7 @@ func (wl *Workload) runDrift(sch *driftSchedule, queries []windowQuery, from, to
 			var got []int
 			var st broadcast.Stats
 			if tgt := sch.resyncTo[gi]; tgt >= 0 {
-				got, st = sch.resyncWindow(idx, tgt, q, probe, wl.loss(q.seed))
+				got, st = sch.resyncWindow(wl.Obs, idx, tgt, q, probe, wl.loss(q.seed))
 			} else {
 				got, st = s.session(idx).Window(q.w, probe, wl.loss(q.seed))
 			}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dsi/internal/dsi"
+	"dsi/internal/obs"
 )
 
 // driftParams keeps the drift cells fast while leaving enough frames
@@ -163,7 +164,12 @@ func TestZipfShiftWindowsCompat(t *testing.T) {
 // BenchmarkDrift is the CI smoke benchmark of the online re-planning
 // loop: one verified migrating-workload cell at 4 channels.
 func BenchmarkDrift(b *testing.B) {
-	p := Params{N: 400, Order: 7, Seed: 11, Queries: 10, Verify: true}
+	// The benchmark runs instrumented and folds the per-iteration obs
+	// counter averages into the report (units suffixed _total), so the
+	// BENCH_<sha>.json trajectory carries how many clients resynced at
+	// seams and how much planning each run spent, next to ns/op.
+	reg := obs.NewRegistry()
+	p := Params{N: 400, Order: 7, Seed: 11, Queries: 10, Verify: true, Obs: reg}
 	ds := p.Dataset()
 	x, err := dsi.Build(ds, dsi.Config{Capacity: 64, ObjectBytes: p.ObjectBytes})
 	if err != nil {
@@ -173,4 +179,10 @@ func BenchmarkDrift(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		driftCell(newDriftBase(x, p.workload(ds), 4), p.workload(ds), DriftRatios[0])
 	}
+	b.StopTimer()
+	snap := reg.Snapshot()
+	n := float64(b.N)
+	b.ReportMetric(snap["dsi_receiver_resyncs_total"]/n, "resyncs_total")
+	b.ReportMetric(snap["station_seam_swaps_staged_total"]/n, "seam_swaps_total")
+	b.ReportMetric(snap["sched_replans_triggered_total"]/n, "replans_total")
 }

@@ -8,6 +8,7 @@ import (
 	"dsi/internal/dataset"
 	"dsi/internal/dsi"
 	"dsi/internal/model"
+	"dsi/internal/obs"
 )
 
 // Params configures an experiment run. Zero values take the paper's
@@ -20,6 +21,10 @@ type Params struct {
 	ObjectBytes int   // data object size (default 1024)
 	Real        bool  // use the REAL-like clustered dataset
 	Verify      bool  // cross-check every query against brute force
+	// Obs, when set, collects operational counters from every layer the
+	// run exercises (receivers, stations, planners). Nil — the default —
+	// leaves every hot path uninstrumented.
+	Obs *obs.Registry
 }
 
 func (p Params) withDefaults() Params {
@@ -58,7 +63,7 @@ func (p Params) Dataset() *dataset.Dataset {
 }
 
 func (p Params) workload(ds *dataset.Dataset) *Workload {
-	return &Workload{DS: ds, Queries: p.Queries, Seed: p.Seed + 1000, Verify: p.Verify}
+	return &Workload{DS: ds, Queries: p.Queries, Seed: p.Seed + 1000, Verify: p.Verify, Obs: p.Obs}
 }
 
 // The packet capacities the paper sweeps. DSI-only figures include 32

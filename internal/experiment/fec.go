@@ -25,6 +25,7 @@ import (
 
 	"dsi/internal/broadcast"
 	"dsi/internal/dsi"
+	"dsi/internal/obs"
 	"dsi/internal/spatial"
 	"dsi/internal/station"
 	"dsi/internal/wire"
@@ -84,17 +85,21 @@ type fecSystem struct {
 	src   station.PacketSource
 	cfg   wire.FECConfig
 	cycle int // physical slots per cycle — what probe positions scale to
+	reg   *obs.Registry
 
 	sessions sessionArena
 }
 
 // newFECSystem builds the coded transmitter and its system wrapper.
-func newFECSystem(label string, x *dsi.Index, cfg wire.FECConfig) *fecSystem {
+func newFECSystem(label string, x *dsi.Index, cfg wire.FECConfig, reg *obs.Registry) *fecSystem {
 	tx, err := station.NewTransmitterFEC(x, cfg)
 	if err != nil {
 		panic(fmt.Sprintf("experiment: coded transmitter: %v", err))
 	}
-	s := &fecSystem{label: label, x: x, lay: x.SingleLayout(), src: tx, cfg: cfg}
+	if reg != nil {
+		tx.SetObs(obs.NewStationMetrics(reg, 1))
+	}
+	s := &fecSystem{label: label, x: x, lay: x.SingleLayout(), src: tx, cfg: cfg, reg: reg}
 	rx, err := station.NewFECReceiver(s.lay, 1, s.src, s.cfg, 0, nil)
 	if err != nil {
 		panic(fmt.Sprintf("experiment: FEC receiver: %v", err))
@@ -112,9 +117,14 @@ func (s *fecSystem) CycleLen() int { return s.cycle }
 func (s *fecSystem) Rate() float64 { return float64(s.lay.ProbeCycle()) / float64(s.cycle) }
 
 func (s *fecSystem) mint() *sessionAdapter {
-	rx, err := station.NewFECReceiver(s.lay, 1, s.src, s.cfg, 0, nil)
+	frx, err := station.NewFECReceiver(s.lay, 1, s.src, s.cfg, 0, nil)
 	if err != nil {
 		panic(fmt.Sprintf("experiment: FEC receiver: %v", err))
+	}
+	var rx dsi.Receiver = frx
+	if s.reg != nil {
+		frx.SetObs(obs.NewFECMetrics(s.reg))
+		rx = obs.InstrumentReceiver(rx, obs.NewReceiverMetrics(s.reg, 1))
 	}
 	sess, err := dsi.Open(s.x, dsi.WithReceiver(rx))
 	if err != nil {
@@ -153,9 +163,9 @@ func fecBed(p Params) (x *dsi.Index, arms []*fecSystem) {
 	}
 	worst := FECThetas[len(FECThetas)-1]
 	arms = []*fecSystem{
-		newFECSystem("Retry", x, wire.FECConfig{}),
-		newFECSystem("FEC light", x, fecLightCode(x)),
-		newFECSystem("FEC heavy", x, fecHeavyCode(x, worst)),
+		newFECSystem("Retry", x, wire.FECConfig{}, p.Obs),
+		newFECSystem("FEC light", x, fecLightCode(x), p.Obs),
+		newFECSystem("FEC heavy", x, fecHeavyCode(x, worst), p.Obs),
 	}
 	return x, arms
 }
@@ -176,7 +186,7 @@ func fecBed1024(p Params) (x *dsi.Index, arms []*fecSystem) {
 	}
 	worst := FECThetas[len(FECThetas)-1]
 	arms = []*fecSystem{
-		newFECSystem("FEC heavy 1KB", x, fecHeavyCode(x, worst)),
+		newFECSystem("FEC heavy 1KB", x, fecHeavyCode(x, worst), p.Obs),
 	}
 	return x, arms
 }

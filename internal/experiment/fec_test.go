@@ -3,6 +3,7 @@ package experiment
 import (
 	"testing"
 
+	"dsi/internal/obs"
 	"dsi/internal/wire"
 )
 
@@ -137,7 +138,16 @@ func TestFECBed1024PaperSizeCodedOnly(t *testing.T) {
 
 // BenchmarkFEC is the CI smoke benchmark of the fec sweep.
 func BenchmarkFEC(b *testing.B) {
+	// Instrumented run: the obs counter averages ride into the bench
+	// artifact (units suffixed _total) next to the latency figures.
+	reg := obs.NewRegistry()
 	for i := 0; i < b.N; i++ {
-		FEC(Params{N: 300, Order: 7, Seed: 47, Queries: 3, Verify: true})
+		FEC(Params{N: 300, Order: 7, Seed: 47, Queries: 3, Verify: true, Obs: reg})
 	}
+	b.StopTimer()
+	snap := reg.Snapshot()
+	n := float64(b.N)
+	b.ReportMetric(snap["station_fec_recovered_packets_total"]/n, "fec_recovered_total")
+	b.ReportMetric(snap["station_fec_group_solves_total"]/n, "fec_solves_total")
+	b.ReportMetric(snap["dsi_receiver_losses_total{channel=\"0\"}"]/n, "losses_total")
 }

@@ -7,6 +7,7 @@ import (
 
 	"dsi/internal/broadcast"
 	"dsi/internal/dataset"
+	"dsi/internal/obs"
 	"dsi/internal/spatial"
 )
 
@@ -31,6 +32,9 @@ type Workload struct {
 	// only; the FEC experiment needs losses on everything the channel
 	// carries.
 	LossData bool
+	// Obs, when set, collects operational counters from the replay's
+	// receivers and stations; nil leaves the hot paths uninstrumented.
+	Obs *obs.Registry
 }
 
 // Metrics are per-query averages in bytes, the unit the paper reports.

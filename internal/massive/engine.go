@@ -27,6 +27,7 @@ import (
 
 	"dsi/internal/broadcast"
 	"dsi/internal/dsi"
+	"dsi/internal/obs"
 	"dsi/internal/spatial"
 
 	"math/rand/v2"
@@ -41,6 +42,38 @@ type Config struct {
 	Seed         int64        // population seed (default 1)
 	Workers      int          // worker count (default GOMAXPROCS)
 	Strategy     dsi.Strategy // kNN navigation strategy (default Conservative)
+
+	// Obs, when set, counts every client's reception events (shared
+	// atomic counters, so the replayed outcomes stay bit-identical at
+	// any worker count). Trace, when set, emits the slot timeline of
+	// its deterministic client sample as JSONL. Both nil — the default
+	// — replay through the bare receivers.
+	Obs   *obs.Registry
+	Trace *obs.Tracer
+}
+
+// ClientsReplayedName is the per-arm progress counter family of a
+// massive run.
+const ClientsReplayedName = "massive_clients_replayed_total"
+
+// replayedFlushEvery bounds how stale the progress counter can go: a
+// worker folds its local count into the shared counter at this grain,
+// so a mid-run /metrics scrape sees progress without the hot loop
+// taking an atomic per client.
+const replayedFlushEvery = 1024
+
+// RegisterMetrics pre-registers every metric family a run against the
+// testbed can touch, so a scrape early in a run already serves the full
+// zeroed vocabulary instead of a partial one. Nil reg is a no-op.
+func RegisterMetrics(reg *obs.Registry, bed *Testbed) {
+	if reg == nil {
+		return
+	}
+	for _, arm := range bed.Arms {
+		obs.NewReceiverMetrics(reg, arm.Lay.Channels())
+		reg.Counter(ClientsReplayedName, "clients replayed, by arm",
+			obs.Label{Key: "arm", Value: arm.Name})
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +182,19 @@ func runPopulation(bed *Testbed, arm *Arm, cfg Config, evented bool) *Result {
 			} else {
 				rx = arm.newReference()
 			}
+			// Instrumentation is strictly opt-in: with neither a registry
+			// nor a tracer the session runs on the bare receiver — the
+			// path the disabled-overhead regression pins.
+			var irx *obs.InstrumentedReceiver
+			if cfg.Obs != nil || cfg.Trace != nil {
+				irx = obs.InstrumentReceiver(rx, obs.NewReceiverMetrics(cfg.Obs, arm.Lay.Channels()))
+				rx = irx
+			}
+			var replayed *obs.Counter
+			if cfg.Obs != nil {
+				replayed = cfg.Obs.Counter(ClientsReplayedName, "clients replayed, by arm",
+					obs.Label{Key: "arm", Value: arm.Name})
+			}
 			sess, err := dsi.Open(bed.X, dsi.WithReceiver(rx))
 			if err != nil {
 				panic(fmt.Sprintf("massive: opening session: %v", err))
@@ -159,8 +205,19 @@ func runPopulation(bed *Testbed, arm *Arm, cfg Config, evented bool) *Result {
 			// not result sets (the equivalence suite checks results on
 			// small populations).
 			var buf []int
+			var pending int64
 			run := func(id int) {
 				q := queryOf(cfg, side, cycle, id)
+				var rec *obs.TraceRecord
+				if irx != nil && cfg.Trace.Sampled(int64(id)) {
+					rec = &obs.TraceRecord{Client: int64(id), Arm: arm.Name, Probe: q.probe}
+					if q.knn {
+						rec.Kind = "knn"
+					} else {
+						rec.Kind = "window"
+					}
+					irx.Begin(rec)
+				}
 				sess.Tune(q.probe, nil)
 				var st broadcast.Stats
 				if q.knn {
@@ -172,7 +229,25 @@ func runPopulation(bed *Testbed, arm *Arm, cfg Config, evented bool) *Result {
 				res.Lat[id] = uint32(st.LatencyPackets)
 				res.Tun[id] = uint32(st.TuningPackets)
 				res.Sw[id] = uint16(st.Switches)
+				if rec != nil {
+					irx.End()
+					rec.Latency = st.LatencyPackets
+					rec.Tuning = st.TuningPackets
+					rec.Switches = int64(st.Switches)
+					cfg.Trace.Emit(rec)
+				}
+				if replayed != nil {
+					if pending++; pending >= replayedFlushEvery {
+						replayed.Add(pending)
+						pending = 0
+					}
+				}
 			}
+			defer func() {
+				if pending > 0 {
+					replayed.Add(pending)
+				}
+			}()
 
 			if !evented {
 				// Step-wise reference scan: id order.

@@ -1,0 +1,81 @@
+package massive
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dsi/internal/obs"
+)
+
+// TestObsAndTraceBitIdentical pins the engine's observability bar: a
+// replay with a live registry and an armed tracer produces the exact
+// per-client columns of a bare run, the progress counter lands on the
+// population size, and every emitted trace record agrees with the
+// result columns for its client.
+func TestObsAndTraceBitIdentical(t *testing.T) {
+	bed := testBed(t)
+	base := Config{Clients: 64, Seed: 9, Workers: 3}
+	for _, arm := range bed.Arms {
+		bare := Run(bed, arm, base)
+
+		reg := obs.NewRegistry()
+		RegisterMetrics(reg, bed)
+		var sb strings.Builder
+		tr := obs.NewTracer(&sb, 4, 17)
+		cfg := base
+		cfg.Obs = reg
+		cfg.Trace = tr
+		got := Run(bed, arm, cfg)
+
+		for id := 0; id < base.Clients; id++ {
+			if got.Lat[id] != bare.Lat[id] || got.Tun[id] != bare.Tun[id] || got.Sw[id] != bare.Sw[id] {
+				t.Fatalf("%s client %d: instrumented (lat %d, tun %d, sw %d) != bare (lat %d, tun %d, sw %d)",
+					arm.Name, id, got.Lat[id], got.Tun[id], got.Sw[id],
+					bare.Lat[id], bare.Tun[id], bare.Sw[id])
+			}
+		}
+
+		snap := reg.Snapshot()
+		key := ClientsReplayedName + `{arm="` + arm.Name + `"}`
+		if snap[key] != float64(base.Clients) {
+			t.Fatalf("%s: %s = %v, want %d", arm.Name, key, snap[key], base.Clients)
+		}
+		if reg.Sum("dsi_receiver_tuneins_total") == 0 {
+			t.Fatalf("%s: replay counted no tune-ins", arm.Name)
+		}
+
+		if tr.Emitted() == 0 {
+			t.Fatalf("%s: tracer at 1/4 sampled nobody out of %d clients", arm.Name, base.Clients)
+		}
+		sc := bufio.NewScanner(strings.NewReader(sb.String()))
+		lines := 0
+		for sc.Scan() {
+			var rec obs.TraceRecord
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				t.Fatalf("%s: bad trace line %q: %v", arm.Name, sc.Text(), err)
+			}
+			lines++
+			if rec.Arm != arm.Name {
+				t.Fatalf("%s: trace record names arm %q", arm.Name, rec.Arm)
+			}
+			id := int(rec.Client)
+			if id < 0 || id >= base.Clients {
+				t.Fatalf("%s: trace record for out-of-range client %d", arm.Name, id)
+			}
+			if rec.Latency != int64(bare.Lat[id]) || rec.Tuning != int64(bare.Tun[id]) ||
+				rec.Switches != int64(bare.Sw[id]) {
+				t.Fatalf("%s client %d: trace (lat %d, tun %d, sw %d) disagrees with result (lat %d, tun %d, sw %d)",
+					arm.Name, id, rec.Latency, rec.Tuning, rec.Switches,
+					bare.Lat[id], bare.Tun[id], bare.Sw[id])
+			}
+			if len(rec.Events) == 0 {
+				t.Fatalf("%s client %d: trace record has no slot timeline", arm.Name, id)
+			}
+		}
+		if int64(lines) != tr.Emitted() {
+			t.Fatalf("%s: %d JSONL lines vs %d emitted", arm.Name, lines, tr.Emitted())
+		}
+	}
+}

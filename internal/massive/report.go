@@ -26,6 +26,7 @@ type Report struct {
 	Tuning   Dist
 	Switches Dist
 
+	Seconds        float64
 	ClientsPerSec  float64
 	BytesPerClient float64
 }
@@ -83,6 +84,7 @@ func (r *Result) ReportOf(arm *Arm, capacity int, secs float64) Report {
 	rep.Tuning = distOf(func(i int) float64 { return float64(r.Tun[i]) }, n, bytesPer)
 	rep.Switches = distOf(func(i int) float64 { return float64(r.Sw[i]) }, n, 1)
 	if secs > 0 {
+		rep.Seconds = secs
 		rep.ClientsPerSec = float64(n) / secs
 	}
 	return rep

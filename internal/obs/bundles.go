@@ -1,0 +1,169 @@
+// Metric bundles: the named counter sets each instrumented layer hooks
+// into. Constructors are nil-tolerant (a nil registry yields a nil
+// bundle) and idempotent (the registry dedups by name+labels, so many
+// receivers or transmitters minted against the same registry share the
+// same series). The names below are the stable vocabulary the README
+// documents and CI greps for.
+
+package obs
+
+import "strconv"
+
+// ChannelLabel renders the per-channel label of channel ch.
+func ChannelLabel(ch int) Label { return Label{Key: "channel", Value: strconv.Itoa(ch)} }
+
+// ReceiverMetrics counts a client radio's reception events; one bundle
+// per channel count, shared by every receiver wrapped against the same
+// registry.
+type ReceiverMetrics struct {
+	TuneIns     *Counter // Reset calls: queries tuning in
+	DozeCalls   *Counter // DozeUntilPos calls
+	DozeSlots   *Counter // slots slept across all dozes
+	Switches    *Counter // channel switches (Tune to a different channel)
+	ProbeMisses *Counter // probe (Next) reads lost to the channel
+	TableReads  *Counter // Table calls
+	HeaderReads *Counter // Header calls
+	ObjectReads *Counter // Object calls
+	Polls       *Counter // Poll calls
+	Resyncs     *Counter // Poll calls that surfaced a directory bump
+	Losses      []*Counter
+
+	reg *Registry
+}
+
+// NewReceiverMetrics registers the receiver counter set with per-channel
+// loss counters for channels [0, channels). Nil registry → nil bundle.
+func NewReceiverMetrics(reg *Registry, channels int) *ReceiverMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &ReceiverMetrics{
+		TuneIns:     reg.Counter("dsi_receiver_tuneins_total", "queries tuned in (receiver resets)"),
+		DozeCalls:   reg.Counter("dsi_receiver_doze_calls_total", "doze-to-position calls"),
+		DozeSlots:   reg.Counter("dsi_receiver_doze_slots_total", "slots slept across all dozes"),
+		Switches:    reg.Counter("dsi_receiver_switches_total", "channel switches"),
+		ProbeMisses: reg.Counter("dsi_receiver_probe_misses_total", "probe reads lost to the channel"),
+		TableReads:  reg.Counter("dsi_receiver_table_reads_total", "index table reads"),
+		HeaderReads: reg.Counter("dsi_receiver_header_reads_total", "object header reads"),
+		ObjectReads: reg.Counter("dsi_receiver_object_reads_total", "object body reads"),
+		Polls:       reg.Counter("dsi_receiver_polls_total", "directory poll checks"),
+		Resyncs:     reg.Counter("dsi_receiver_resyncs_total", "mid-query directory resyncs adopted"),
+		reg:         reg,
+	}
+	m.Losses = make([]*Counter, channels)
+	for ch := range m.Losses {
+		m.Losses[ch] = reg.Counter("dsi_receiver_losses_total",
+			"content reads lost or undecodable, by channel", ChannelLabel(ch))
+	}
+	return m
+}
+
+// loss returns the per-channel loss counter (nil out of range, which
+// Counter methods tolerate).
+func (m *ReceiverMetrics) loss(ch int) *Counter {
+	if ch < 0 || ch >= len(m.Losses) {
+		return nil
+	}
+	return m.Losses[ch]
+}
+
+// resyncTo counts a resync against the adopted directory version. This
+// is the rare path (one count per seam crossed), so the labeled lookup
+// is affordable.
+func (m *ReceiverMetrics) resyncTo(ver uint32) {
+	m.reg.Counter("dsi_receiver_resyncs_by_version_total",
+		"mid-query directory resyncs, by adopted version",
+		Label{Key: "to_version", Value: strconv.FormatUint(uint64(ver), 10)}).Inc()
+}
+
+// StationMetrics counts transmitter-side events: seam swaps, version
+// bumps, and per-channel packets emitted.
+type StationMetrics struct {
+	SwapsStaged     *Counter // directory swaps staged at a seam
+	SwapsCommitted  *Counter // staged swaps committed past every seam
+	CodeSwapsStaged *Counter // staged swaps that change the FEC code
+	DirVersion      *Gauge   // directory version currently on air
+	Packets         []*Counter
+
+	reg *Registry
+}
+
+// NewStationMetrics registers the transmitter counter set with
+// per-channel emission counters for channels [0, channels).
+func NewStationMetrics(reg *Registry, channels int) *StationMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &StationMetrics{
+		SwapsStaged:     reg.Counter("station_seam_swaps_staged_total", "directory swaps staged at a cycle seam"),
+		SwapsCommitted:  reg.Counter("station_seam_swaps_committed_total", "staged swaps committed past every channel seam"),
+		CodeSwapsStaged: reg.Counter("station_code_swaps_staged_total", "staged swaps that change the FEC code"),
+		DirVersion:      reg.Gauge("station_directory_version", "shard-directory version on air"),
+		reg:             reg,
+	}
+	m.Packets = make([]*Counter, channels)
+	for ch := range m.Packets {
+		m.Packets[ch] = reg.Counter("station_packets_emitted_total",
+			"packets served to receivers, by channel", ChannelLabel(ch))
+	}
+	return m
+}
+
+// PacketEmitted counts one packet served on channel ch. Nil-safe and
+// bounds-safe: transmitters call it unconditionally from PacketAt.
+func (m *StationMetrics) PacketEmitted(ch int) {
+	if m == nil || ch < 0 || ch >= len(m.Packets) {
+		return
+	}
+	m.Packets[ch].Inc()
+}
+
+// FECMetrics counts the recovering receiver's coding events.
+type FECMetrics struct {
+	Recovered     *Counter // packets reconstructed from parity
+	CacheHits     *Counter // table reads served from the recovered-unit cache
+	GroupSolves   *Counter // unit recoveries that solved every needed group
+	SolveFailures *Counter // recoveries abandoned (losses beyond the code distance)
+	CodeSwaps     *Counter // FEC code changes adopted at a seam
+}
+
+// NewFECMetrics registers the FEC counter set.
+func NewFECMetrics(reg *Registry) *FECMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &FECMetrics{
+		Recovered:     reg.Counter("station_fec_recovered_packets_total", "packets reconstructed from parity"),
+		CacheHits:     reg.Counter("station_fec_cache_hits_total", "table reads served from the recovered-unit cache"),
+		GroupSolves:   reg.Counter("station_fec_group_solves_total", "unit recoveries that solved every needed group"),
+		SolveFailures: reg.Counter("station_fec_solve_failures_total", "unit recoveries beyond the code distance"),
+		CodeSwaps:     reg.Counter("station_fec_code_swaps_total", "FEC code changes adopted at a seam"),
+	}
+}
+
+// driftBuckets are the plan-drift histogram bounds: ratios >= 1, dense
+// near the trigger thresholds the drift experiment sweeps.
+var driftBuckets = []float64{1.02, 1.05, 1.1, 1.2, 1.5, 2, 2.5, 5, 10}
+
+// SchedMetrics counts the online re-planning loop's decisions.
+type SchedMetrics struct {
+	Checks           *Counter   // planning passes run
+	ReplansTriggered *Counter   // checks whose drift crossed the trigger ratio
+	ReplansSkipped   *Counter   // checks that kept the live plan
+	DriftRatio       *Gauge     // drift ratio measured at the last check
+	Drift            *Histogram // drift ratios across all checks
+}
+
+// NewSchedMetrics registers the scheduler counter set.
+func NewSchedMetrics(reg *Registry) *SchedMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &SchedMetrics{
+		Checks:           reg.Counter("sched_replan_checks_total", "online planning passes run"),
+		ReplansTriggered: reg.Counter("sched_replans_triggered_total", "planning passes that triggered a swap"),
+		ReplansSkipped:   reg.Counter("sched_replans_skipped_total", "planning passes that kept the live plan"),
+		DriftRatio:       reg.Gauge("sched_plan_drift_ratio", "live/fresh plan cost ratio at the last check"),
+		Drift:            reg.Histogram("sched_plan_drift", "live/fresh plan cost ratios across checks", driftBuckets),
+	}
+}

@@ -1,0 +1,49 @@
+// The live metrics surface: /metrics in the Prometheus text exposition
+// format plus the standard /debug/pprof profiling endpoints, served on
+// an opt-in listener the commands open behind a flag. Scraping is
+// read-only and safe at any time during a run — every metric read is
+// atomic.
+
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry in the Prometheus text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// NewMux returns a mux with /metrics bound to the registry and the
+// /debug/pprof endpoints mounted (explicitly, so nothing leaks onto
+// http.DefaultServeMux).
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the metrics endpoint on addr (":0" picks a free port)
+// and returns the bound address. The server runs until the process
+// exits — the commands treat it as a diagnostic tap, not a managed
+// component.
+func Serve(addr string, r *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: NewMux(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,48 @@
+package obs_test
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dsi/internal/obs"
+)
+
+// TestServeMetrics pins the live surface: Serve binds a free port, a
+// GET /metrics returns the Prometheus text exposition with the right
+// content type, and /debug/pprof answers.
+func TestServeMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("up_total", "probe counter").Add(3)
+	addr, err := obs.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(string(body), "up_total 3") {
+		t.Fatalf("/metrics body missing counter:\n%s", body)
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,228 @@
+package obs_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dsi/internal/broadcast"
+	"dsi/internal/dataset"
+	"dsi/internal/dsi"
+	"dsi/internal/obs"
+	"dsi/internal/sched"
+	"dsi/internal/spatial"
+	"dsi/internal/station"
+)
+
+// mkIndex builds the shared testbed index of the instrumentation
+// regressions.
+func mkIndex(t testing.TB) (*dataset.Dataset, *dsi.Index) {
+	t.Helper()
+	ds := dataset.Uniform(1500, 8, 71)
+	x, err := dsi.Build(ds, dsi.Config{Capacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, x
+}
+
+// outcome is one query's complete observable result.
+type outcome struct {
+	ids []int
+	st  broadcast.Stats
+}
+
+// runSuite replays a deterministic window+kNN mix through sessions
+// minted by mk, re-tuning between queries — the experiment harness's
+// access pattern in miniature.
+func runSuite(t testing.TB, x *dsi.Index, cycle int, mk func() dsi.Receiver, theta float64) []outcome {
+	t.Helper()
+	sess, err := dsi.Open(x, dsi.WithReceiver(mk()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := x.DS.Curve.Side()
+	var out []outcome
+	for i := 0; i < 12; i++ {
+		probe := int64((i * 7919) % cycle)
+		var loss *broadcast.LossModel
+		if theta > 0 {
+			loss = broadcast.NewLossModel(theta, int64(i)+5)
+		}
+		sess.Tune(probe, loss)
+		w := spatial.ClampedWindow(uint32((i*37)%int(side)), uint32((i*53)%int(side)), 30, side)
+		ids, st := sess.Window(w)
+		out = append(out, outcome{ids, st})
+
+		sess.Tune((probe+101)%int64(cycle), loss)
+		q := spatial.Point{X: uint32((i * 41) % int(side)), Y: uint32((i * 29) % int(side))}
+		ids, st = sess.KNN(q, 5, dsi.Conservative)
+		out = append(out, outcome{ids, st})
+	}
+	return out
+}
+
+func sameOutcomes(t *testing.T, label string, bare, inst []outcome) {
+	t.Helper()
+	if len(bare) != len(inst) {
+		t.Fatalf("%s: %d vs %d outcomes", label, len(bare), len(inst))
+	}
+	for i := range bare {
+		if fmt.Sprint(bare[i].ids) != fmt.Sprint(inst[i].ids) || bare[i].st != inst[i].st {
+			t.Fatalf("%s: query %d diverges\nbare: %+v %v\ninst: %+v %v",
+				label, i, bare[i].st, bare[i].ids, inst[i].st, inst[i].ids)
+		}
+	}
+}
+
+// TestInstrumentedBitIdentical is the decorator's core regression: the
+// instrumented receiver returns byte-for-byte the outcomes of the bare
+// one — same result sets, same latency/tuning/switch accounting —
+// across the window and kNN suites on both the simulator fast path
+// (classic layout) and the byte-level wire path (sharded multi-channel
+// layout under loss).
+func TestInstrumentedBitIdentical(t *testing.T) {
+	_, x := mkIndex(t)
+
+	// Classic single channel over SimReceiver, lossless and lossy.
+	lay := x.SingleLayout()
+	for _, theta := range []float64{0, 0.2} {
+		reg := obs.NewRegistry()
+		bare := runSuite(t, x, lay.ProbeCycle(), func() dsi.Receiver {
+			return dsi.NewSimReceiver(lay, 0, nil)
+		}, theta)
+		inst := runSuite(t, x, lay.ProbeCycle(), func() dsi.Receiver {
+			return obs.InstrumentReceiver(dsi.NewSimReceiver(lay, 0, nil),
+				obs.NewReceiverMetrics(reg, lay.Channels()))
+		}, theta)
+		sameOutcomes(t, fmt.Sprintf("classic theta=%g", theta), bare, inst)
+		if reg.Sum("dsi_receiver_tuneins_total") == 0 || reg.Sum("dsi_receiver_table_reads_total") == 0 {
+			t.Fatalf("theta=%g: instrumented run counted nothing", theta)
+		}
+	}
+
+	// Sharded multi-channel over the byte-level wire receiver with loss.
+	plan, err := sched.Uniform(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardLay, err := plan.Layout(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := station.NewMultiTransmitter(shardLay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	mkWire := func() dsi.Receiver {
+		rx, err := station.NewWireReceiver(shardLay, 1, mt, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rx
+	}
+	bare := runSuite(t, x, shardLay.ProbeCycle(), mkWire, 0.25)
+	inst := runSuite(t, x, shardLay.ProbeCycle(), func() dsi.Receiver {
+		return obs.InstrumentReceiver(mkWire(), obs.NewReceiverMetrics(reg, shardLay.Channels()))
+	}, 0.25)
+	sameOutcomes(t, "shard wire theta=0.25", bare, inst)
+	if reg.Sum("dsi_receiver_switches_total") == 0 {
+		t.Fatal("sharded run counted no channel switches")
+	}
+	if reg.Sum("dsi_receiver_losses_total") == 0 {
+		t.Fatal("lossy run counted no losses")
+	}
+}
+
+// TestInstrumentedTraceTimeline pins the armed tracer: a traced query
+// yields a non-empty slot timeline starting at the tune-in, and
+// disarming stops the recording.
+func TestInstrumentedTraceTimeline(t *testing.T) {
+	_, x := mkIndex(t)
+	lay := x.SingleLayout()
+	reg := obs.NewRegistry()
+	irx := obs.InstrumentReceiver(dsi.NewSimReceiver(lay, 0, nil),
+		obs.NewReceiverMetrics(reg, lay.Channels()))
+	sess, err := dsi.Open(x, dsi.WithReceiver(irx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := x.DS.Curve.Side()
+	w := spatial.ClampedWindow(40, 60, 25, side)
+
+	rec := &obs.TraceRecord{Client: 1}
+	irx.Begin(rec)
+	sess.Tune(17, nil)
+	sess.Window(w)
+	got := irx.End()
+	if got != rec || len(rec.Events) == 0 {
+		t.Fatalf("armed trace recorded %d events", len(rec.Events))
+	}
+	if rec.Events[0].Op != obs.OpTuneIn {
+		t.Fatalf("timeline starts with %q, want %q", rec.Events[0].Op, obs.OpTuneIn)
+	}
+	seen := map[string]bool{}
+	for _, e := range rec.Events {
+		seen[e.Op] = true
+	}
+	if !seen[obs.OpTable] {
+		t.Fatalf("timeline has no table reads: %v", rec.Events)
+	}
+
+	// Disarmed: further queries leave the record untouched.
+	n := len(rec.Events)
+	sess.Tune(18, nil)
+	sess.Window(w)
+	if irx.End() != nil {
+		t.Fatal("End returned a record while disarmed")
+	}
+	if len(rec.Events) != n {
+		t.Fatalf("recording continued after End: %d -> %d events", n, len(rec.Events))
+	}
+}
+
+// TestInstrumentedWarmAllocs is the overhead bar: a warm window loop
+// through the bare receiver allocates nothing per query, and the
+// counter-only instrumented loop adds nothing to it — the decorator's
+// hot path is pure atomics.
+func TestInstrumentedWarmAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector randomizes sync.Pool reuse; allocation budgets only hold in normal builds")
+	}
+	_, x := mkIndex(t)
+	lay := x.SingleLayout()
+	side := x.DS.Curve.Side()
+	w := spatial.ClampedWindow(100, 140, 25, side)
+	cycle := int64(lay.ProbeCycle())
+
+	measure := func(rx dsi.Receiver) float64 {
+		sess, err := dsi.Open(x, dsi.WithReceiver(rx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf []int
+		for i := 0; i < 3; i++ {
+			sess.Tune(int64(i*37), nil)
+			buf, _ = sess.WindowAppend(buf[:0], w)
+		}
+		probe := int64(0)
+		return testing.AllocsPerRun(20, func() {
+			sess.Tune(probe, nil)
+			buf, _ = sess.WindowAppend(buf[:0], w)
+			probe = (probe + 61) % cycle
+		})
+	}
+
+	if avg := measure(dsi.NewSimReceiver(lay, 0, nil)); avg != 0 {
+		t.Errorf("bare warm window loop allocates %.1f/run, want 0", avg)
+	}
+	reg := obs.NewRegistry()
+	irx := obs.InstrumentReceiver(dsi.NewSimReceiver(lay, 0, nil),
+		obs.NewReceiverMetrics(reg, lay.Channels()))
+	if avg := measure(irx); avg != 0 {
+		t.Errorf("instrumented warm window loop allocates %.1f/run, want 0", avg)
+	}
+	if reg.Sum("dsi_receiver_table_reads_total") == 0 {
+		t.Fatal("instrumented loop counted nothing")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package obs_test
+
+// raceEnabled reports whether the race detector is on; it randomizes
+// sync.Pool reuse, which breaks strict allocation accounting.
+const raceEnabled = false

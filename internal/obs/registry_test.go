@@ -1,0 +1,170 @@
+package obs_test
+
+import (
+	"strings"
+	"testing"
+
+	"dsi/internal/obs"
+)
+
+// TestNilRegistryIsInert pins the nil-tolerance contract end to end: a
+// nil registry hands out nil metrics, and every method on them is a
+// no-op rather than a panic. The instrumented seams rely on this to
+// make "disabled" mean "bare".
+func TestNilRegistryIsInert(t *testing.T) {
+	var reg *obs.Registry
+	c := reg.Counter("x_total", "")
+	if c != nil {
+		t.Fatal("nil registry returned a live counter")
+	}
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter holds a value")
+	}
+	g := reg.Gauge("x", "")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge holds a value")
+	}
+	h := reg.Histogram("x_h", "", []float64{1, 2})
+	h.Observe(1.5)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram holds observations")
+	}
+	if obs.NewReceiverMetrics(nil, 4) != nil || obs.NewStationMetrics(nil, 4) != nil ||
+		obs.NewFECMetrics(nil) != nil || obs.NewSchedMetrics(nil) != nil {
+		t.Fatal("nil registry produced a live bundle")
+	}
+}
+
+// TestCounterDedup pins handle identity: the same name+labels returns
+// the same series, different labels different ones, and Sum totals the
+// family across label sets.
+func TestCounterDedup(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := reg.Counter("req_total", "requests", obs.Label{Key: "ch", Value: "0"})
+	b := reg.Counter("req_total", "requests", obs.Label{Key: "ch", Value: "0"})
+	c := reg.Counter("req_total", "requests", obs.Label{Key: "ch", Value: "1"})
+	if a != b {
+		t.Fatal("same name+labels minted two handles")
+	}
+	if a == c {
+		t.Fatal("different labels share a handle")
+	}
+	a.Add(3)
+	c.Inc()
+	if got := reg.Sum("req_total"); got != 4 {
+		t.Fatalf("Sum = %v, want 4", got)
+	}
+	if got := reg.Sum("missing_total"); got != 0 {
+		t.Fatalf("Sum of missing family = %v, want 0", got)
+	}
+}
+
+// TestKindMismatchPanics pins that re-registering a name under another
+// metric kind fails loudly instead of silently aliasing.
+func TestKindMismatchPanics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	reg.Gauge("x_total", "")
+}
+
+// TestHistogram pins bucket assignment: cumulative counts, the +Inf
+// bucket, and the sum.
+func TestHistogram(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("lat", "latency", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 16 {
+		t.Fatalf("sum = %v, want 16", h.Sum())
+	}
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`lat_bucket{le="1"} 2`, // 0.5 and the boundary value 1
+		`lat_bucket{le="2"} 3`,
+		`lat_bucket{le="5"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_sum 16`,
+		`lat_count 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestWriteTextFormat pins the Prometheus text exposition surface: HELP
+// and TYPE headers, sorted deterministic output, label escaping.
+func TestWriteTextFormat(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("b_total", "bees", obs.Label{Key: "kind", Value: `qu"ote\back`}).Add(2)
+	reg.Counter("a_total", "ayes").Inc()
+	reg.Gauge("g", "a gauge").Set(1.5)
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# HELP a_total ayes\n# TYPE a_total counter\na_total 1\n",
+		"# TYPE b_total counter",
+		`b_total{kind="qu\"ote\\back"} 2`,
+		"# TYPE g gauge\ng 1.5\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Families render in name order, deterministically.
+	if strings.Index(text, "a_total") > strings.Index(text, "b_total") {
+		t.Error("families not sorted by name")
+	}
+	var sb2 strings.Builder
+	_ = reg.WriteText(&sb2)
+	if sb2.String() != text {
+		t.Error("exposition not deterministic across renders")
+	}
+}
+
+// TestSnapshot pins the flat counter/gauge/histogram view the
+// benchmarks fold into BENCH_<sha>.json.
+func TestSnapshot(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("c_total", "").Add(7)
+	reg.Counter("l_total", "", obs.ChannelLabel(2)).Inc()
+	reg.Gauge("g", "").Set(2.5)
+	h := reg.Histogram("h", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(3)
+
+	snap := reg.Snapshot()
+	want := map[string]float64{
+		"c_total":              7,
+		`l_total{channel="2"}`: 1,
+		"g":                    2.5,
+		"h_count":              2,
+		"h_sum":                3.5,
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Errorf("snapshot[%q] = %v, want %v", k, snap[k], v)
+		}
+	}
+}

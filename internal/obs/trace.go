@@ -1,0 +1,106 @@
+// The sampled session tracer: per-query slot timelines emitted as
+// JSONL. Sampling is a deterministic seeded hash of the client id, so
+// the same flag settings trace the same clients on every run —
+// reproducible timelines, not a random peek. The per-event overhead
+// exists only on sampled clients; everyone else runs the uninstrumented
+// (or counter-only) path.
+
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// TraceEvent is one receiver operation on a sampled client's timeline.
+type TraceEvent struct {
+	// Op is the operation: tune-in, tune, doze, probe, table, header,
+	// object, poll, resync, follow.
+	Op string `json:"op"`
+	// Slot is the absolute slot clock after the operation.
+	Slot int64 `json:"slot"`
+	// Ch is the channel the radio ended on.
+	Ch int `json:"ch"`
+	// Pos is the cycle-position argument of positioned operations.
+	Pos int `json:"pos,omitempty"`
+	// N carries the operation's secondary argument (object index,
+	// adopted version, slots slept).
+	N int64 `json:"n,omitempty"`
+	// OK is false when the operation failed (loss, undecodable payload).
+	OK bool `json:"ok"`
+}
+
+// TraceRecord is one sampled client query: identity, outcome metrics,
+// and the slot timeline.
+type TraceRecord struct {
+	Client   int64        `json:"client"`
+	Arm      string       `json:"arm,omitempty"`
+	Kind     string       `json:"kind,omitempty"`
+	Probe    int64        `json:"probe"`
+	Latency  int64        `json:"latency_packets"`
+	Tuning   int64        `json:"tuning_packets"`
+	Switches int64        `json:"switches"`
+	Events   []TraceEvent `json:"events"`
+}
+
+// Tracer writes sampled TraceRecords as JSONL, one line per query,
+// under a mutex (workers trace concurrently; lines never interleave).
+type Tracer struct {
+	every uint64
+	seed  uint64
+
+	mu      sync.Mutex
+	enc     *json.Encoder
+	emitted atomic.Int64
+}
+
+// NewTracer traces roughly one in every `every` clients (minimum 1 =
+// everyone) with the given sampling seed, writing JSONL to w. The
+// caller owns w's buffering and closing.
+func NewTracer(w io.Writer, every int, seed int64) *Tracer {
+	if every < 1 {
+		every = 1
+	}
+	return &Tracer{every: uint64(every), seed: uint64(seed), enc: json.NewEncoder(w)}
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap
+// high-quality hash for the sampling decision.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Sampled reports whether client id is in the deterministic sample.
+// Nil-safe: a nil tracer samples nobody.
+func (t *Tracer) Sampled(id int64) bool {
+	if t == nil {
+		return false
+	}
+	return splitmix64(t.seed^uint64(id))%t.every == 0
+}
+
+// Emit writes one record as a JSONL line.
+func (t *Tracer) Emit(rec *TraceRecord) {
+	if t == nil || rec == nil {
+		return
+	}
+	t.mu.Lock()
+	err := t.enc.Encode(rec)
+	t.mu.Unlock()
+	if err == nil {
+		t.emitted.Add(1)
+	}
+}
+
+// Emitted returns the number of records written so far.
+func (t *Tracer) Emitted() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.emitted.Load()
+}

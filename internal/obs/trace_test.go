@@ -1,0 +1,91 @@
+package obs_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dsi/internal/obs"
+)
+
+// TestTracerSamplingDeterministic pins the sampling contract: the same
+// (seed, every) settings select the same clients on every run, the rate
+// lands near 1/every, and a nil tracer samples nobody.
+func TestTracerSamplingDeterministic(t *testing.T) {
+	var sb strings.Builder
+	a := obs.NewTracer(&sb, 100, 42)
+	b := obs.NewTracer(&sb, 100, 42)
+	hits := 0
+	for id := int64(0); id < 100_000; id++ {
+		sa := a.Sampled(id)
+		if sa != b.Sampled(id) {
+			t.Fatalf("sampling of client %d differs across identical tracers", id)
+		}
+		if sa {
+			hits++
+		}
+	}
+	if hits < 700 || hits > 1300 {
+		t.Fatalf("sampled %d of 100k at 1/100 — hash badly skewed", hits)
+	}
+	other := obs.NewTracer(&sb, 100, 43)
+	same := 0
+	for id := int64(0); id < 10_000; id++ {
+		if a.Sampled(id) && other.Sampled(id) {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatalf("seeds 42 and 43 share %d of the first 10k sampled clients — seed ignored", same)
+	}
+	var nilT *obs.Tracer
+	if nilT.Sampled(0) {
+		t.Fatal("nil tracer sampled a client")
+	}
+	nilT.Emit(&obs.TraceRecord{}) // must not panic
+	if nilT.Emitted() != 0 {
+		t.Fatal("nil tracer emitted")
+	}
+}
+
+// TestTracerEmitJSONL pins the wire format: one JSON object per line,
+// round-tripping the record and its event timeline.
+func TestTracerEmitJSONL(t *testing.T) {
+	var sb strings.Builder
+	tr := obs.NewTracer(&sb, 1, 1)
+	tr.Emit(&obs.TraceRecord{
+		Client: 7, Arm: "shard", Kind: "window", Probe: 99,
+		Latency: 1234, Tuning: 56, Switches: 3,
+		Events: []obs.TraceEvent{
+			{Op: obs.OpTuneIn, Slot: 99, Ch: 0, OK: true},
+			{Op: obs.OpTable, Slot: 120, Ch: 1, Pos: 4, OK: false},
+		},
+	})
+	tr.Emit(&obs.TraceRecord{Client: 8, Kind: "knn"})
+	if tr.Emitted() != 2 {
+		t.Fatalf("emitted = %d, want 2", tr.Emitted())
+	}
+
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	var recs []obs.TraceRecord
+	for sc.Scan() {
+		var r obs.TraceRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("parsed %d JSONL lines, want 2", len(recs))
+	}
+	r := recs[0]
+	if r.Client != 7 || r.Arm != "shard" || r.Kind != "window" || r.Probe != 99 ||
+		r.Latency != 1234 || r.Tuning != 56 || r.Switches != 3 || len(r.Events) != 2 {
+		t.Fatalf("record round-trip: %+v", r)
+	}
+	if r.Events[1].Op != obs.OpTable || r.Events[1].Slot != 120 || r.Events[1].Ch != 1 ||
+		r.Events[1].Pos != 4 || r.Events[1].OK {
+		t.Fatalf("event round-trip: %+v", r.Events[1])
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"dsi/internal/dsi"
 	"dsi/internal/hilbert"
+	"dsi/internal/obs"
 )
 
 // rescaleAbove bounds the lazy decay scale: when the per-observation
@@ -151,6 +152,28 @@ func PlanCost(freq []float64, bounds []int) float64 {
 // use.
 type Replanner struct {
 	dp mongeDP
+
+	// met, when set, counts planning checks, trigger/skip decisions, and
+	// the measured drift ratios. Nil counts nothing.
+	met *obs.SchedMetrics
+}
+
+// SetObs installs the scheduler metric bundle (nil counts nothing).
+func (r *Replanner) SetObs(m *obs.SchedMetrics) { r.met = m }
+
+// count records one successful planning pass's outcome.
+func (r *Replanner) count(drift float64, replan bool) {
+	if r.met == nil {
+		return
+	}
+	r.met.Checks.Inc()
+	if replan {
+		r.met.ReplansTriggered.Inc()
+	} else {
+		r.met.ReplansSkipped.Inc()
+	}
+	r.met.DriftRatio.Set(drift)
+	r.met.Drift.Observe(drift)
 }
 
 // Replan re-cuts the profile into as many shards as the live plan has,
@@ -176,6 +199,7 @@ func (r *Replanner) Replan(p *Profile, live *Plan, ratio float64) (fresh *Plan, 
 		return nil, 0, false, fmt.Errorf("sched: %d shards for %d frames", k, p.X.NF)
 	}
 	if p.Total() == 0 {
+		r.count(1, false)
 		return live, 1, false, nil
 	}
 	bounds := r.dp.cut(p.Freq, k)
@@ -188,10 +212,13 @@ func (r *Replanner) Replan(p *Profile, live *Plan, ratio float64) (fresh *Plan, 
 	// Snapping off duplicate minima can nudge the DP optimum, so guard
 	// the ratio against a (theoretical) fresh cost above the live one.
 	if freshCost <= 0 || liveCost <= freshCost {
+		r.count(1, false)
 		return fresh, 1, false, nil
 	}
 	drift = liveCost / freshCost
-	return fresh, drift, drift > ratio, nil
+	replan = drift > ratio
+	r.count(drift, replan)
+	return fresh, drift, replan, nil
 }
 
 // Replan is the convenience entry point for one-shot re-cuts; loops

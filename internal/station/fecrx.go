@@ -31,6 +31,7 @@ import (
 
 	"dsi/internal/broadcast"
 	"dsi/internal/dsi"
+	"dsi/internal/obs"
 	"dsi/internal/wire"
 )
 
@@ -63,7 +64,13 @@ type FECReceiver struct {
 
 	recovered int // packets reconstructed from parity since construction
 	cacheHits int // table reads served from the recovered-unit cache
+
+	met *obs.FECMetrics // optional coding-event counters; nil when unobserved
 }
+
+// SetObs installs the FEC counter bundle; nil disables counting. Not
+// safe to call concurrently with reception.
+func (r *FECReceiver) SetObs(m *obs.FECMetrics) { r.met = m }
 
 // Recovered returns the number of packets reconstructed from parity —
 // losses the code absorbed that would otherwise have cost a
@@ -116,6 +123,27 @@ func NewFECReceiver(lay *dsi.Layout, version uint32, src PacketSource, cfg wire.
 }
 
 func (r *FECReceiver) on() bool { return r.geo != nil }
+
+// countSolve counts one recovery attempt's outcome (cold path: only
+// reached when loss forced a parity solve).
+func (r *FECReceiver) countSolve(ok bool) {
+	if r.met == nil {
+		return
+	}
+	if ok {
+		r.met.GroupSolves.Inc()
+	} else {
+		r.met.SolveFailures.Inc()
+	}
+}
+
+// countRecovered counts one packet reconstructed from parity.
+func (r *FECReceiver) countRecovered() {
+	r.recovered++
+	if r.met != nil {
+		r.met.Recovered.Inc()
+	}
+}
 
 // CycleSlots returns the physical slots of one full broadcast cycle
 // across all channels — what probe positions scale against (the coded
@@ -382,6 +410,9 @@ func (r *FECReceiver) Table(pos int) (*dsi.Table, bool) {
 		// The whole unit was recovered at an earlier occurrence: decode
 		// from the cache with zero air slots — the radio stays dozing.
 		r.cacheHits++
+		if r.met != nil {
+			r.met.CacheHits.Inc()
+		}
 		buf := w.tabBuf[:0]
 		for i := 0; i < n; i++ {
 			buf = append(buf, cached[i]...)
@@ -405,13 +436,14 @@ func (r *FECReceiver) Table(pos int) (*dsi.Table, bool) {
 		}
 		tail := r.readTail(u, code)
 		syms, ok := recoverUnit(code, n, w.x.Cfg.Capacity, pay, okm, tail, allMask(n))
+		r.countSolve(ok)
 		if !ok {
 			return nil, false
 		}
 		for i := 0; i < n; i++ {
 			if okm&(1<<uint(i)) == 0 {
 				pay[i] = syms[i][:r.expLen(u, i)]
-				r.recovered++
+				r.countRecovered()
 			}
 		}
 		// Only recovered units are cached: a cleanly received unit
@@ -496,6 +528,7 @@ func (r *FECReceiver) Header(pos, o int) (uint64, bool) {
 	}
 	tail := r.readTail(u, code)
 	syms, ok := recoverUnit(code, n, w.x.Cfg.Capacity, pay, okm, tail, allMask(n))
+	r.countSolve(ok)
 	if !ok {
 		r.setWindow(ch, ui, base, pay, okm)
 		return 0, false
@@ -504,7 +537,7 @@ func (r *FECReceiver) Header(pos, o int) (uint64, bool) {
 		if okm&(1<<uint(i)) == 0 {
 			pay[i] = syms[i][:r.expLen(u, i)]
 			okm |= 1 << uint(i)
-			r.recovered++
+			r.countRecovered()
 		}
 	}
 	r.setWindow(ch, ui, base, pay, okm)
@@ -572,6 +605,7 @@ func (r *FECReceiver) Object(pos, o, skip int) bool {
 	}
 	tail := r.readTail(u, code)
 	syms, ok := recoverUnit(code, n, w.x.Cfg.Capacity, pay, okm, tail, lost)
+	r.countSolve(ok)
 	if !ok {
 		return false
 	}
@@ -579,7 +613,7 @@ func (r *FECReceiver) Object(pos, o, skip int) bool {
 		if okm&(1<<uint(i)) == 0 && syms[i] != nil {
 			pay[i] = syms[i][:r.expLen(u, i)]
 			okm |= 1 << uint(i)
-			r.recovered++
+			r.countRecovered()
 		}
 	}
 	r.setWindow(ch, ui, base, pay, okm)
@@ -623,12 +657,6 @@ func (r *FECReceiver) Poll() (*dsi.Layout, bool) {
 	if err != nil || fv != ver || dver != over {
 		return nil, false // descriptor not (yet) consistent with the directory
 	}
-	if cfg != r.cfg {
-		// The code is catalog knowledge like the index geometry: a
-		// broadcast that changes it under a receiver is one the receiver
-		// can never decode again. Fail loudly.
-		panic(fmt.Sprintf("station: FEC receiver configured for %+v cannot follow a broadcast recoded to %+v", r.cfg, cfg))
-	}
 	lay, err := dsi.NewLayout(w.x, dsi.MultiConfig{
 		Channels:    w.lay.Channels(),
 		Scheduler:   dsi.SchedShard,
@@ -638,7 +666,13 @@ func (r *FECReceiver) Poll() (*dsi.Layout, bool) {
 	if err != nil {
 		return nil, false
 	}
-	geo, err := newFECGeom(lay, r.cfg)
+	// The descriptor is authoritative: a swap may change the code along
+	// with the directory (an adaptive station retuning its rate), so the
+	// new geometry is built under the decoded cfg. The recovered-unit
+	// cache and the group window — keyed to the old unit geometry — are
+	// dropped below either way; adopting the new code just makes that
+	// drop load-bearing instead of conservative.
+	geo, err := newFECGeom(lay, cfg)
 	if err != nil {
 		return nil, false
 	}
@@ -659,6 +693,12 @@ func (r *FECReceiver) Poll() (*dsi.Layout, bool) {
 	w.ver = ver
 	w.tu.RetunePhased(geo.air, phase)
 	w.adoptGeometry(lay)
+	if cfg != r.cfg {
+		r.cfg = cfg
+		if r.met != nil {
+			r.met.CodeSwaps.Inc()
+		}
+	}
 	r.geo = geo
 	r.win.unit = -1
 	r.cache.drop()

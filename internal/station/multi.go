@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"dsi/internal/dsi"
+	"dsi/internal/obs"
 	"dsi/internal/wire"
 )
 
@@ -39,7 +40,13 @@ type MultiTransmitter struct {
 	fec     *fecGeom
 	parity  [][][]byte // per channel, per physical slot; nil for content
 	fecDesc []byte
+
+	// met, when set, counts per-channel packets served via PacketAt.
+	met *obs.StationMetrics
 }
+
+// SetObs installs the station metric bundle (nil counts nothing).
+func (t *MultiTransmitter) SetObs(m *obs.StationMetrics) { t.met = m }
 
 // NewMultiTransmitter prepares the table encodings and the per-channel
 // slot plans for the layout.

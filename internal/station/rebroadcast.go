@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"dsi/internal/dsi"
+	"dsi/internal/obs"
 	"dsi/internal/wire"
 )
 
@@ -34,13 +35,20 @@ import (
 type Rebroadcaster struct {
 	mu sync.RWMutex
 
-	// fcfg is the erasure code every generation of the broadcast runs
-	// (fixed at construction; staged layouts re-encode under it). The
-	// zero config is the uncoded rebroadcaster. curFec/nextFec are the
-	// versioned FEC descriptors mirroring curDir/nextDir.
+	// fcfg is the erasure code of the generation on air. Stage keeps it;
+	// StageFEC swaps it with the directory, so each generation carries
+	// its own code (nextCfg while staged). The zero config is the uncoded
+	// rebroadcaster. curFec/nextFec are the versioned FEC descriptors
+	// mirroring curDir/nextDir — always encoded, even for the zero code,
+	// so coded receivers can follow a swap that turns coding off.
 	fcfg    wire.FECConfig
+	nextCfg wire.FECConfig
 	curFec  []byte
 	nextFec []byte
+
+	// met, when set, counts swaps staged/committed, the version on air,
+	// and per-channel packets emitted. Nil counts nothing.
+	met *obs.StationMetrics
 
 	cur     *MultiTransmitter
 	version uint32
@@ -90,12 +98,21 @@ func NewRebroadcasterFEC(lay *dsi.Layout, cfg wire.FECConfig) (*Rebroadcaster, e
 		phase:   make([]int64, lay.Channels()),
 		curDir:  dir,
 	}
-	if cfg.Enabled() {
-		if r.curFec, err = wire.EncodeFECDesc(cfg, 1); err != nil {
-			return nil, err
-		}
+	if r.curFec, err = wire.EncodeFECDesc(cfg, 1); err != nil {
+		return nil, err
 	}
 	return r, nil
+}
+
+// SetObs installs the station metric bundle. Call before the broadcast
+// goes live; nil (the default) counts nothing.
+func (r *Rebroadcaster) SetObs(m *obs.StationMetrics) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.met = m
+	if m != nil {
+		m.DirVersion.Set(float64(r.version))
+	}
 }
 
 // Layout returns the layout currently on air (the staged one only after
@@ -126,8 +143,21 @@ func (r *Rebroadcaster) InTransition() bool {
 // now, and each channel cuts over at its first own-cycle boundary at or
 // after it. Returns the global seam slot. Staging fails while a swap is
 // already in flight, or when the new layout does not describe the same
-// index over the same channels.
+// index over the same channels. The erasure code carries over from the
+// generation on air; use StageFEC to change it with the swap.
 func (r *Rebroadcaster) Stage(lay *dsi.Layout, now int64) (int64, error) {
+	r.mu.RLock()
+	cfg := r.fcfg
+	r.mu.RUnlock()
+	return r.StageFEC(lay, cfg, now)
+}
+
+// StageFEC is Stage with a code change riding the swap: the staged
+// generation is encoded under cfg, and the versioned FEC descriptor
+// announcing it crosses the air with the new directory. Receivers
+// adopt the new code at the seam exactly as they adopt the new shard
+// map. The zero cfg turns coding off from the seam on.
+func (r *Rebroadcaster) StageFEC(lay *dsi.Layout, cfg wire.FECConfig, now int64) (int64, error) {
 	// The transmitter build is O(broadcast bytes): do it before taking
 	// the write lock so concurrent readers never stall on it.
 	old := r.Layout()
@@ -143,7 +173,7 @@ func (r *Rebroadcaster) Stage(lay *dsi.Layout, now int64) (int64, error) {
 	if now < 0 {
 		return 0, fmt.Errorf("station: negative stage time %d", now)
 	}
-	t, err := NewMultiTransmitterFEC(lay, r.fcfg)
+	t, err := NewMultiTransmitterFEC(lay, cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -183,15 +213,22 @@ func (r *Rebroadcaster) Stage(lay *dsi.Layout, now int64) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if r.fcfg.Enabled() {
-		if r.nextFec, err = wire.EncodeFECDesc(r.fcfg, r.version+1); err != nil {
-			return 0, err
-		}
+	fec, err := wire.EncodeFECDesc(cfg, r.version+1)
+	if err != nil {
+		return 0, err
 	}
 	r.next = t
+	r.nextCfg = cfg
+	r.nextFec = fec
 	r.seam = seam
 	r.swapSlot = swap
 	r.nextDir = dir
+	if r.met != nil {
+		r.met.SwapsStaged.Inc()
+		if cfg != r.fcfg {
+			r.met.CodeSwapsStaged.Inc()
+		}
+	}
 	return swap, nil
 }
 
@@ -214,14 +251,17 @@ func (r *Rebroadcaster) Commit(now int64) bool {
 	r.cur = r.next
 	r.phase = r.seam
 	r.curDir = r.nextDir
-	if r.fcfg.Enabled() {
-		r.curFec = r.nextFec
-	}
+	r.curFec = r.nextFec
+	r.fcfg = r.nextCfg
 	r.version++
 	r.next = nil
 	r.seam = nil
 	r.nextDir = nil
 	r.nextFec = nil
+	if r.met != nil {
+		r.met.SwapsCommitted.Inc()
+		r.met.DirVersion.Set(float64(r.version))
+	}
 	return true
 }
 
@@ -231,6 +271,7 @@ func (r *Rebroadcaster) Commit(now int64) bool {
 func (r *Rebroadcaster) PacketAt(ch int, abs int64) (Packet, uint32) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	r.met.PacketEmitted(ch)
 	if r.next != nil && abs >= r.seam[ch] {
 		l := int64(r.next.ChanSlots(ch))
 		return r.next.Packet(ch, int((abs-r.seam[ch])%l)), r.version + 1

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"dsi/internal/dsi"
+	"dsi/internal/obs"
 	"dsi/internal/wire"
 )
 
@@ -52,7 +53,13 @@ type Transmitter struct {
 	fec     *fecGeom
 	parity  [][]byte // per physical slot; nil for content slots
 	fecDesc []byte
+
+	// met, when set, counts packets served via PacketAt.
+	met *obs.StationMetrics
 }
+
+// SetObs installs the station metric bundle (nil counts nothing).
+func (t *Transmitter) SetObs(m *obs.StationMetrics) { t.met = m }
 
 // NewTransmitter prepares the per-frame table encodings.
 func NewTransmitter(x *dsi.Index) (*Transmitter, error) {

@@ -47,6 +47,7 @@ type PacketSource interface {
 // PacketAt implements PacketSource: a static transmitter serves one
 // schedule forever, anchored at slot 0 as directory version 1.
 func (t *MultiTransmitter) PacketAt(ch int, abs int64) (Packet, uint32) {
+	t.met.PacketEmitted(ch)
 	return t.Packet(ch, int(abs%int64(t.ChanSlots(ch)))), 1
 }
 
@@ -72,6 +73,7 @@ func (t *Transmitter) PacketAt(ch int, abs int64) (Packet, uint32) {
 	if ch != 0 {
 		panic(fmt.Sprintf("station: packet request for channel %d of a single-channel transmitter", ch))
 	}
+	t.met.PacketEmitted(0)
 	return t.Packet(int(abs % int64(t.CycleSlots()))), 1
 }
 
