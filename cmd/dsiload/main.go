@@ -13,6 +13,13 @@
 //	dsiload -metrics :9090           # live /metrics + /debug/pprof
 //	dsiload -trace out.jsonl         # slot timelines of a client sample
 //	dsiload -parallel                # interleave the arms across workers
+//
+// With -net it instead drives concurrent network clients against a
+// live dsistation daemon, each with its own transport subscription and
+// receiver, and reports served-queries/sec with latency percentiles:
+//
+//	dsiload -net http://localhost:8345                      # 1000 HTTP clients
+//	dsiload -net http://localhost:8345 -transport udp -netclients 50
 package main
 
 import (
@@ -20,14 +27,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"dsi/internal/dsi"
 	"dsi/internal/massive"
+	"dsi/internal/netrecv"
 	"dsi/internal/obs"
+	"dsi/internal/spatial"
 )
 
 func main() {
@@ -48,8 +60,30 @@ func main() {
 		trace    = flag.String("trace", "", "write per-query slot-timeline JSONL for a sampled client subset to this file")
 		traceSmp = flag.Int("tracesample", 1000, "trace roughly one in this many clients (deterministic sample)")
 		parallel = flag.Bool("parallel", false, "replay the selected arms concurrently, splitting the workers among them")
+
+		netURL     = flag.String("net", "", "drive network clients against a live dsistation at this base URL instead of replaying in-process")
+		netClients = flag.Int("netclients", 1000, "concurrent network clients with -net")
+		netQueries = flag.Int("queries", 4, "queries per network client with -net")
+		netTrans   = flag.String("transport", "http", "network transport with -net: http | sse | udp")
+		netRing    = flag.Int("ring", 2048, "per-client reassembly ring in slots with -net")
+		netRamp    = flag.Int("ramp", 100, "subscription ramp with -net: at most this many clients connecting at once")
 	)
 	flag.Parse()
+
+	if *netURL != "" {
+		var reg *obs.Registry
+		if *metrics != "" {
+			reg = obs.NewRegistry()
+			addr, err := obs.Serve(*metrics, reg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dsiload: metrics listener: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("dsiload: serving /metrics and /debug/pprof on http://%s\n", addr)
+		}
+		runNet(*netURL, *netTrans, *netClients, *netQueries, *knnFrac, *k, *win, *seed, *netRing, *netRamp, reg)
+		return
+	}
 
 	bed, err := massive.NewTestbed(massive.BedConfig{
 		N: *n, Order: *order, Seed: *seed, Channels: *chans, ObjectBytes: *objB,
@@ -119,6 +153,7 @@ func main() {
 		*clients, *n, *order, *objB)
 
 	reports := make([]massive.Report, len(picked))
+	wall := time.Now()
 	if *parallel {
 		// Arms share the machine, so per-arm wall time — and with it the
 		// clients/sec column — measures contention, not engine throughput;
@@ -165,6 +200,10 @@ func main() {
 			}
 		}
 	}
+	if !*asJSON {
+		fmt.Printf("total    %9.1fs wall-clock over %d arm(s)\n",
+			time.Since(wall).Seconds(), len(picked))
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -185,4 +224,148 @@ func main() {
 			rep.Tuning.P50, rep.Tuning.P99, rep.Switches.P99)
 	}
 	fmt.Println("\nlatency/tuning in bytes at 64B packets; state is durable bytes per client")
+}
+
+// netRX is what every network receiver flavor exposes to the load
+// driver.
+type netRX interface {
+	dsi.Receiver
+	LiveSlot() int64
+	Reconnects() int64
+	Feed() *netrecv.Feed
+	Close()
+}
+
+// netResult is one network client's outcome.
+type netResult struct {
+	lat, tun   []int64 // per-query access latency / tuning time in bytes
+	served     int
+	reconnects int64
+	lost       int64
+	err        error
+}
+
+// runNet drives clients concurrent network clients against one live
+// station. The catalog is bootstrapped once and shared (one index
+// build); every client holds its own transport subscription, feed, and
+// receiver — the per-client state a real deployment would hold.
+func runNet(baseURL, transport string, clients, queries int, knnFrac float64, k int, winRatio float64, seed int64, ring, ramp int, reg *obs.Registry) {
+	// A generous wait: a thousand clients subscribing against one
+	// station make stream start-up contended, and a stalled stream is
+	// better reported as losses than as a failed construction.
+	opt := netrecv.Options{
+		Registry: reg, RingSlots: ring, SSE: transport == "sse",
+		WaitTimeout: 15 * time.Second,
+	}
+	cat, err := netrecv.Bootstrap(baseURL, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsiload: %v\n", err)
+		os.Exit(1)
+	}
+	if transport == "udp" && cat.Meta.UDP == "" {
+		fmt.Fprintln(os.Stderr, "dsiload: station has no UDP transport up (run dsistation with -udp)")
+		os.Exit(1)
+	}
+	fmt.Printf("dsiload: station %s: %s, %d channels (%s), %d slots/sec\n",
+		baseURL, cat.DS.Name, cat.Lay.Channels(), cat.Meta.Scheduler, cat.Meta.SlotsPerSec)
+	fmt.Printf("dsiload: %d clients x %d queries over %s\n", clients, queries, transport)
+
+	side := cat.DS.Curve.Side()
+	winSide := uint32(winRatio * float64(side))
+	results := make([]netResult, clients)
+	var wg sync.WaitGroup
+	if ramp < 1 {
+		ramp = 1
+	}
+	sem := make(chan struct{}, ramp)
+	t0 := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			results[i] = runNetClient(baseURL, transport, cat, opt, queries, knnFrac, k, winSide, seed+int64(i), sem)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0).Seconds()
+
+	var lat, tun []int64
+	served, failed := 0, 0
+	var reconnects, lost int64
+	var firstErr error
+	for _, r := range results {
+		served += r.served
+		reconnects += r.reconnects
+		lost += r.lost
+		lat = append(lat, r.lat...)
+		tun = append(tun, r.tun...)
+		if r.err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		}
+	}
+	fmt.Printf("dsiload: %d/%d clients ok, %d queries served in %.1fs — %.0f served-queries/sec\n",
+		clients-failed, clients, served, elapsed, float64(served)/elapsed)
+	fmt.Printf("dsiload: reconnects %d, lost slots %d\n", reconnects, lost)
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		sort.Slice(tun, func(i, j int) bool { return tun[i] < tun[j] })
+		pct := func(s []int64, p float64) int64 { return s[int(p*float64(len(s)-1))] }
+		fmt.Printf("latency bytes p50/p95/p99: %d %d %d; tuning bytes p50/p95/p99: %d %d %d\n",
+			pct(lat, 0.50), pct(lat, 0.95), pct(lat, 0.99),
+			pct(tun, 0.50), pct(tun, 0.95), pct(tun, 0.99))
+	}
+	if firstErr != nil {
+		fmt.Fprintf(os.Stderr, "dsiload: %d clients failed; first error: %v\n", failed, firstErr)
+		os.Exit(1)
+	}
+}
+
+// runNetClient subscribes one client and runs its query mix, tuning in
+// at the live edge before every query like a mobile unit waking up.
+// sem bounds concurrent subscriptions (released once the receiver is
+// live); the queries themselves all run concurrently.
+func runNetClient(baseURL, transport string, cat *netrecv.Catalog, opt netrecv.Options, queries int, knnFrac float64, k int, winSide uint32, seed int64, sem chan struct{}) netResult {
+	var rx netRX
+	var err error
+	switch transport {
+	case "http", "sse":
+		rx, err = netrecv.NewHTTPReceiver(baseURL, cat, opt)
+	case "udp":
+		rx, err = netrecv.NewUDPReceiver(cat.Meta.UDP, -1, cat, opt)
+	default:
+		err = fmt.Errorf("unknown transport %q (have http, sse, udp)", transport)
+	}
+	<-sem
+	if err != nil {
+		return netResult{err: err}
+	}
+	defer rx.Close()
+	sess, err := dsi.Open(cat.X, dsi.WithReceiver(rx))
+	if err != nil {
+		return netResult{err: err}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	side := cat.DS.Curve.Side()
+	var res netResult
+	for q := 0; q < queries; q++ {
+		sess.Tune(rx.LiveSlot(), nil)
+		x, y := uint32(rng.Intn(int(side))), uint32(rng.Intn(int(side)))
+		if rng.Float64() < knnFrac {
+			_, s := sess.KNN(spatial.Point{X: x, Y: y}, k, dsi.Conservative)
+			res.lat = append(res.lat, s.LatencyBytes())
+			res.tun = append(res.tun, s.TuningBytes())
+		} else {
+			_, s := sess.Window(spatial.ClampedWindow(x, y, winSide, side))
+			res.lat = append(res.lat, s.LatencyBytes())
+			res.tun = append(res.tun, s.TuningBytes())
+		}
+		res.served++
+	}
+	res.reconnects = rx.Reconnects()
+	res.lost = rx.Feed().LostSlots()
+	return res
 }

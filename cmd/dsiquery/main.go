@@ -2,11 +2,17 @@
 // broadcast and reports the result and its cost, for exploring how the
 // index behaves under different configurations.
 //
+// With -net it queries a live dsistation daemon instead: the catalog
+// is bootstrapped from the station's /v1/meta document and the query
+// tunes in at the live edge of the real broadcast stream.
+//
 // Usage:
 //
 //	dsiquery -mode window -win 40,40,80,80
 //	dsiquery -mode knn -q 128,128 -k 5 -segments 2 -theta 0.5
 //	dsiquery -mode point -q 17,33 -capacity 128
+//	dsiquery -net http://localhost:8345 -mode knn -q 60,60 -k 5
+//	dsiquery -net http://localhost:8345 -transport udp -mode window -win 20,20,60,60
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"dsi/internal/broadcast"
 	"dsi/internal/dataset"
 	"dsi/internal/dsi"
+	"dsi/internal/netrecv"
 	"dsi/internal/spatial"
 )
 
@@ -38,8 +45,17 @@ func main() {
 		trace    = flag.Bool("trace", false, "print every client step (probe, table, header, object)")
 		channels = flag.Int("channels", 1, "parallel broadcast channels (>1 uses the split scheduler)")
 		switchC  = flag.Int("switch", 2, "channel-switch cost in slots (multi-channel only)")
+		netURL   = flag.String("net", "", "query a live dsistation at this base URL instead of simulating (e.g. http://localhost:8345)")
+		netTrans = flag.String("transport", "http", "network transport with -net: http | sse | udp | mcast")
 	)
 	flag.Parse()
+
+	if *netURL != "" {
+		sess, ds, cleanup := openNet(*netURL, *netTrans)
+		defer cleanup()
+		runQuery(sess, ds, *mode, *winSpec, *qSpec, *k, *strat, *trace)
+		return
+	}
 
 	var ds *dataset.Dataset
 	if *real {
@@ -78,41 +94,96 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dsiquery: %v\n", err)
 		os.Exit(1)
 	}
+	runQuery(sess, ds, *mode, *winSpec, *qSpec, *k, *strat, *trace)
+}
+
+// openNet bootstraps the station's catalog, attaches a network
+// receiver over the chosen transport, and returns a session tuned at
+// the live edge of the broadcast.
+func openNet(baseURL, transport string) (*dsi.Session, *dataset.Dataset, func()) {
+	opt := netrecv.Options{SSE: transport == "sse"}
+	cat, err := netrecv.Bootstrap(baseURL, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsiquery: %v\n", err)
+		os.Exit(1)
+	}
+	var rx interface {
+		dsi.Receiver
+		LiveSlot() int64
+		Close()
+	}
+	switch transport {
+	case "http", "sse":
+		rx, err = netrecv.NewHTTPReceiver(baseURL, cat, opt)
+	case "udp":
+		if cat.Meta.UDP == "" {
+			err = fmt.Errorf("station has no UDP transport up (run dsistation with -udp)")
+		} else {
+			rx, err = netrecv.NewUDPReceiver(cat.Meta.UDP, -1, cat, opt)
+		}
+	case "mcast":
+		if cat.Meta.Multicast == "" {
+			err = fmt.Errorf("station has no multicast emission up (run dsistation with -mcast)")
+		} else {
+			rx, err = netrecv.NewMulticastReceiver(cat.Meta.Multicast, cat, opt)
+		}
+	default:
+		err = fmt.Errorf("unknown transport %q (have http, sse, udp, mcast)", transport)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsiquery: %v\n", err)
+		os.Exit(1)
+	}
+	sess, err := dsi.Open(cat.X, dsi.WithReceiver(rx))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsiquery: %v\n", err)
+		os.Exit(1)
+	}
+	live := rx.LiveSlot()
+	fmt.Printf("station: %s\ndataset: %s (catalog checksum ok)\ntuned at live slot %d over %s\n",
+		baseURL, cat.DS.Name, live, transport)
+	sess.Tune(live, nil)
+	return sess, cat.DS, rx.Close
+}
+
+// runQuery executes one query against the session and prints the
+// result with its broadcast-cost stats.
+func runQuery(sess *dsi.Session, ds *dataset.Dataset, mode, winSpec, qSpec string, k int, strat string, trace bool) {
 	c := sess.Client()
-	if *trace {
+	if trace {
 		c.SetTracer(func(e dsi.Event) { fmt.Println(" ", e) })
 	}
 
-	switch *mode {
+	switch mode {
 	case "window":
 		var w spatial.Rect
-		if _, err := fmt.Sscanf(*winSpec, "%d,%d,%d,%d", &w.MinX, &w.MinY, &w.MaxX, &w.MaxY); err != nil {
-			fmt.Fprintf(os.Stderr, "dsiquery: bad -win %q: %v\n", *winSpec, err)
+		if _, err := fmt.Sscanf(winSpec, "%d,%d,%d,%d", &w.MinX, &w.MinY, &w.MaxX, &w.MaxY); err != nil {
+			fmt.Fprintf(os.Stderr, "dsiquery: bad -win %q: %v\n", winSpec, err)
 			os.Exit(2)
 		}
-		ids, st := c.Window(w)
+		ids, st := sess.Window(w)
 		fmt.Printf("window %v: %d objects\n", w, len(ids))
 		printObjects(ds, ids, 10)
 		printStats(st)
 	case "knn":
-		q, ok := parsePoint(*qSpec)
+		q, ok := parsePoint(qSpec)
 		if !ok {
 			os.Exit(2)
 		}
 		s := dsi.Conservative
-		if *strat == "aggressive" {
+		if strat == "aggressive" {
 			s = dsi.Aggressive
 		}
-		ids, st := c.KNN(q, *k, s)
-		fmt.Printf("%dNN at %v (%s strategy):\n", *k, q, s)
-		printObjects(ds, ids, *k)
+		ids, st := sess.KNN(q, k, s)
+		fmt.Printf("%dNN at %v (%s strategy):\n", k, q, s)
+		printObjects(ds, ids, k)
 		printStats(st)
 	case "point":
-		q, ok := parsePoint(*qSpec)
+		q, ok := parsePoint(qSpec)
 		if !ok {
 			os.Exit(2)
 		}
-		id, found, st := c.Point(q)
+		id, found, st := sess.Point(q)
 		if found {
 			fmt.Printf("point %v: object %d\n", q, id)
 		} else {
@@ -120,7 +191,7 @@ func main() {
 		}
 		printStats(st)
 	default:
-		fmt.Fprintf(os.Stderr, "dsiquery: unknown mode %q\n", *mode)
+		fmt.Fprintf(os.Stderr, "dsiquery: unknown mode %q\n", mode)
 		os.Exit(2)
 	}
 }

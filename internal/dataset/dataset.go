@@ -60,6 +60,29 @@ type Dataset struct {
 // N returns the number of objects.
 func (d *Dataset) N() int { return len(d.Objects) }
 
+// Checksum returns an FNV-1a hash of the object cells in HC order.
+// Two datasets with equal checksums build identical indexes (the
+// build is a pure function of the cell sequence), so a network client
+// can verify its locally derived catalog matches the station's before
+// trusting any decoded pointer.
+func (d *Dataset) Checksum() uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	mix(uint64(d.Curve.Order()))
+	for i := range d.Objects {
+		mix(uint64(d.Objects[i].P.X))
+		mix(uint64(d.Objects[i].P.Y))
+	}
+	return h
+}
+
 // MinOrderFor returns the smallest curve order whose grid has at least
 // slack*n cells, so that n distinct cells can be occupied with room to
 // spare. The paper picks the curve order from the object density the

@@ -1,14 +1,16 @@
-// The event-driven replay engine. A population of simulated clients —
-// each a (query, tune-in slot) pair derived deterministically from its
-// client id — replays against one shared immutable air snapshot (the
-// testbed arm). Workers own contiguous client-id ranges; within a
-// range, clients are ordered on the slot clock by a calendar/bucket
-// queue over their tune-in slots and each activation runs its query to
-// completion through a flat receiver that skips between tune-in slots
-// with batched arithmetic (broadcast clients never interact, so
-// slot-clock order is a locality choice, not a correctness one —
-// which is exactly why replay is deterministic at any parallelism:
-// every client's outcome is a function of its id alone).
+// Package massive is the event-driven replay engine behind cmd/dsiload:
+// population-scale client replay against the broadcast organizations.
+// A population of simulated clients — each a (query, tune-in slot)
+// pair derived deterministically from its client id — replays against
+// one shared immutable air snapshot (the testbed arm). Workers own
+// contiguous client-id ranges; within a range, clients are ordered on
+// the slot clock by a calendar/bucket queue over their tune-in slots
+// and each activation runs its query to completion through a flat
+// receiver that skips between tune-in slots with batched arithmetic
+// (broadcast clients never interact, so slot-clock order is a locality
+// choice, not a correctness one — which is exactly why replay is
+// deterministic at any parallelism: every client's outcome is a
+// function of its id alone).
 //
 // Durable per-client state is three packed result columns plus the
 // queue link — 14 bytes per client (StateBytesPerClient); the
@@ -16,8 +18,7 @@
 // session per worker, reset in O(facts learned) between clients. The
 // step-wise reference engine (RunReference) replays the identical
 // population through the tuner-stepping receivers; the equivalence
-// suite pins the two bit-identically per client.
-
+// suite (equivalence_test.go) pins the two bit-identically per client.
 package massive
 
 import (

@@ -1,0 +1,371 @@
+// Package netrecv is the client side of the network station: receivers
+// that implement dsi.Receiver over a real transport (HTTP chunked
+// streams, UDP unicast subscriptions, UDP multicast groups) instead of
+// an in-process packet source.
+//
+// The design inverts nothing above the transport. The station emits
+// position-stamped net frames (wire.NetFrame); a Feed reassembles them
+// into per-channel ring buffers and presents the result as a
+// station.PacketSource — the exact interface the in-process
+// WireReceiver and FECReceiver already decode from. All byte-level
+// machinery (index-table decoding, versioned directory adoption,
+// FEC recovery, phased re-tuning) therefore runs unchanged on top of a
+// network link, and a loss-free link is regression-enforced
+// bit-identical to in-process replay.
+//
+// Loss translates naturally: a UDP datagram that never arrives leaves
+// a hole in the ring; when the channel's high-water mark passes the
+// hole the Feed serves the zero packet with version 0, which the
+// decoding layer treats exactly like a simulator-injected slot loss —
+// and FEC recovers it the same way. A severed HTTP stream is a burst
+// of such holes between disconnect and reconnect; the absolute slot
+// clock is global, so reconnection needs no re-anchoring unless a
+// directory swap happened in the gap (the in-band control frames carry
+// the bump, and the standard Poll path adopts it).
+//
+// Invariants:
+//
+//   - Offer copies every payload: ring eviction never invalidates a
+//     slice an upper layer still aliases (the FEC receiver holds
+//     payload references for up to a cycle).
+//   - PacketAt never blocks forever in lossy mode: a slot is declared
+//     lost when the channel clock passes it, the global clock outruns
+//     it by LagSlack, the wait times out, or the feed closes.
+//   - In lossless mode (loopback regression tests) Offer blocks for
+//     ring space and PacketAt waits indefinitely, so the byte stream
+//     is consumed exactly once and in order, with TCP backpressure
+//     pacing the server.
+package netrecv
+
+import (
+	"sync"
+	"time"
+
+	"dsi/internal/obs"
+	"dsi/internal/station"
+	"dsi/internal/wire"
+)
+
+// reorderSlack is how many slots past a pending position the channel
+// clock may run before the position is declared lost — headroom for
+// datagram reordering without delaying loss detection noticeably.
+const reorderSlack = 16
+
+// Options tune a network receiver's feed and transport.
+type Options struct {
+	// RingSlots is the per-channel reassembly window (default 4096).
+	RingSlots int
+	// LagSlack declares a pending slot lost once the global high-water
+	// mark is this many slots past it (default RingSlots/2).
+	LagSlack int64
+	// WaitTimeout bounds the wall-clock wait for a slot that has not
+	// arrived (default 5s); on expiry the slot is served as lost.
+	WaitTimeout time.Duration
+	// Lossless switches the feed to the regression-test discipline:
+	// Offer blocks for ring space instead of evicting, and PacketAt
+	// never times a slot out. Use only with a Block-mode station.
+	Lossless bool
+	// DialTimeout bounds transport dials and the bootstrap fetch
+	// (default 5s).
+	DialTimeout time.Duration
+	// SSE subscribes an HTTP receiver via /v1/sse (base64 events)
+	// instead of the raw /v1/stream bytes.
+	SSE bool
+	// Registry, when set, registers the netrecv_* metric families.
+	Registry *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.RingSlots <= 0 {
+		o.RingSlots = 4096
+	}
+	if o.LagSlack <= 0 {
+		o.LagSlack = int64(o.RingSlots / 2)
+	}
+	if o.WaitTimeout <= 0 {
+		o.WaitTimeout = 5 * time.Second
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	return o
+}
+
+type feedEntry struct {
+	abs int64
+	ver uint32
+	set bool
+	pkt station.Packet
+}
+
+// Feed reassembles net frames into a station.PacketSource (and
+// station.FECSource): per-channel ring buffers over the absolute slot
+// clock plus the latest in-band control state.
+type Feed struct {
+	nch  int
+	ring int64
+	opt  Options
+	met  *obs.NetReceiverMetrics
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	entries [][]feedEntry
+	high    []int64 // per channel: highest offered abs + 1
+	highAll int64
+
+	dir     []byte
+	dirVer  uint32
+	desc    []byte
+	descVer uint32
+
+	// lastConsumed is the lossless-mode watermark: the highest abs the
+	// consumer has asked for, -1 before the first read. Offer blocks
+	// while a frame would land more than a ring ahead of it; the first
+	// data frame anchors an unset watermark so a receiver joining a
+	// long-running station does not deadlock its own stream.
+	lastConsumed int64
+
+	lost int64
+
+	closed bool
+}
+
+// NewFeed builds a feed for a broadcast of nch channels. met may be
+// nil.
+func NewFeed(nch int, opt Options, met *obs.NetReceiverMetrics) *Feed {
+	opt = opt.withDefaults()
+	f := &Feed{
+		nch:     nch,
+		ring:    int64(opt.RingSlots),
+		opt:     opt,
+		met:     met,
+		entries: make([][]feedEntry, nch),
+		high:    make([]int64, nch),
+	}
+	for ch := range f.entries {
+		f.entries[ch] = make([]feedEntry, opt.RingSlots)
+	}
+	f.lastConsumed = -1
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// Consumed returns the highest absolute slot the consumer has asked
+// for, -1 before the first read. Demand-paced emitters (tests) key off
+// it to stay a bounded distance ahead of the consumer.
+func (f *Feed) Consumed() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastConsumed
+}
+
+// LostSlots returns how many reads this feed has served as lost.
+func (f *Feed) LostSlots() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lost
+}
+
+// Close releases every waiter; pending and future reads serve losses.
+func (f *Feed) Close() {
+	f.mu.Lock()
+	f.closed = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// Live returns the absolute slot of the newest frame seen, or -1
+// before any frame has arrived.
+func (f *Feed) Live() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.highAll - 1
+}
+
+// Offer slots one decoded frame into the feed. Payload bytes are
+// copied, so the caller may reuse its read buffer.
+func (f *Feed) Offer(fr wire.NetFrame) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch fr.Kind {
+	case wire.NetDir:
+		if fr.Ver >= f.dirVer {
+			f.dir = append([]byte(nil), fr.Payload...)
+			f.dirVer = fr.Ver
+		}
+	case wire.NetFECDesc:
+		if fr.Ver >= f.descVer {
+			f.desc = append([]byte(nil), fr.Payload...)
+			f.descVer = fr.Ver
+		}
+	case wire.NetData:
+		ch := int(fr.Ch)
+		if ch < 0 || ch >= f.nch {
+			if f.met != nil {
+				f.met.Garbage.Inc()
+			}
+			f.cond.Broadcast()
+			return
+		}
+		if f.opt.Lossless {
+			if f.lastConsumed < 0 {
+				f.lastConsumed = fr.Abs
+			}
+			for !f.closed && fr.Abs >= f.lastConsumed+f.ring {
+				f.cond.Wait()
+			}
+			if f.closed {
+				return
+			}
+		}
+		e := &f.entries[ch][fr.Abs%f.ring]
+		if !e.set || e.abs < fr.Abs {
+			*e = feedEntry{
+				abs: fr.Abs,
+				ver: fr.Ver,
+				set: true,
+				pkt: station.Packet{
+					Ch:      uint8(ch),
+					Slot:    fr.Slot,
+					Flags:   fr.Flags,
+					Payload: append([]byte(nil), fr.Payload...),
+				},
+			}
+		}
+		if fr.Abs+1 > f.high[ch] {
+			f.high[ch] = fr.Abs + 1
+		}
+		if fr.Abs+1 > f.highAll {
+			f.highAll = fr.Abs + 1
+		}
+	}
+	if f.met != nil {
+		f.met.Frames.Inc()
+	}
+	f.cond.Broadcast()
+}
+
+// Consume parses as many complete frames as buf holds, offering each,
+// and returns the number of bytes consumed. A short tail is not an
+// error — the caller carries it into the next read. A malformed frame
+// is: the stream has desynced and the transport must reconnect.
+func (f *Feed) Consume(buf []byte) (int, error) {
+	at := 0
+	for at < len(buf) {
+		fr, n, err := wire.DecodeNetFrame(buf[at:])
+		if err == wire.ErrShortFrame {
+			break
+		}
+		if err != nil {
+			if f.met != nil {
+				f.met.Garbage.Inc()
+			}
+			return at, err
+		}
+		f.Offer(fr)
+		at += n
+	}
+	return at, nil
+}
+
+// PacketAt implements station.PacketSource: the frame broadcast on
+// channel ch at absolute slot abs, waiting for it to arrive when it is
+// still in flight. A lost slot is the zero packet with version 0,
+// which the decoding layer counts as channel loss.
+func (f *Feed) PacketAt(ch int, abs int64) (station.Packet, uint32) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch < 0 || ch >= f.nch || abs < 0 {
+		return station.Packet{}, 0
+	}
+	if abs > f.lastConsumed {
+		f.lastConsumed = abs
+		f.cond.Broadcast() // lossless Offer may be waiting for ring space
+	}
+	var timedOut bool
+	var tm *time.Timer
+	defer func() {
+		if tm != nil {
+			tm.Stop()
+		}
+	}()
+	for {
+		e := &f.entries[ch][abs%f.ring]
+		if e.set && e.abs == abs {
+			return e.pkt, e.ver
+		}
+		lost := f.closed ||
+			(e.set && e.abs > abs) // evicted: the window moved past
+		if !f.opt.Lossless {
+			lost = lost ||
+				f.high[ch] > abs+reorderSlack ||
+				f.highAll > abs+f.opt.LagSlack ||
+				timedOut
+		}
+		if lost {
+			f.lost++
+			if f.met != nil {
+				f.met.LostSlots.Inc()
+			}
+			return station.Packet{}, 0
+		}
+		if tm == nil && !f.opt.Lossless {
+			tm = time.AfterFunc(f.opt.WaitTimeout, func() {
+				f.mu.Lock()
+				timedOut = true
+				f.cond.Broadcast()
+				f.mu.Unlock()
+			})
+		}
+		f.cond.Wait()
+	}
+}
+
+// DirectoryAt implements station.PacketSource: the newest in-band
+// directory, nil with version 0 before one has arrived.
+func (f *Feed) DirectoryAt(int64) ([]byte, uint32) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dir, f.dirVer
+}
+
+// FECDescAt implements station.FECSource: the newest in-band FEC
+// descriptor, nil with version 0 before one has arrived.
+func (f *Feed) FECDescAt(int64) ([]byte, uint32) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.desc, f.descVer
+}
+
+// WaitLive blocks until at least one data frame has arrived and
+// returns its absolute slot, or false on timeout / close.
+func (f *Feed) WaitLive(timeout time.Duration) (int64, bool) {
+	return f.waitFor(timeout, func() bool { return f.highAll > 0 })
+}
+
+// WaitFEC blocks until an FEC descriptor control frame has arrived and
+// returns the live slot, or false on timeout / close.
+func (f *Feed) WaitFEC(timeout time.Duration) (int64, bool) {
+	return f.waitFor(timeout, func() bool { return f.desc != nil })
+}
+
+func (f *Feed) waitFor(timeout time.Duration, ready func() bool) (int64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var timedOut bool
+	tm := time.AfterFunc(timeout, func() {
+		f.mu.Lock()
+		timedOut = true
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	})
+	defer tm.Stop()
+	for !ready() {
+		if f.closed || timedOut {
+			return 0, false
+		}
+		f.cond.Wait()
+	}
+	return f.highAll - 1, true
+}

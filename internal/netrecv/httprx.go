@@ -1,0 +1,142 @@
+// The HTTP transports: a chunked binary stream of net frames
+// (/v1/stream) or its Server-Sent-Events wrapping (/v1/sse, base64
+// data lines for proxies that mangle binary bodies). TCP makes a live
+// stream lossless; a severed stream is reconnected with exponential
+// backoff, and the slots broadcast during the gap surface as ordinary
+// channel losses — the absolute slot clock is global, so no
+// re-anchoring is needed beyond what a directory swap in the gap
+// already triggers through the in-band control frames.
+
+package netrecv
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/base64"
+	"net/http"
+	"time"
+
+	"dsi/internal/obs"
+)
+
+// HTTPReceiver is a dsi.Receiver fed from a station's HTTP stream.
+type HTTPReceiver struct {
+	Receiver
+}
+
+// NewHTTPReceiver bootstraps (or reuses) a catalog and subscribes to
+// the station's chunked frame stream. cat may be nil to bootstrap from
+// baseURL/v1/meta. Set opt.SSE to subscribe via /v1/sse instead.
+func NewHTTPReceiver(baseURL string, cat *Catalog, opt Options) (*HTTPReceiver, error) {
+	opt = opt.withDefaults()
+	if cat == nil {
+		var err error
+		if cat, err = Bootstrap(baseURL, opt); err != nil {
+			return nil, err
+		}
+	}
+	met := obs.NewNetReceiverMetrics(opt.Registry, "http")
+	feed := NewFeed(cat.Lay.Channels(), opt, met)
+	ctx, cancel := context.WithCancel(context.Background())
+	h := &HTTPReceiver{Receiver: Receiver{feed: feed, met: met, cancel: cancel}}
+	go h.streamLoop(ctx, baseURL, opt)
+	dec, err := newDecoder(cat, feed, opt)
+	if err != nil {
+		h.Close()
+		return nil, err
+	}
+	h.Receiver.Receiver = dec
+	return h, nil
+}
+
+// streamLoop keeps one subscription alive for the receiver's lifetime,
+// reconnecting with exponential backoff after any transport failure.
+func (h *HTTPReceiver) streamLoop(ctx context.Context, baseURL string, opt Options) {
+	path := "/v1/stream"
+	if opt.SSE {
+		path = "/v1/sse"
+	}
+	backoff := 50 * time.Millisecond
+	first := true
+	for ctx.Err() == nil {
+		if !first {
+			h.reconnects.Add(1)
+			if h.met != nil {
+				h.met.Reconnects.Inc()
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+		}
+		first = false
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+path, nil)
+		if err != nil {
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			continue
+		}
+		if opt.SSE {
+			h.drainSSE(resp)
+		} else {
+			h.drainStream(resp)
+		}
+		resp.Body.Close()
+		backoff = 50 * time.Millisecond
+	}
+}
+
+// drainStream feeds the raw byte stream until it breaks, carrying
+// partial frames across reads.
+func (h *HTTPReceiver) drainStream(resp *http.Response) {
+	buf := make([]byte, 64<<10)
+	var carry []byte
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			carry = append(carry, buf[:n]...)
+			used, cerr := h.feed.Consume(carry)
+			carry = append(carry[:0], carry[used:]...)
+			if cerr != nil {
+				return // desynced: tear down, reconnect clean
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// drainSSE feeds the event stream until it breaks. Only the data lines
+// matter; each carries one whole batch, so no carry is needed.
+func (h *HTTPReceiver) drainSSE(resp *http.Response) {
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if !bytes.HasPrefix(line, []byte("data: ")) {
+			continue
+		}
+		raw, err := base64.StdEncoding.DecodeString(string(line[len("data: "):]))
+		if err != nil {
+			if h.met != nil {
+				h.met.Garbage.Inc()
+			}
+			return
+		}
+		if _, err := h.feed.Consume(raw); err != nil {
+			return
+		}
+	}
+}

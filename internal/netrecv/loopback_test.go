@@ -1,0 +1,528 @@
+// Loopback regression: the acceptance contract of the network layer.
+// Queries answered through a real transport (HTTP chunked stream, UDP
+// datagrams) over a loss-free loopback link must be bit-identical —
+// same result IDs, same slot-level cost stats — to the same queries
+// answered through the in-process WireReceiver/FECReceiver over the
+// same transmitter. The transport may add wall-clock time, never
+// broadcast-clock cost.
+
+package netrecv_test
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dsi/internal/dataset"
+	"dsi/internal/dsi"
+	"dsi/internal/netrecv"
+	"dsi/internal/netsrv"
+	"dsi/internal/spatial"
+	"dsi/internal/station"
+	"dsi/internal/wire"
+)
+
+func quarterBounds(nf int) []int { return []int{0, nf / 4, nf / 2, nf} }
+func skewedBounds(nf int) []int  { return []int{0, nf / 8, 7 * nf / 8, nf} }
+
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func xorCode() wire.FECConfig {
+	return wire.FECConfig{
+		Table:  wire.FECCode{Groups: 1, Parity: 1},
+		Object: wire.FECCode{Groups: 4, Parity: 1},
+	}
+}
+
+// netTestBed builds the sharded broadcast the suite streams: uniform
+// dataset, multi-channel-pointer tables, four channels.
+func netTestBed(t testing.TB, n int, seed int64) (*dataset.Dataset, *dsi.Index, *dsi.Layout) {
+	t.Helper()
+	ds := dataset.Uniform(n, 7, seed)
+	x, err := dsi.Build(ds, dsi.Config{Capacity: 64, ReserveMCPtr: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := dsi.NewLayout(x, dsi.MultiConfig{
+		Channels: 4, Scheduler: dsi.SchedShard, SwitchSlots: 2, ShardBounds: quarterBounds(x.NF),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, x, lay
+}
+
+// metaFor writes the catalog document for a netTestBed station.
+func metaFor(t testing.TB, ds *dataset.Dataset, n int, seed int64, lay *dsi.Layout, fec wire.FECConfig) wire.StationMeta {
+	t.Helper()
+	m := wire.StationMeta{
+		Dataset:      wire.StationDataset{Kind: "uniform", N: n, Order: 7, Seed: seed, Sum: ds.Checksum()},
+		Capacity:     64,
+		ReserveMCPtr: true,
+		Channels:     lay.Channels(),
+		Scheduler:    "shard",
+		SwitchSlots:  2,
+		ShardBounds:  lay.ShardBounds(),
+		Version:      1,
+	}
+	if fec.Enabled() {
+		desc, err := wire.EncodeFECDesc(fec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.FECDesc = desc
+	}
+	return m
+}
+
+// startBlockStation runs a lossless (Block-mode) station over src and
+// returns its base URL.
+func startBlockStation(t testing.TB, src station.PacketSource, lay *dsi.Layout, meta wire.StationMeta, tick func(int64)) string {
+	t.Helper()
+	srv, err := netsrv.New(netsrv.Config{
+		Source: src, Layout: lay, Meta: meta, CtrlEvery: 64, Block: true, Tick: tick,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { _ = srv.Run(ctx) }()
+	hts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		cancel()
+		hts.CloseClientConnections()
+		hts.Close()
+	})
+	return hts.URL
+}
+
+// losslessOpts is the regression-test feed discipline: blocking ring,
+// no timeouts, a window deep enough that a whole query's working set
+// stays resident.
+func losslessOpts() netrecv.Options {
+	return netrecv.Options{Lossless: true, RingSlots: 1 << 14}
+}
+
+// runBitIdentical drives interleaved window and kNN queries through
+// both sessions at the same ascending probe slots and requires equal
+// IDs and equal stats on every trial.
+func runBitIdentical(t *testing.T, ds *dataset.Dataset, netSess, refSess *dsi.Session, startSlot int64, lay *dsi.Layout, trials int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	side := int(ds.Curve.Side())
+	step := int64(12 * lay.ProbeCycle())
+	for trial := 0; trial < trials; trial++ {
+		probe := startSlot + int64(trial)*step + rng.Int63n(int64(lay.ProbeCycle()))
+		netSess.Tune(probe, nil)
+		refSess.Tune(probe, nil)
+		if trial%3 == 2 {
+			q := spatial.Point{X: uint32(rng.Intn(side)), Y: uint32(rng.Intn(side))}
+			k := 1 + rng.Intn(6)
+			wantIDs, wantSt := refSess.KNN(q, k, dsi.Conservative)
+			gotIDs, gotSt := netSess.KNN(q, k, dsi.Conservative)
+			if !equalIDs(gotIDs, wantIDs) || gotSt != wantSt {
+				t.Fatalf("trial %d: net kNN (%v,%+v) != local (%v,%+v)", trial, gotIDs, gotSt, wantIDs, wantSt)
+			}
+		} else {
+			w := spatial.ClampedWindow(uint32(rng.Intn(side)), uint32(rng.Intn(side)), 30, ds.Curve.Side())
+			wantIDs, wantSt := refSess.Window(w)
+			gotIDs, gotSt := netSess.Window(w)
+			if !equalIDs(gotIDs, wantIDs) || gotSt != wantSt {
+				t.Fatalf("trial %d: net window (%v,%+v) != local (%v,%+v)", trial, gotIDs, gotSt, wantIDs, wantSt)
+			}
+		}
+	}
+}
+
+// TestHTTPReceiverBitIdenticalLoopback is the tentpole regression:
+// window and kNN suites through an HTTP network receiver over a
+// loss-free loopback stream are bit-identical to the in-process
+// WireReceiver over the same transmitter.
+func TestHTTPReceiverBitIdenticalLoopback(t *testing.T) {
+	const n, seed = 240, 1201
+	ds, x, lay := netTestBed(t, n, seed)
+	mt, err := station.NewMultiTransmitter(lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := startBlockStation(t, mt, lay, metaFor(t, ds, n, seed, lay, wire.FECConfig{}), nil)
+
+	cat, err := netrecv.Bootstrap(url, netrecv.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.X.NF != x.NF || cat.Lay.ShardBounds()[1] != lay.ShardBounds()[1] {
+		t.Fatalf("bootstrap rebuilt a different catalog: NF=%d bounds=%v", cat.X.NF, cat.Lay.ShardBounds())
+	}
+	rx, err := netrecv.NewHTTPReceiver(url, cat, losslessOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	netSess, err := dsi.Open(cat.X, dsi.WithReceiver(rx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := station.NewWireReceiver(lay, 1, mt, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSess, err := dsi.Open(x, dsi.WithReceiver(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBitIdentical(t, ds, netSess, refSess, rx.LiveSlot()+1, lay, 9)
+	if lost := rx.Feed().LostSlots(); lost != 0 {
+		t.Fatalf("lossless loopback stream declared %d lost slots", lost)
+	}
+}
+
+// TestHTTPReceiverSSEBitIdentical runs the same regression over the
+// Server-Sent-Events wrapping of the stream.
+func TestHTTPReceiverSSEBitIdentical(t *testing.T) {
+	const n, seed = 200, 1301
+	ds, x, lay := netTestBed(t, n, seed)
+	mt, err := station.NewMultiTransmitter(lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := startBlockStation(t, mt, lay, metaFor(t, ds, n, seed, lay, wire.FECConfig{}), nil)
+	opt := losslessOpts()
+	opt.SSE = true
+	rx, err := netrecv.NewHTTPReceiver(url, nil, opt) // nil catalog: bootstrap inside
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	netSess, err := dsi.Open(rx.Layout().X, dsi.WithReceiver(rx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := station.NewWireReceiver(lay, 1, mt, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSess, err := dsi.Open(x, dsi.WithReceiver(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBitIdentical(t, ds, netSess, refSess, rx.LiveSlot()+1, lay, 6)
+}
+
+// TestHTTPReceiverFECBitIdentical streams a coded broadcast: the
+// network receiver must build the FEC decode path from the in-band
+// descriptor and stay bit-identical to the in-process FECReceiver.
+func TestHTTPReceiverFECBitIdentical(t *testing.T) {
+	const n, seed = 220, 1409
+	ds, x, lay := netTestBed(t, n, seed)
+	cfg := xorCode()
+	mt, err := station.NewMultiTransmitterFEC(lay, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := startBlockStation(t, mt, lay, metaFor(t, ds, n, seed, lay, cfg), nil)
+	cat, err := netrecv.Bootstrap(url, netrecv.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cat.FEC.Enabled() {
+		t.Fatal("bootstrap lost the FEC code")
+	}
+	rx, err := netrecv.NewHTTPReceiver(url, cat, losslessOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	netSess, err := dsi.Open(cat.X, dsi.WithReceiver(rx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := station.NewFECReceiver(lay, 1, mt, cfg, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSess, err := dsi.Open(x, dsi.WithReceiver(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBitIdentical(t, ds, netSess, refSess, rx.LiveSlot()+1, lay, 6)
+}
+
+// TestUDPReceiverLoopback answers queries through a real paced UDP
+// subscription. Loopback datagrams are not guaranteed delivered, so
+// each trial that experienced zero feed losses must be bit-identical
+// to the in-process receiver; lossy trials (rare, load-dependent) are
+// skipped rather than compared.
+func TestUDPReceiverLoopback(t *testing.T) {
+	const n, seed = 200, 1501
+	ds, x, lay := netTestBed(t, n, seed)
+	mt, err := station.NewMultiTransmitter(lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := netsrv.New(netsrv.Config{
+		Source: mt, Layout: lay,
+		Meta:        metaFor(t, ds, n, seed, lay, wire.FECConfig{}),
+		SlotsPerSec: 20000, CtrlEvery: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, err := srv.ServeUDP(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Run(ctx) }()
+
+	cat, err := netrecv.BuildCatalog(metaFor(t, ds, n, seed, lay, wire.FECConfig{}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := netrecv.NewUDPReceiver(addr, -1, cat, netrecv.Options{RingSlots: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	netSess, err := dsi.Open(cat.X, dsi.WithReceiver(rx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := station.NewWireReceiver(lay, 1, mt, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSess, err := dsi.Open(x, dsi.WithReceiver(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(17))
+	side := int(ds.Curve.Side())
+	clean := 0
+	for trial := 0; trial < 6; trial++ {
+		probe := rx.LiveSlot()
+		if probe < 0 {
+			t.Fatal("no live slot heard over UDP")
+		}
+		lostBefore := rx.Feed().LostSlots()
+		netSess.Tune(probe, nil)
+		refSess.Tune(probe, nil)
+		w := spatial.ClampedWindow(uint32(rng.Intn(side)), uint32(rng.Intn(side)), 30, ds.Curve.Side())
+		gotIDs, gotSt := netSess.Window(w)
+		wantIDs, wantSt := refSess.Window(w)
+		if rx.Feed().LostSlots() != lostBefore {
+			t.Logf("trial %d: datagram loss on loopback, skipping comparison", trial)
+			continue
+		}
+		if !equalIDs(gotIDs, wantIDs) || gotSt != wantSt {
+			t.Fatalf("trial %d: udp window (%v,%+v) != local (%v,%+v)", trial, gotIDs, gotSt, wantIDs, wantSt)
+		}
+		clean++
+	}
+	if clean == 0 {
+		t.Fatal("every UDP trial lost datagrams on loopback; nothing was verified")
+	}
+}
+
+// TestSeamSwapMidQueryOverNetwork stages a live shard-directory swap
+// while a network client is querying: the versioned directory rides
+// the in-band control frames, the client adopts version 2 mid-stream
+// with zero client changes, and every answer stays exact.
+func TestSeamSwapMidQueryOverNetwork(t *testing.T) {
+	const n, seed = 240, 1601
+	ds, x, lay0 := netTestBed(t, n, seed)
+	lay1, err := dsi.NewLayout(x, dsi.MultiConfig{
+		Channels: 4, Scheduler: dsi.SchedShard, SwitchSlots: 2, ShardBounds: skewedBounds(x.NF),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := station.NewRebroadcaster(lay0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := startBlockStation(t, rb, lay0, metaFor(t, ds, n, seed, lay0, wire.FECConfig{}),
+		func(abs int64) { rb.Commit(abs) })
+
+	cat, err := netrecv.Bootstrap(url, netrecv.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := netrecv.NewHTTPReceiver(url, cat, losslessOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	sess, err := dsi.Open(cat.X, dsi.WithReceiver(rx))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	side := int(ds.Curve.Side())
+	query := func() {
+		t.Helper()
+		sess.Tune(rx.LiveSlot()+1, nil)
+		w := spatial.ClampedWindow(uint32(rng.Intn(side)), uint32(rng.Intn(side)), 45, ds.Curve.Side())
+		got, _ := sess.Window(w)
+		want := ds.WindowBrute(w)
+		if !equalIDs(got, want) {
+			t.Fatalf("window returned %d objects, want %d", len(got), len(want))
+		}
+	}
+	query() // version 1, pre-swap
+	if _, err := rb.Stage(lay1, rx.LiveSlot()+1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24 && rx.DirVersion() != 2; i++ {
+		query() // queries cross the seam; polls adopt the bump
+	}
+	if rx.DirVersion() != 2 {
+		t.Fatalf("network client never adopted the swapped directory (still v%d)", rx.DirVersion())
+	}
+	query() // version 2, post-swap
+}
+
+// TestStaleTuneInOverNetwork tunes a client whose catalog is one
+// directory version behind the live daemon: every payload is initially
+// undecodable, the current directory arrives in-band, and queries
+// converge on the new schedule with exact results.
+func TestStaleTuneInOverNetwork(t *testing.T) {
+	const n, seed = 240, 1701
+	ds, x, lay0 := netTestBed(t, n, seed)
+	lay1, err := dsi.NewLayout(x, dsi.MultiConfig{
+		Channels: 4, Scheduler: dsi.SchedShard, SwitchSlots: 2, ShardBounds: skewedBounds(x.NF),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := station.NewRebroadcaster(lay0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seam, err := rb.Stage(lay1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := seam
+	for ch := 0; ch < lay0.Channels(); ch++ {
+		if s, ok := rb.SeamOf(ch); ok && s > horizon {
+			horizon = s
+		}
+	}
+	if !rb.Commit(horizon) {
+		t.Fatal("commit refused past every seam")
+	}
+	// The air is now fully version 2; the client below bootstraps from
+	// a stale version-1 document on purpose.
+	url := startBlockStation(t, rb, lay0, metaFor(t, ds, n, seed, lay0, wire.FECConfig{}), nil)
+	cat, err := netrecv.BuildCatalog(metaFor(t, ds, n, seed, lay0, wire.FECConfig{}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := netrecv.NewHTTPReceiver(url, cat, losslessOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	sess, err := dsi.Open(cat.X, dsi.WithReceiver(rx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	side := int(ds.Curve.Side())
+	for trial := 0; trial < 4; trial++ {
+		sess.Tune(rx.LiveSlot()+1, nil)
+		w := spatial.ClampedWindow(uint32(rng.Intn(side)), uint32(rng.Intn(side)), 45, ds.Curve.Side())
+		got, _ := sess.Window(w)
+		want := ds.WindowBrute(w)
+		if !equalIDs(got, want) {
+			t.Fatalf("trial %d: stale tune-in returned %d objects, want %d", trial, len(got), len(want))
+		}
+	}
+	if rx.DirVersion() != 2 {
+		t.Fatalf("stale client never converged on the live directory (still v%d)", rx.DirVersion())
+	}
+}
+
+// TestSeveredStreamReconnects cuts every client connection of a paced
+// station mid-cycle: the receiver must reconnect on its own, the gap
+// surfaces as ordinary losses, and queries before and after the cut
+// answer exactly.
+func TestSeveredStreamReconnects(t *testing.T) {
+	const n, seed = 200, 1801
+	ds, x, lay := netTestBed(t, n, seed)
+	mt, err := station.NewMultiTransmitter(lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := netsrv.New(netsrv.Config{
+		Source: mt, Layout: lay,
+		Meta:        metaFor(t, ds, n, seed, lay, wire.FECConfig{}),
+		SlotsPerSec: 20000, CtrlEvery: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = srv.Run(ctx) }()
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+	_ = x
+
+	cat, err := netrecv.Bootstrap(hts.URL, netrecv.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := netrecv.NewHTTPReceiver(hts.URL, cat, netrecv.Options{RingSlots: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	sess, err := dsi.Open(cat.X, dsi.WithReceiver(rx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	side := int(ds.Curve.Side())
+	query := func(tag string) {
+		t.Helper()
+		sess.Tune(rx.LiveSlot(), nil)
+		w := spatial.ClampedWindow(uint32(rng.Intn(side)), uint32(rng.Intn(side)), 40, ds.Curve.Side())
+		got, _ := sess.Window(w)
+		want := ds.WindowBrute(w)
+		if !equalIDs(got, want) {
+			t.Fatalf("%s: window returned %d objects, want %d", tag, len(got), len(want))
+		}
+	}
+	query("pre-cut")
+	before := rx.LiveSlot()
+	hts.CloseClientConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for rx.Reconnects() == 0 || rx.LiveSlot() <= before {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream did not recover: reconnects=%d live=%d (was %d)",
+				rx.Reconnects(), rx.LiveSlot(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	query("post-cut")
+	if rx.Reconnects() == 0 {
+		t.Fatal("no reconnect was counted")
+	}
+}

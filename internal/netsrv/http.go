@@ -1,0 +1,187 @@
+// The HTTP transports: /v1/meta serves the catalog document, /v1/stream
+// serves the raw net-frame byte stream over chunked transfer encoding,
+// and /v1/sse wraps the same bytes in Server-Sent Events (base64 data
+// lines) for clients behind proxies that mangle binary streams. When a
+// registry is configured the handler also carries /metrics and
+// /debug/pprof.
+
+package netsrv
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"dsi/internal/obs"
+)
+
+// streamQueueDepth bounds how many flushes a lagging subscriber may
+// fall behind before whole batches are dropped (or, in Block mode, the
+// broadcast stalls).
+const streamQueueDepth = 32
+
+// streamConn is one live HTTP subscription: a bounded queue of flushes
+// the pacer publishes into and the writer goroutine drains.
+type streamConn struct {
+	q    chan flushSet
+	done chan struct{}
+	ch   int // -1 subscribes to every channel
+}
+
+// Handler returns the station's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	var mux *http.ServeMux
+	if s.cfg.Registry != nil {
+		mux = obs.NewMux(s.cfg.Registry)
+	} else {
+		mux = http.NewServeMux()
+	}
+	mux.HandleFunc("/v1/meta", s.handleMeta)
+	mux.HandleFunc("/v1/stream", s.handleStream)
+	mux.HandleFunc("/v1/sse", s.handleSSE)
+	return mux
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.meta())
+}
+
+// parseCh reads the optional ?ch= selector: a single channel, or every
+// channel when absent.
+func (s *Server) parseCh(r *http.Request) (int, error) {
+	v := r.URL.Query().Get("ch")
+	if v == "" {
+		return -1, nil
+	}
+	ch, err := strconv.Atoi(v)
+	if err != nil || ch < 0 || ch >= s.nch {
+		return 0, fmt.Errorf("channel %q out of range [0,%d)", v, s.nch)
+	}
+	return ch, nil
+}
+
+// subscribe registers a stream connection with the pacer and returns
+// its unregister func. The initial control snapshot is queued as the
+// first flush so the subscription opens with the live directory and
+// FEC descriptor.
+func (s *Server) subscribe(ch int) (*streamConn, func()) {
+	c := &streamConn{
+		q:    make(chan flushSet, streamQueueDepth),
+		done: make(chan struct{}),
+		ch:   ch,
+	}
+	c.q <- flushSet{batches: []slotBatch{s.ctrlSnapshot()}}
+	s.mu.Lock()
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	s.httpMet.ConnOpened()
+	return c, func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		close(c.done)
+		s.httpMet.ConnClosed()
+	}
+}
+
+// emit writes one batch to the subscriber and books the emission
+// metrics. A ch of -1 (the control snapshot) books bytes to channel 0.
+func (s *Server) emit(w http.ResponseWriter, b slotBatch) error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	if _, err := w.Write(b.buf); err != nil {
+		return err
+	}
+	s.bookEmit(s.httpMet, b)
+	return nil
+}
+
+func (s *Server) bookEmit(met *obs.NetStationMetrics, b slotBatch) {
+	if met == nil {
+		return
+	}
+	ch := b.ch
+	if ch < 0 {
+		ch = 0
+	}
+	met.BytesEmitted(ch, len(b.buf))
+	met.Frames.Add(int64(b.frames))
+	met.CtrlFrames.Add(int64(b.ctrl))
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	ch, err := s.parseCh(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	c, unsub := s.subscribe(ch)
+	defer unsub()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case fs := <-c.q:
+			for _, b := range fs.batches {
+				if c.ch >= 0 && b.ch >= 0 && b.ch != c.ch {
+					continue
+				}
+				if err := s.emit(w, b); err != nil {
+					return
+				}
+			}
+			fl.Flush()
+		}
+	}
+}
+
+func (s *Server) handleSSE(w http.ResponseWriter, r *http.Request) {
+	ch, err := s.parseCh(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	c, unsub := s.subscribe(ch)
+	defer unsub()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case fs := <-c.q:
+			for _, b := range fs.batches {
+				if c.ch >= 0 && b.ch >= 0 && b.ch != c.ch {
+					continue
+				}
+				if len(b.buf) == 0 {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "event: frames\ndata: %s\n\n",
+					base64.StdEncoding.EncodeToString(b.buf)); err != nil {
+					return
+				}
+				s.bookEmit(s.httpMet, b)
+			}
+			fl.Flush()
+		}
+	}
+}

@@ -1,0 +1,347 @@
+// Package netsrv is the transmit side of the broadcast station as a
+// network service: it walks a station.PacketSource on a paced absolute
+// slot clock and emits every packet as a position-stamped net frame
+// (wire.NetFrame) over real transports — HTTP chunked streams (and an
+// SSE variant) for firewall-friendly reliable delivery, UDP unicast
+// with a datagram subscribe protocol, and UDP multicast groups (one
+// group per broadcast channel) for the true shared-medium metaphor.
+//
+// Invariants the receiving side (internal/netrecv) relies on:
+//
+//   - The absolute slot clock is global across channels and never goes
+//     backwards: at slot abs, every channel's packet for abs is emitted
+//     before any packet for abs+1. Receivers therefore treat the
+//     stream's high-water mark as the live clock.
+//   - One UDP datagram carries exactly one frame, so transport loss is
+//     slot-granular — the loss model the FEC framing was built for.
+//     HTTP streams concatenate frames; TCP makes them lossless but a
+//     severed stream loses the gap between disconnect and reconnect.
+//   - The versioned shard directory and FEC descriptor ride in-band:
+//     at the head of every new subscription and every CtrlEvery slots
+//     thereafter, each channel's stream carries NetDir/NetFECDesc
+//     control frames sampled from the source at the emission slot.
+//     A receiver that tunes in stale or reconnects across a seam swap
+//     learns the bump from these frames alone.
+//   - The emitted bytes are exactly what the in-process PacketSource
+//     serves: a loss-free network link is bit-identical to reading the
+//     source directly (regression-enforced in netrecv's tests).
+//
+// The server never blocks the slot clock on a slow consumer (except in
+// the test-only Block mode): HTTP subscribers that cannot drain their
+// batch queue lose whole batches (counted), exactly like a radio that
+// drifted off frequency.
+package netsrv
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsi/internal/dsi"
+	"dsi/internal/obs"
+	"dsi/internal/station"
+	"dsi/internal/wire"
+)
+
+// Config assembles a network station over a packet source.
+type Config struct {
+	// Source is the broadcast being served; it may additionally
+	// implement station.FECSource (coded stations) and expose
+	// Layout()/Version() (the Rebroadcaster) for live meta sampling.
+	Source station.PacketSource
+	// Layout is the channel layout the source transmits (its initial
+	// layout for a Rebroadcaster).
+	Layout *dsi.Layout
+	// Meta is the catalog document served at /v1/meta; the live fields
+	// (Version, FECDesc, Now, SlotsPerSec, CtrlEvery, UDP, Multicast)
+	// are overwritten at serving time.
+	Meta wire.StationMeta
+	// SlotsPerSec paces the slot clock; <= 0 streams flat out (tests).
+	SlotsPerSec int
+	// CtrlEvery is the control-frame cadence in slots (default 256).
+	CtrlEvery int
+	// Registry, when set, registers the station_net_* families and
+	// mounts /metrics + /debug/pprof on the handler.
+	Registry *obs.Registry
+	// Tick, when set, runs once per flush with the next slot to be
+	// emitted — the hook a daemon uses to drive Rebroadcaster commits.
+	Tick func(abs int64)
+	// Block makes publishing block on slow subscribers instead of
+	// dropping batches: lossless end-to-end delivery for regression
+	// tests. Never enable it on a real daemon — one stuck client
+	// would stall the broadcast for everyone.
+	Block bool
+}
+
+// Server is a running network station: one pacer goroutine emitting
+// the slot clock, plus per-subscriber writer goroutines.
+type Server struct {
+	cfg  Config
+	src  station.PacketSource
+	fsrc station.FECSource // nil for uncoded sources
+	lay  *dsi.Layout
+	nch  int
+	ctrl int
+
+	httpMet  *obs.NetStationMetrics
+	udpMet   *obs.NetStationMetrics
+	mcastMet *obs.NetStationMetrics
+
+	abs atomic.Int64
+
+	mu    sync.Mutex
+	conns map[*streamConn]struct{}
+
+	udp *udpEmitter // nil until ServeUDP
+
+	mcastAddrs []string // advertised base, set by EnableMulticast
+}
+
+// slotBatch is one flush's frames for one channel: concatenated
+// encoded frames plus the end offset of each (for datagram emission,
+// which sends exactly one frame per datagram) and the frame counts for
+// the emission metrics.
+type slotBatch struct {
+	ch     int
+	buf    []byte
+	bounds []int
+	frames int // data frames in buf
+	ctrl   int // control frames in buf
+}
+
+// flushSet is everything one pacer flush emitted, shared read-only by
+// every subscriber writer.
+type flushSet struct {
+	batches []slotBatch
+}
+
+// New assembles a server over the source. The layout must match the
+// source's channel geometry.
+func New(cfg Config) (*Server, error) {
+	if cfg.Source == nil || cfg.Layout == nil {
+		return nil, fmt.Errorf("netsrv: source and layout are required")
+	}
+	if cfg.CtrlEvery <= 0 {
+		cfg.CtrlEvery = 256
+	}
+	s := &Server{
+		cfg:   cfg,
+		src:   cfg.Source,
+		lay:   cfg.Layout,
+		nch:   cfg.Layout.Channels(),
+		ctrl:  cfg.CtrlEvery,
+		conns: make(map[*streamConn]struct{}),
+	}
+	if f, ok := cfg.Source.(station.FECSource); ok {
+		s.fsrc = f
+	}
+	s.httpMet = obs.NewNetStationMetrics(cfg.Registry, "http", s.nch)
+	return s, nil
+}
+
+// Now returns the absolute slot the pacer will emit next — the live
+// edge of the broadcast.
+func (s *Server) Now() int64 { return s.abs.Load() }
+
+func (s *Server) hasConns() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns) > 0
+}
+
+// Run drives the slot clock until the context is cancelled. It never
+// returns another error: transport failures affect individual
+// subscribers, not the broadcast.
+func (s *Server) Run(ctx context.Context) error {
+	rate := s.cfg.SlotsPerSec
+	batchSlots := 64
+	var tick *time.Ticker
+	if rate > 0 {
+		batchSlots = rate / 200
+		if batchSlots < 1 {
+			batchSlots = 1
+		}
+		if batchSlots > 4096 {
+			batchSlots = 4096
+		}
+		tick = time.NewTicker(time.Duration(batchSlots) * time.Second / time.Duration(rate))
+		defer tick.Stop()
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		default:
+		}
+		// A lossless station without subscribers must not burn the
+		// clock: the whole point of Block mode is that every emitted
+		// slot is consumed exactly once.
+		for s.cfg.Block && !s.hasConns() {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(time.Millisecond):
+			}
+		}
+		if s.cfg.Tick != nil {
+			s.cfg.Tick(s.abs.Load())
+		}
+		fs := s.buildFlush(batchSlots)
+		s.publish(ctx, fs)
+		if tick != nil {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-tick.C:
+			}
+		}
+	}
+}
+
+// buildFlush encodes the next batchSlots slots of every channel,
+// splicing control frames in at the cadence boundaries, and advances
+// the published clock.
+func (s *Server) buildFlush(batchSlots int) flushSet {
+	fs := flushSet{batches: make([]slotBatch, s.nch)}
+	for ch := range fs.batches {
+		fs.batches[ch].ch = ch
+	}
+	abs := s.abs.Load()
+	for i := 0; i < batchSlots; i++ {
+		if abs%int64(s.ctrl) == 0 {
+			s.appendCtrl(&fs, abs)
+		}
+		for ch := 0; ch < s.nch; ch++ {
+			pkt, ver := s.src.PacketAt(ch, abs)
+			b := &fs.batches[ch]
+			buf, err := wire.AppendNetFrame(b.buf, wire.NetFrame{
+				Kind: wire.NetData, Flags: pkt.Flags, Ch: uint16(ch),
+				Slot: pkt.Slot, Ver: ver, Abs: abs, Payload: pkt.Payload,
+			})
+			if err != nil {
+				// Source payloads are bounded by the packet capacity;
+				// an encoding failure is a programming error.
+				panic(fmt.Sprintf("netsrv: slot %d channel %d: %v", abs, ch, err))
+			}
+			b.buf = buf
+			b.bounds = append(b.bounds, len(buf))
+			b.frames++
+		}
+		abs++
+		s.abs.Store(abs)
+	}
+	return fs
+}
+
+// appendCtrl appends the directory and FEC-descriptor control frames
+// (as on air at abs) to every channel's batch, so any single-channel
+// subscription still carries the full control stream.
+func (s *Server) appendCtrl(fs *flushSet, abs int64) {
+	dir, dver := s.src.DirectoryAt(abs)
+	var desc []byte
+	var fver uint32
+	if s.fsrc != nil {
+		desc, fver = s.fsrc.FECDescAt(abs)
+	}
+	for ch := range fs.batches {
+		appendCtrlFrames(&fs.batches[ch], abs, dir, dver, desc, fver)
+	}
+}
+
+// appendCtrlFrames appends the control frames for one stream: the
+// versioned directory (multi-channel broadcasts) and the FEC
+// descriptor (coded broadcasts). Each control frame gets its own
+// datagram bound.
+func appendCtrlFrames(b *slotBatch, abs int64, dir []byte, dver uint32, desc []byte, fver uint32) {
+	if dir != nil {
+		if buf, err := wire.AppendNetFrame(b.buf, wire.NetFrame{Kind: wire.NetDir, Ver: dver, Abs: abs, Payload: dir}); err == nil {
+			b.buf = buf
+			b.bounds = append(b.bounds, len(buf))
+			b.ctrl++
+		}
+	}
+	if desc != nil {
+		if buf, err := wire.AppendNetFrame(b.buf, wire.NetFrame{Kind: wire.NetFECDesc, Ver: fver, Abs: abs, Payload: desc}); err == nil {
+			b.buf = buf
+			b.bounds = append(b.bounds, len(buf))
+			b.ctrl++
+		}
+	}
+}
+
+// ctrlSnapshot encodes the current control frames alone — what a new
+// subscription receives before its first data frame, so receivers can
+// bootstrap FEC validation and stale catalogs without waiting a
+// cadence period.
+func (s *Server) ctrlSnapshot() slotBatch {
+	abs := s.abs.Load()
+	dir, dver := s.src.DirectoryAt(abs)
+	var desc []byte
+	var fver uint32
+	if s.fsrc != nil {
+		desc, fver = s.fsrc.FECDescAt(abs)
+	}
+	b := slotBatch{ch: -1}
+	appendCtrlFrames(&b, abs, dir, dver, desc, fver)
+	return b
+}
+
+// publish hands the flush to every subscriber: HTTP batch queues
+// (dropping on lag unless Block), UDP datagrams, multicast groups.
+func (s *Server) publish(ctx context.Context, fs flushSet) {
+	s.mu.Lock()
+	conns := make([]*streamConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		if s.cfg.Block {
+			select {
+			case c.q <- fs:
+			case <-ctx.Done():
+				return
+			case <-c.done:
+			}
+			continue
+		}
+		select {
+		case c.q <- fs:
+		default:
+			s.httpMet.Drops.Inc()
+		}
+	}
+	if s.udp != nil {
+		s.udp.publish(fs)
+	}
+}
+
+// meta builds the live catalog document.
+func (s *Server) meta() wire.StationMeta {
+	m := s.cfg.Meta
+	abs := s.abs.Load()
+	m.Now = abs
+	m.SlotsPerSec = s.cfg.SlotsPerSec
+	m.CtrlEvery = s.ctrl
+	_, m.Version = s.src.DirectoryAt(abs)
+	if s.fsrc != nil {
+		m.FECDesc, _ = s.fsrc.FECDescAt(abs)
+	}
+	// A rebroadcasting source re-cuts its shard bounds at seam swaps;
+	// sample the live layout so late-joining clients build the catalog
+	// matching the version above.
+	if l, ok := s.src.(interface{ Layout() *dsi.Layout }); ok {
+		lay := l.Layout()
+		m.ShardBounds = lay.ShardBounds()
+		m.Channels = lay.Channels()
+	}
+	if s.udp != nil {
+		m.UDP = s.udp.addr
+	}
+	if len(s.mcastAddrs) > 0 {
+		m.Multicast = s.mcastAddrs[0]
+	}
+	return m
+}

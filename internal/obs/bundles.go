@@ -141,6 +141,93 @@ func NewFECMetrics(reg *Registry) *FECMetrics {
 	}
 }
 
+// TransportLabel renders the transport label of a network series
+// ("http", "udp", or "mcast").
+func TransportLabel(t string) Label { return Label{Key: "transport", Value: t} }
+
+// NetStationMetrics counts the network station's transport-side
+// events: connections, bytes on the wire, and batches dropped on slow
+// consumers. One bundle per (transport, channel count).
+type NetStationMetrics struct {
+	Conns      *Gauge   // live subscriber connections
+	Frames     *Counter // net frames emitted across all channels
+	CtrlFrames *Counter // in-band directory/FEC control frames emitted
+	Drops      *Counter // batches dropped on lagging consumers
+	Bytes      []*Counter
+
+	reg *Registry
+}
+
+// NewNetStationMetrics registers the network emission counter set for
+// one transport with per-channel byte counters for channels
+// [0, channels). Nil registry → nil bundle.
+func NewNetStationMetrics(reg *Registry, transport string, channels int) *NetStationMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &NetStationMetrics{
+		Conns:      reg.Gauge("station_net_conns", "live subscriber connections, by transport", TransportLabel(transport)),
+		Frames:     reg.Counter("station_net_frames_total", "net frames emitted, by transport", TransportLabel(transport)),
+		CtrlFrames: reg.Counter("station_net_ctrl_frames_total", "in-band directory/FEC control frames emitted, by transport", TransportLabel(transport)),
+		Drops:      reg.Counter("station_net_dropped_batches_total", "frame batches dropped on lagging consumers, by transport", TransportLabel(transport)),
+		reg:        reg,
+	}
+	m.Bytes = make([]*Counter, channels)
+	for ch := range m.Bytes {
+		m.Bytes[ch] = reg.Counter("station_net_bytes_total",
+			"payload bytes emitted, by transport and channel", TransportLabel(transport), ChannelLabel(ch))
+	}
+	return m
+}
+
+// BytesEmitted counts n emitted bytes on channel ch. Nil-safe and
+// bounds-safe: emitters call it unconditionally.
+func (m *NetStationMetrics) BytesEmitted(ch int, n int) {
+	if m == nil || ch < 0 || ch >= len(m.Bytes) {
+		return
+	}
+	m.Bytes[ch].Add(int64(n))
+}
+
+// ConnOpened / ConnClosed move the live-connection gauge. Nil-safe.
+func (m *NetStationMetrics) ConnOpened() {
+	if m != nil {
+		m.Conns.Add(1)
+	}
+}
+
+// ConnClosed decrements the live-connection gauge. Nil-safe.
+func (m *NetStationMetrics) ConnClosed() {
+	if m != nil {
+		m.Conns.Add(-1)
+	}
+}
+
+// NetReceiverMetrics counts a network receiver's transport events —
+// the client-side mirror of NetStationMetrics. Slot-level reception
+// costs stay in ReceiverMetrics; these families cover what only the
+// network path can do: lose datagrams, sever streams, reconnect.
+type NetReceiverMetrics struct {
+	Frames     *Counter // net frames received and slotted into the feed
+	Reconnects *Counter // stream reconnects after a severed transport
+	LostSlots  *Counter // slots declared lost (dropped, evicted, or timed out)
+	Garbage    *Counter // malformed frames or datagrams discarded
+}
+
+// NewNetReceiverMetrics registers the network reception counter set
+// for one transport. Nil registry → nil bundle.
+func NewNetReceiverMetrics(reg *Registry, transport string) *NetReceiverMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &NetReceiverMetrics{
+		Frames:     reg.Counter("netrecv_frames_total", "net frames received, by transport", TransportLabel(transport)),
+		Reconnects: reg.Counter("netrecv_reconnects_total", "stream reconnects, by transport", TransportLabel(transport)),
+		LostSlots:  reg.Counter("netrecv_lost_slots_total", "slots declared lost at the feed, by transport", TransportLabel(transport)),
+		Garbage:    reg.Counter("netrecv_garbage_frames_total", "malformed frames discarded, by transport", TransportLabel(transport)),
+	}
+}
+
 // driftBuckets are the plan-drift histogram bounds: ratios >= 1, dense
 // near the trigger thresholds the drift experiment sweeps.
 var driftBuckets = []float64{1.02, 1.05, 1.1, 1.2, 1.5, 2, 2.5, 5, 10}

@@ -179,3 +179,33 @@ func FuzzDecodeFECDesc(f *testing.F) {
 		}
 	})
 }
+
+func FuzzDecodeNetFrame(f *testing.F) {
+	good, _ := AppendNetFrame(nil, NetFrame{Kind: NetData, Flags: 1, Ch: 2, Slot: 40, Ver: 3, Abs: 1234, Payload: []byte("net payload")})
+	f.Add([]byte{})
+	f.Add(good)
+	f.Add(good[:NetFrameHeader-1])
+	f.Add(good[:len(good)-1])
+	badMagic := append([]byte{}, good...)
+	badMagic[0] ^= 0xff
+	f.Add(badMagic)
+	badKind := append([]byte{}, good...)
+	badKind[2] = 0
+	f.Add(badKind)
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		fr, n, err := DecodeNetFrame(buf)
+		if err == nil {
+			if n < NetFrameHeader || n > len(buf) {
+				t.Fatalf("consumed %d of %d", n, len(buf))
+			}
+			// A decoded frame must re-encode to the bytes it came from.
+			re, err := AppendNetFrame(nil, fr)
+			if err != nil {
+				t.Fatalf("decoded frame does not re-encode: %v", err)
+			}
+			if string(re) != string(buf[:n]) {
+				t.Fatalf("re-encode mismatch")
+			}
+		}
+	})
+}

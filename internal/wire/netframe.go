@@ -1,0 +1,141 @@
+// Network packet framing: the transport envelope a broadcast station
+// wraps every on-air packet in before it leaves the process. The
+// simulator and the in-process byte path address packets positionally —
+// a receiver asks its PacketSource for "channel ch at absolute slot
+// abs" and the source computes the answer. A network link inverts the
+// flow: the station pushes packets and the receiver must reconstruct
+// the position from what arrives (possibly late, reordered across
+// channels, or not at all). The net frame therefore carries the full
+// position of its payload — channel, per-channel cycle slot, absolute
+// slot, and the directory version governing its encoding — so a
+// client-side feed can slot it into a positional buffer and the
+// existing WireReceiver/FECReceiver decode machinery runs unchanged.
+//
+// Three frame kinds share the envelope:
+//
+//   - NetData: one on-air packet (index table part, object part, or
+//     parity frame), flags preserved from the station framing.
+//   - NetDir: the versioned shard directory (wire.EncodeDirV bytes),
+//     the in-band control stream that lets a stale or reconnecting
+//     receiver learn a directory bump without a side channel.
+//   - NetFECDesc: the versioned FEC descriptor (wire.EncodeFECDesc
+//     bytes), shipped alongside the directory so coded receivers can
+//     validate the code before decoding.
+//
+// One UDP datagram carries exactly one frame (loss granularity = one
+// slot, the semantics the FEC layer is designed for); HTTP streams
+// concatenate frames back to back, so DecodeNetFrame distinguishes "I
+// need more bytes" (ErrShortFrame) from "this is not a frame"
+// (malformed — a stream desync the reader must treat as fatal).
+
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Net frame kinds.
+const (
+	NetData    byte = 1 // one on-air packet
+	NetDir     byte = 2 // versioned shard directory (EncodeDirV payload)
+	NetFECDesc byte = 3 // versioned FEC descriptor (EncodeFECDesc payload)
+)
+
+const (
+	netMagic0 = 0xD5
+	netMagic1 = 0x1E
+
+	// NetFrameHeader is the fixed envelope size preceding the payload.
+	NetFrameHeader = 24
+
+	// MaxNetPayload is the largest payload a frame can carry (2-byte
+	// length field).
+	MaxNetPayload = 1<<16 - 1
+)
+
+// ErrShortFrame reports that the buffer ends before the frame does:
+// a stream reader should keep the bytes and wait for more. Any other
+// decode error means the bytes are not a valid frame at all.
+var ErrShortFrame = errors.New("wire: incomplete net frame")
+
+// NetFrame is one transport frame: the position-stamped envelope of an
+// on-air packet or an in-band control payload.
+type NetFrame struct {
+	Kind    byte   // NetData, NetDir, or NetFECDesc
+	Flags   byte   // station packet flags (NetData); 0 for control frames
+	Ch      uint16 // broadcast channel (NetData); 0 for control frames
+	Slot    uint32 // per-channel cycle slot (NetData); 0 for control frames
+	Ver     uint32 // directory version governing the payload
+	Abs     int64  // absolute slot of emission (the shared air clock)
+	Payload []byte
+}
+
+// AppendNetFrame appends the encoded frame to dst and returns the
+// extended slice. The payload is copied; the frame must have a valid
+// kind, a non-negative absolute slot, and a payload within the 2-byte
+// length field.
+func AppendNetFrame(dst []byte, f NetFrame) ([]byte, error) {
+	if f.Kind < NetData || f.Kind > NetFECDesc {
+		return dst, fmt.Errorf("wire: net frame kind %d", f.Kind)
+	}
+	if f.Abs < 0 {
+		return dst, fmt.Errorf("wire: net frame at negative slot %d", f.Abs)
+	}
+	if len(f.Payload) > MaxNetPayload {
+		return dst, fmt.Errorf("wire: net frame payload %dB exceeds %dB", len(f.Payload), MaxNetPayload)
+	}
+	var hdr [NetFrameHeader]byte
+	hdr[0] = netMagic0
+	hdr[1] = netMagic1
+	hdr[2] = f.Kind
+	hdr[3] = f.Flags
+	binary.BigEndian.PutUint16(hdr[4:], f.Ch)
+	binary.BigEndian.PutUint32(hdr[6:], f.Slot)
+	binary.BigEndian.PutUint32(hdr[10:], f.Ver)
+	binary.BigEndian.PutUint64(hdr[14:], uint64(f.Abs))
+	binary.BigEndian.PutUint16(hdr[22:], uint16(len(f.Payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, f.Payload...), nil
+}
+
+// DecodeNetFrame decodes the frame at the head of buf, returning it and
+// the bytes consumed. The returned payload aliases buf — callers that
+// retain it beyond the buffer's lifetime must copy. ErrShortFrame means
+// the buffer holds a valid prefix of a frame (wait for more bytes); any
+// other error means buf does not start with a frame.
+func DecodeNetFrame(buf []byte) (NetFrame, int, error) {
+	var f NetFrame
+	if len(buf) < 2 {
+		if len(buf) >= 1 && buf[0] != netMagic0 {
+			return f, 0, fmt.Errorf("wire: bad net frame magic %#02x", buf[0])
+		}
+		return f, 0, ErrShortFrame
+	}
+	if buf[0] != netMagic0 || buf[1] != netMagic1 {
+		return f, 0, fmt.Errorf("wire: bad net frame magic %#02x%02x", buf[0], buf[1])
+	}
+	if len(buf) < NetFrameHeader {
+		return f, 0, ErrShortFrame
+	}
+	f.Kind = buf[2]
+	if f.Kind < NetData || f.Kind > NetFECDesc {
+		return f, 0, fmt.Errorf("wire: net frame kind %d", f.Kind)
+	}
+	f.Flags = buf[3]
+	f.Ch = binary.BigEndian.Uint16(buf[4:])
+	f.Slot = binary.BigEndian.Uint32(buf[6:])
+	f.Ver = binary.BigEndian.Uint32(buf[10:])
+	abs := binary.BigEndian.Uint64(buf[14:])
+	if abs > 1<<62 {
+		return f, 0, fmt.Errorf("wire: net frame slot %d out of range", abs)
+	}
+	f.Abs = int64(abs)
+	plen := int(binary.BigEndian.Uint16(buf[22:]))
+	if len(buf) < NetFrameHeader+plen {
+		return f, 0, ErrShortFrame
+	}
+	f.Payload = buf[NetFrameHeader : NetFrameHeader+plen]
+	return f, NetFrameHeader + plen, nil
+}

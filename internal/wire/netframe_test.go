@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestNetFrameRoundTrip(t *testing.T) {
+	frames := []NetFrame{
+		{Kind: NetData, Flags: 3, Ch: 2, Slot: 917, Ver: 4, Abs: 1 << 40, Payload: []byte("payload bytes")},
+		{Kind: NetData, Ch: 0, Slot: 0, Ver: 1, Abs: 0, Payload: nil}, // padding slot: empty payload
+		{Kind: NetDir, Ver: 7, Abs: 12345, Payload: bytes.Repeat([]byte{0xAB}, 90)},
+		{Kind: NetFECDesc, Ver: 7, Abs: 12345, Payload: make([]byte, FECDescSize)},
+	}
+	var buf []byte
+	for _, f := range frames {
+		var err error
+		buf, err = AppendNetFrame(buf, f)
+		if err != nil {
+			t.Fatalf("append %+v: %v", f, err)
+		}
+	}
+	at := 0
+	for i, want := range frames {
+		got, n, err := DecodeNetFrame(buf[at:])
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if n != NetFrameHeader+len(want.Payload) {
+			t.Fatalf("frame %d: consumed %d", i, n)
+		}
+		if got.Kind != want.Kind || got.Flags != want.Flags || got.Ch != want.Ch ||
+			got.Slot != want.Slot || got.Ver != want.Ver || got.Abs != want.Abs ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+		at += n
+	}
+	if at != len(buf) {
+		t.Fatalf("decoded %d of %d bytes", at, len(buf))
+	}
+}
+
+// TestNetFrameShortVsMalformed pins the contract a stream reader
+// depends on: every truncation of a valid frame yields ErrShortFrame
+// (keep reading), while corrupt magic or kind is a hard error (the
+// stream has desynced and must be torn down).
+func TestNetFrameShortVsMalformed(t *testing.T) {
+	full, err := AppendNetFrame(nil, NetFrame{Kind: NetData, Ch: 1, Slot: 9, Ver: 1, Abs: 77, Payload: []byte("abcdef")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		_, n, err := DecodeNetFrame(full[:cut])
+		if !errors.Is(err, ErrShortFrame) || n != 0 {
+			t.Fatalf("cut %d: got n=%d err=%v, want ErrShortFrame", cut, n, err)
+		}
+	}
+
+	bad := append([]byte(nil), full...)
+	bad[0] = 0x00
+	if _, _, err := DecodeNetFrame(bad); err == nil || errors.Is(err, ErrShortFrame) {
+		t.Fatalf("bad magic byte 0: err=%v", err)
+	}
+	if _, _, err := DecodeNetFrame(bad[:1]); err == nil || errors.Is(err, ErrShortFrame) {
+		t.Fatalf("bad magic, 1 byte: err=%v", err)
+	}
+	bad = append([]byte(nil), full...)
+	bad[1] = 0x00
+	if _, _, err := DecodeNetFrame(bad); err == nil || errors.Is(err, ErrShortFrame) {
+		t.Fatalf("bad magic byte 1: err=%v", err)
+	}
+	bad = append([]byte(nil), full...)
+	bad[2] = 0 // kind below NetData
+	if _, _, err := DecodeNetFrame(bad); err == nil || errors.Is(err, ErrShortFrame) {
+		t.Fatalf("kind 0: err=%v", err)
+	}
+	bad[2] = NetFECDesc + 1
+	if _, _, err := DecodeNetFrame(bad); err == nil || errors.Is(err, ErrShortFrame) {
+		t.Fatalf("kind out of range: err=%v", err)
+	}
+	bad = append([]byte(nil), full...)
+	bad[14] = 0xFF // absolute slot out of range
+	if _, _, err := DecodeNetFrame(bad); err == nil || errors.Is(err, ErrShortFrame) {
+		t.Fatalf("huge abs: err=%v", err)
+	}
+}
+
+func TestNetFrameAppendRejects(t *testing.T) {
+	if _, err := AppendNetFrame(nil, NetFrame{Kind: 0, Abs: 1}); err == nil {
+		t.Fatal("kind 0 accepted")
+	}
+	if _, err := AppendNetFrame(nil, NetFrame{Kind: NetData, Abs: -1}); err == nil {
+		t.Fatal("negative abs accepted")
+	}
+	if _, err := AppendNetFrame(nil, NetFrame{Kind: NetData, Abs: 0, Payload: make([]byte, MaxNetPayload+1)}); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}

@@ -1,0 +1,60 @@
+// The station metadata document: the JSON a network station serves at
+// /v1/meta so a client can assemble its catalog — the locally built
+// index and channel layout every receiver needs before it can decode
+// the stream. The broadcast-disk model makes the schedule catalog
+// knowledge, not payload: both ends derive identical indexes from the
+// same dataset and build parameters, and the checksum lets a client
+// prove its derivation matches the station's before it trusts a single
+// decoded pointer.
+
+package wire
+
+// StationDataset identifies the dataset a station broadcasts precisely
+// enough for a client to rebuild it: the generator kind with its
+// parameters, or "csv" for file-loaded data the client must obtain out
+// of band (the checksum still verifies the copies agree).
+type StationDataset struct {
+	Kind  string `json:"kind"` // "uniform", "real", or "csv"
+	N     int    `json:"n"`
+	Order uint   `json:"order"`
+	Seed  int64  `json:"seed,omitempty"`
+	// Sum is the FNV-1a checksum of the object cells in HC order
+	// (dataset.Checksum): catalog agreement proof.
+	Sum uint64 `json:"sum"`
+}
+
+// StationMeta is the catalog document of a network station: everything
+// a client needs to rebuild the station's index and layout, plus the
+// live state sampled when the document was served.
+type StationMeta struct {
+	Dataset StationDataset `json:"dataset"`
+
+	// Index build parameters (dsi.Config).
+	Capacity     int  `json:"capacity"`
+	Segments     int  `json:"segments"`
+	ObjectBytes  int  `json:"object_bytes"`
+	ReserveMCPtr bool `json:"reserve_mc_ptr,omitempty"`
+
+	// Channel layout (dsi.MultiConfig). Scheduler is "single",
+	// "split", or "shard"; ShardBounds is set for shard layouts and
+	// reflects the directory version below.
+	Channels    int    `json:"channels"`
+	Scheduler   string `json:"scheduler"`
+	SwitchSlots int    `json:"switch_slots,omitempty"`
+	ShardBounds []int  `json:"shard_bounds,omitempty"`
+
+	// Live state, sampled at serving time: the directory version on
+	// air, the FEC descriptor (EncodeFECDesc bytes, empty when
+	// uncoded), the absolute slot clock, and the pacing rate.
+	Version     uint32 `json:"version"`
+	FECDesc     []byte `json:"fec_desc,omitempty"`
+	Now         int64  `json:"now"`
+	SlotsPerSec int    `json:"slots_per_sec"`
+	CtrlEvery   int    `json:"ctrl_every"`
+
+	// UDP is the station's datagram subscribe address, when the UDP
+	// transport is up; Multicast is the base group address (channel c
+	// streams on port+c), when multicast emission is up.
+	UDP       string `json:"udp,omitempty"`
+	Multicast string `json:"multicast,omitempty"`
+}
