@@ -2,10 +2,18 @@
 // one line per object with its ID (HC rank), cell coordinates, and
 // Hilbert-curve value, sorted in broadcast (HC) order.
 //
+// With -emit-image it instead runs the out-of-core pipeline: the
+// dataset streams through an external sort into a wire-cycle image
+// file — the exact transmitter byte stream, servable by
+// dsistation -image — holding at most -budget object records in heap
+// no matter how large -n is.
+//
 // Usage:
 //
 //	dsigen -n 10000 -order 8 -seed 1 > uniform.csv
 //	dsigen -real > real_like.csv
+//	dsigen -n 10000000 -order 11 -emit-image u10m.img -budget 1000000
+//	dsigen -n 100000 -emit-image u.img -sidecars -emit-trees
 package main
 
 import (
@@ -14,7 +22,11 @@ import (
 	"fmt"
 	"os"
 
+	"dsi/internal/bptree"
 	"dsi/internal/dataset"
+	"dsi/internal/diskstore"
+	"dsi/internal/dsi"
+	"dsi/internal/rtree"
 )
 
 func main() {
@@ -23,8 +35,26 @@ func main() {
 		order = flag.Uint("order", 8, "Hilbert curve order (grid is 2^order square)")
 		seed  = flag.Int64("seed", 1, "generator seed")
 		real  = flag.Bool("real", false, "generate the REAL-like clustered dataset (5848 Greek-city stand-in)")
+
+		emitImage = flag.String("emit-image", "", "build a wire-cycle image at this path instead of CSV (out-of-core)")
+		budget    = flag.Int("budget", 0, "max object records held in heap by the external sort (0 = default)")
+		capacity  = flag.Int("capacity", 64, "packet capacity in bytes (with -emit-image)")
+		segments  = flag.Int("segments", 1, "broadcast reorganization factor m (with -emit-image)")
+		objB      = flag.Int("objbytes", 0, "object payload bytes, 0 = index default (with -emit-image)")
+		sidecars  = flag.Bool("sidecars", false, "keep the sorted object/frame sidecar files beside the image")
+		emitTrees = flag.Bool("emit-trees", false, "also bulk-load the B+-tree and R-tree node files from the sidecars (implies -sidecars)")
 	)
 	flag.Parse()
+
+	if *emitImage != "" {
+		if err := buildImage(*emitImage, *n, *order, *seed, *real,
+			dsi.Config{Capacity: *capacity, Segments: *segments, ObjectBytes: *objB},
+			*budget, *sidecars || *emitTrees, *emitTrees); err != nil {
+			fmt.Fprintf(os.Stderr, "dsigen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var ds *dataset.Dataset
 	if *real {
@@ -45,4 +75,40 @@ func main() {
 	for _, o := range ds.Objects {
 		fmt.Fprintf(w, "%d,%d,%d,%d\n", o.ID, o.P.X, o.P.Y, o.HC)
 	}
+}
+
+// buildImage runs the streaming build and reports what it wrote. The
+// image is byte-identical to what the in-memory build transmits.
+func buildImage(path string, n int, order uint, seed int64, real bool, cfg dsi.Config, budget int, sidecars, trees bool) error {
+	ps := diskstore.UniformStream(n, order, seed)
+	if real {
+		ps = diskstore.RealStream(seed)
+	}
+	stats, err := diskstore.BuildImage(path, ps, cfg, diskstore.BuildOptions{
+		Budget: budget, KeepSidecars: sidecars,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dsigen: %s: %d objects, %d frames, %d slots/cycle, checksum %#x (%d spilled runs)\n",
+		path, stats.Geo.N, stats.Geo.NF, stats.Geo.CycleSlots(), stats.Checksum, stats.SpilledRuns)
+	if !trees {
+		return nil
+	}
+	if f := bptree.FanoutFor(cfg.Capacity); f > 0 {
+		bpt := path + ".bpt"
+		if err := diskstore.BuildBPTreeFile(bpt, stats.ObjectsPath, f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dsigen: %s: B+-tree node file, fanout %d\n", bpt, f)
+	}
+	if f := rtree.FanoutFor(cfg.Capacity); f > 0 {
+		rtr := path + ".rtr"
+		if err := diskstore.BuildRTreeFile(rtr, stats.ObjectsPath, f,
+			diskstore.BuildOptions{Budget: budget}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dsigen: %s: R-tree node file, fanout %d\n", rtr, f)
+	}
+	return nil
 }

@@ -10,6 +10,7 @@
 //
 //	dsistation                                   # uniform dataset, 4-channel shard, HTTP on :8345
 //	dsistation -dataset uniform.csv -order 8     # serve a dsigen CSV
+//	dsistation -image u10m.img                   # serve an mmap'd wire-cycle image (dsigen -emit-image)
 //	dsistation -udp :8346 -mcast 239.1.9.0:8400  # add the datagram transports
 //	dsistation -fec 4,1 -fectable 1,1            # erasure-coded broadcast
 //	dsistation -swapdemo 200000                  # stage a live directory re-cut periodically
@@ -28,6 +29,7 @@ import (
 	"syscall"
 
 	"dsi/internal/dataset"
+	"dsi/internal/diskstore"
 	"dsi/internal/dsi"
 	"dsi/internal/netsrv"
 	"dsi/internal/obs"
@@ -43,6 +45,7 @@ func main() {
 		rate     = flag.Int("rate", 20000, "broadcast pace in slots/sec (<= 0 streams flat out; never do that on a shared daemon)")
 		ctrl     = flag.Int("ctrl", 256, "control-frame cadence in slots (directory + FEC descriptor)")
 
+		imgPath = flag.String("image", "", "wire-cycle image file (dsigen -emit-image); serves the mmap'd byte stream, no in-memory build")
 		csvPath = flag.String("dataset", "", "CSV dataset file (dsigen output); empty generates one")
 		n       = flag.Int("n", 10000, "number of objects (generated datasets)")
 		order   = flag.Uint("order", 8, "Hilbert curve order")
@@ -64,38 +67,58 @@ func main() {
 	)
 	flag.Parse()
 
-	ds, kind, err := loadDataset(*csvPath, *n, *order, *seed, *real)
-	if err != nil {
-		fatal(err)
-	}
-	mcptr := *channels > 1
-	x, err := dsi.Build(ds, dsi.Config{
-		Capacity: *capacity, Segments: *segments, ObjectBytes: *objB, ReserveMCPtr: mcptr,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	lay, schedName, err := buildLayout(x, *channels, *sched, *switchC)
-	if err != nil {
-		fatal(err)
-	}
-	fcfg, err := parseFEC(*fecObj, *fecTable)
-	if err != nil {
-		fatal(err)
-	}
+	var (
+		src    station.PacketSource
+		lay    *dsi.Layout
+		meta   wire.StationMeta
+		tick   func(int64)
+		banner string
+		fcfg   wire.FECConfig
+	)
+	if *imgPath != "" {
+		img, err := diskstore.OpenImage(*imgPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer img.Close()
+		src, meta = img, img.Meta()
+		banner = fmt.Sprintf("image %s (%s, %d channels)", *imgPath, meta.Dataset.Kind, img.Channels())
+	} else {
+		ds, kind, err := loadDataset(*csvPath, *n, *order, *seed, *real)
+		if err != nil {
+			fatal(err)
+		}
+		mcptr := *channels > 1
+		x, err := dsi.Build(ds, dsi.Config{
+			Capacity: *capacity, Segments: *segments, ObjectBytes: *objB, ReserveMCPtr: mcptr,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		var schedName string
+		lay, schedName, err = buildLayout(x, *channels, *sched, *switchC)
+		if err != nil {
+			fatal(err)
+		}
+		fcfg, err = parseFEC(*fecObj, *fecTable)
+		if err != nil {
+			fatal(err)
+		}
 
-	meta := wire.StationMeta{
-		Dataset: wire.StationDataset{
-			Kind: kind, N: len(ds.Objects), Order: *order, Seed: *seed, Sum: ds.Checksum(),
-		},
-		Capacity: *capacity, Segments: *segments, ObjectBytes: *objB, ReserveMCPtr: mcptr,
-		Channels: lay.Channels(), Scheduler: schedName, SwitchSlots: *switchC,
-		ShardBounds: lay.ShardBounds(),
-	}
+		meta = wire.StationMeta{
+			Dataset: wire.StationDataset{
+				Kind: kind, N: len(ds.Objects), Order: *order, Seed: *seed, Sum: ds.Checksum(),
+			},
+			Capacity: *capacity, Segments: *segments, ObjectBytes: *objB, ReserveMCPtr: mcptr,
+			Channels: lay.Channels(), Scheduler: schedName, SwitchSlots: *switchC,
+			ShardBounds: lay.ShardBounds(),
+		}
 
-	src, tick, err := buildSource(x, lay, schedName, *switchC, fcfg, *swapEvery)
-	if err != nil {
-		fatal(err)
+		src, tick, err = buildSource(x, lay, schedName, *switchC, fcfg, *swapEvery)
+		if err != nil {
+			fatal(err)
+		}
+		banner = fmt.Sprintf("%s over %d-channel %s layout", ds.Name, lay.Channels(), schedName)
 	}
 
 	reg := obs.NewRegistry()
@@ -130,8 +153,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("dsistation: %s over %d-channel %s layout, %d slots/sec\n",
-		ds.Name, lay.Channels(), schedName, *rate)
+	fmt.Printf("dsistation: %s, %d slots/sec\n", banner, *rate)
 	if fcfg.Enabled() {
 		fmt.Printf("dsistation: erasure-coded, object %v table %v\n", fcfg.Object, fcfg.Table)
 	}

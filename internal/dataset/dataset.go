@@ -20,7 +20,6 @@ package dataset
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 	"sync"
 
@@ -66,22 +65,49 @@ func (d *Dataset) N() int { return len(d.Objects) }
 // can verify its locally derived catalog matches the station's before
 // trusting any decoded pointer.
 func (d *Dataset) Checksum() uint64 {
-	const offset, prime = 14695981039346656037, 1099511628211
-	h := uint64(offset)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime
-			v >>= 8
-		}
-	}
-	mix(uint64(d.Curve.Order()))
+	b := NewChecksumBuilder(d.Curve.Order())
 	for i := range d.Objects {
-		mix(uint64(d.Objects[i].P.X))
-		mix(uint64(d.Objects[i].P.Y))
+		b.Add(d.Objects[i].P)
 	}
-	return h
+	return b.Sum()
 }
+
+// ChecksumBuilder computes Checksum incrementally: feed it every
+// object's point in HC order and Sum matches Dataset.Checksum exactly.
+// The out-of-core build path uses it to checksum a dataset it never
+// materializes, so image-backed stations publish the same catalog
+// proof as in-memory ones.
+type ChecksumBuilder struct {
+	h uint64
+}
+
+const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
+
+// NewChecksumBuilder starts a checksum over a dataset of the given
+// curve order.
+func NewChecksumBuilder(order uint) *ChecksumBuilder {
+	b := &ChecksumBuilder{h: fnvOffset}
+	b.mix(uint64(order))
+	return b
+}
+
+func (b *ChecksumBuilder) mix(v uint64) {
+	for i := 0; i < 8; i++ {
+		b.h ^= v & 0xff
+		b.h *= fnvPrime
+		v >>= 8
+	}
+}
+
+// Add mixes in the next object's point; objects must arrive in HC
+// order.
+func (b *ChecksumBuilder) Add(p spatial.Point) {
+	b.mix(uint64(p.X))
+	b.mix(uint64(p.Y))
+}
+
+// Sum returns the checksum over everything added so far.
+func (b *ChecksumBuilder) Sum() uint64 { return b.h }
 
 // MinOrderFor returns the smallest curve order whose grid has at least
 // slack*n cells, so that n distinct cells can be occupied with room to
@@ -105,23 +131,10 @@ func MinOrderFor(n int, slack float64) uint {
 // given curve order, each on a distinct cell. It panics if the grid
 // cannot hold n distinct cells.
 func Uniform(n int, order uint, seed int64) *Dataset {
-	c := hilbert.New(order)
-	if uint64(n) > c.Size() {
-		panic(fmt.Sprintf("dataset: %d objects cannot occupy %d cells", n, c.Size()))
-	}
-	rng := rand.New(rand.NewSource(seed))
-	side := c.Side()
-	used := make(map[uint64]bool, n)
 	objs := make([]Object, 0, n)
-	for len(objs) < n {
-		p := spatial.Point{X: uint32(rng.Intn(int(side))), Y: uint32(rng.Intn(int(side)))}
-		hc := c.Encode(p.X, p.Y)
-		if used[hc] {
-			continue
-		}
-		used[hc] = true
+	c := UniformPoints(n, order, seed, func(p spatial.Point, hc uint64) {
 		objs = append(objs, Object{P: p, HC: hc})
-	}
+	})
 	return finish(c, objs, fmt.Sprintf("UNIFORM(n=%d,order=%d,seed=%d)", n, order, seed))
 }
 
@@ -152,68 +165,10 @@ func DefaultRealConfig(seed int64) ClusteredConfig {
 // follow a Zipf distribution (a few big cities, many small ones), which
 // is the canonical model for population-derived point sets.
 func Clustered(cfg ClusteredConfig) *Dataset {
-	if cfg.N <= 0 {
-		panic("dataset: Clustered requires N > 0")
-	}
-	if cfg.Clusters <= 0 {
-		cfg.Clusters = 1
-	}
-	c := hilbert.New(cfg.Order)
-	if uint64(cfg.N)*2 > c.Size() {
-		panic(fmt.Sprintf("dataset: grid of order %d too small for %d clustered objects", cfg.Order, cfg.N))
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	side := float64(c.Side())
-
-	// Cluster centres, uniform over the grid; weights Zipf(s=1).
-	type cluster struct {
-		cx, cy float64
-		weight float64
-	}
-	clusters := make([]cluster, cfg.Clusters)
-	var totalW float64
-	for i := range clusters {
-		clusters[i] = cluster{
-			cx:     rng.Float64() * side,
-			cy:     rng.Float64() * side,
-			weight: 1 / float64(i+1),
-		}
-		totalW += clusters[i].weight
-	}
-
-	used := make(map[uint64]bool, cfg.N)
 	objs := make([]Object, 0, cfg.N)
-	place := func(x, y float64) bool {
-		if x < 0 || y < 0 || x >= side || y >= side {
-			return false
-		}
-		p := spatial.Point{X: uint32(x), Y: uint32(y)}
-		hc := c.Encode(p.X, p.Y)
-		if used[hc] {
-			return false
-		}
-		used[hc] = true
+	c := ClusteredPoints(cfg, func(p spatial.Point, hc uint64) {
 		objs = append(objs, Object{P: p, HC: hc})
-		return true
-	}
-
-	nIsolated := int(float64(cfg.N) * cfg.Isolated)
-	for len(objs) < nIsolated {
-		place(rng.Float64()*side, rng.Float64()*side)
-	}
-	sigma := cfg.Spread * side
-	for len(objs) < cfg.N {
-		// Pick a cluster proportionally to weight.
-		w := rng.Float64() * totalW
-		var cl cluster
-		for _, cand := range clusters {
-			if w -= cand.weight; w <= 0 {
-				cl = cand
-				break
-			}
-		}
-		place(cl.cx+rng.NormFloat64()*sigma, cl.cy+rng.NormFloat64()*sigma)
-	}
+	})
 	name := fmt.Sprintf("REAL-like(n=%d,order=%d,clusters=%d,seed=%d)",
 		cfg.N, cfg.Order, cfg.Clusters, cfg.Seed)
 	return finish(c, objs, name)
@@ -280,13 +235,14 @@ func (d *Dataset) KthDist(q spatial.Point, k int) float64 {
 // ByID returns the object with the given ID (its HC rank).
 func (d *Dataset) ByID(id int) Object { return d.Objects[id] }
 
-// XOrder returns the object IDs sorted by x coordinate — the first
-// pass of STR packing, which is the same for every packet capacity the
-// tree might be built at. The permutation is computed exactly as an STR
-// leaf sort over the objects in ID order would compute it (same
-// algorithm, same comparator), so trees built from the cached order are
-// identical to trees that sort from scratch. Computed once per dataset;
-// the returned slice is shared and must not be modified.
+// XOrder returns the object IDs sorted by x coordinate, ties broken by
+// ID — the first pass of STR packing, which is the same for every
+// packet capacity the tree might be built at. The comparator is a
+// total order, so any sort — the in-memory sort here, or the external
+// merge sort of the out-of-core build — produces the identical
+// permutation, and trees built from either are identical. Computed
+// once per dataset; the returned slice is shared and must not be
+// modified.
 func (d *Dataset) XOrder() []int {
 	d.xOrderOnce.Do(func() {
 		idx := make([]int, len(d.Objects))
@@ -294,7 +250,11 @@ func (d *Dataset) XOrder() []int {
 			idx[i] = i
 		}
 		sort.Slice(idx, func(i, j int) bool {
-			return float64(d.Objects[idx[i]].P.X) < float64(d.Objects[idx[j]].P.X)
+			a, b := &d.Objects[idx[i]], &d.Objects[idx[j]]
+			if a.P.X != b.P.X {
+				return a.P.X < b.P.X
+			}
+			return a.ID < b.ID
 		})
 		d.xOrder = idx
 	})

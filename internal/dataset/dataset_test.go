@@ -220,8 +220,9 @@ func TestKNNBruteMatchesKthDistQuick(t *testing.T) {
 }
 
 // TestXOrderMatchesSTRLeafSort: the cached x-order must be exactly the
-// permutation an STR leaf sort (sort.Slice by center x over objects in
-// ID order) produces, and repeated calls must share one computation.
+// permutation an STR leaf sort (by center x, ties broken by object ID
+// — a total order, so stable and unstable sorts agree) produces, and
+// repeated calls must share one computation.
 func TestXOrderMatchesSTRLeafSort(t *testing.T) {
 	ds := Uniform(500, 8, 99)
 	type item struct {
@@ -232,7 +233,12 @@ func TestXOrderMatchesSTRLeafSort(t *testing.T) {
 	for i, o := range ds.Objects {
 		items[i] = item{x: float64(o.P.X), ref: o.ID}
 	}
-	sort.Slice(items, func(i, j int) bool { return items[i].x < items[j].x })
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].x != items[j].x {
+			return items[i].x < items[j].x
+		}
+		return items[i].ref < items[j].ref
+	})
 
 	got := ds.XOrder()
 	if len(got) != len(items) {

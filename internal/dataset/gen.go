@@ -1,0 +1,149 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dsi/internal/hilbert"
+	"dsi/internal/spatial"
+)
+
+// cellSet tracks occupied Hilbert cells during generation. insert
+// reports whether hc was newly inserted (false = already taken). Both
+// implementations make identical accept/reject decisions, so the
+// generator's RNG consumption — and therefore the emitted point
+// sequence — does not depend on which one backs a given run.
+type cellSet interface {
+	insert(hc uint64) bool
+}
+
+type mapCells map[uint64]bool
+
+func (m mapCells) insert(hc uint64) bool {
+	if m[hc] {
+		return false
+	}
+	m[hc] = true
+	return true
+}
+
+type bitmapCells []uint64
+
+func (b bitmapCells) insert(hc uint64) bool {
+	w, bit := hc/64, uint64(1)<<(hc%64)
+	if b[w]&bit != 0 {
+		return false
+	}
+	b[w] |= bit
+	return true
+}
+
+// newCellSet picks the dedup structure by grid size: a bitmap over the
+// 4^order cells when that costs at most a few bytes per object (the
+// common case — curve orders are picked for modest slack over n), a
+// hash map when the grid is sparse enough that a bitmap would dwarf
+// the object set. The out-of-core build path depends on the bitmap
+// arm: at 10^7 objects the map's overhead alone would blow the heap
+// budget, while the bitmap stays O(grid)/8 bytes.
+func newCellSet(c hilbert.Curve, n int) cellSet {
+	if cells := c.Size(); cells/64 <= 8*uint64(n)+1024 {
+		return make(bitmapCells, (cells+63)/64)
+	}
+	return make(mapCells, n)
+}
+
+// UniformPoints streams the UNIFORM generator's points in generation
+// order (pre-sort): n points drawn uniformly over the grid of the
+// given curve order, each on a distinct cell, emitted as they are
+// accepted. Uniform is exactly finish() over this stream; the
+// out-of-core build feeds the same stream into an external sorter
+// instead of a slice. Memory is bounded by the cell-dedup structure,
+// not by n.
+func UniformPoints(n int, order uint, seed int64, emit func(p spatial.Point, hc uint64)) hilbert.Curve {
+	c := hilbert.New(order)
+	if uint64(n) > c.Size() {
+		panic(fmt.Sprintf("dataset: %d objects cannot occupy %d cells", n, c.Size()))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	side := c.Side()
+	seen := newCellSet(c, n)
+	for emitted := 0; emitted < n; {
+		p := spatial.Point{X: uint32(rng.Intn(int(side))), Y: uint32(rng.Intn(int(side)))}
+		hc := c.Encode(p.X, p.Y)
+		if !seen.insert(hc) {
+			continue
+		}
+		emit(p, hc)
+		emitted++
+	}
+	return c
+}
+
+// ClusteredPoints streams the REAL-like generator's points in
+// generation order (pre-sort); Clustered is exactly finish() over this
+// stream. See Clustered for the distribution.
+func ClusteredPoints(cfg ClusteredConfig, emit func(p spatial.Point, hc uint64)) hilbert.Curve {
+	if cfg.N <= 0 {
+		panic("dataset: Clustered requires N > 0")
+	}
+	if cfg.Clusters <= 0 {
+		cfg.Clusters = 1
+	}
+	c := hilbert.New(cfg.Order)
+	if uint64(cfg.N)*2 > c.Size() {
+		panic(fmt.Sprintf("dataset: grid of order %d too small for %d clustered objects", cfg.Order, cfg.N))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	side := float64(c.Side())
+
+	// Cluster centres, uniform over the grid; weights Zipf(s=1).
+	type cluster struct {
+		cx, cy float64
+		weight float64
+	}
+	clusters := make([]cluster, cfg.Clusters)
+	var totalW float64
+	for i := range clusters {
+		clusters[i] = cluster{
+			cx:     rng.Float64() * side,
+			cy:     rng.Float64() * side,
+			weight: 1 / float64(i+1),
+		}
+		totalW += clusters[i].weight
+	}
+
+	seen := newCellSet(c, cfg.N)
+	emitted := 0
+	place := func(x, y float64) bool {
+		if x < 0 || y < 0 || x >= side || y >= side {
+			return false
+		}
+		p := spatial.Point{X: uint32(x), Y: uint32(y)}
+		hc := c.Encode(p.X, p.Y)
+		if !seen.insert(hc) {
+			return false
+		}
+		emit(p, hc)
+		emitted++
+		return true
+	}
+
+	nIsolated := int(float64(cfg.N) * cfg.Isolated)
+	for emitted < nIsolated {
+		place(rng.Float64()*side, rng.Float64()*side)
+	}
+	sigma := cfg.Spread * side
+	for emitted < cfg.N {
+		// Pick a cluster proportionally to weight.
+		w := rng.Float64() * totalW
+		var cl cluster
+		for _, cand := range clusters {
+			if w -= cand.weight; w <= 0 {
+				cl = cand
+				break
+			}
+		}
+		place(cl.cx+rng.NormFloat64()*sigma, cl.cy+rng.NormFloat64()*sigma)
+	}
+	return c
+}

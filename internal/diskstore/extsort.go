@@ -1,0 +1,326 @@
+package diskstore
+
+import (
+	"bufio"
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Codec serializes one fixed-width record type into exactly Size
+// bytes. Put must fill dst[:Size]; Get must read src[:Size]. Records
+// with the same encoding must compare equal under the sorter's less
+// function, since spilled runs round-trip through the codec.
+type Codec[T any] struct {
+	Size int
+	Put  func(dst []byte, v T)
+	Get  func(src []byte) T
+}
+
+// DefaultBudget is the per-sorter in-heap record budget used when a
+// Sorter is created with budget <= 0. It bounds memory at
+// budget*Codec.Size bytes plus O(runs) merge buffers.
+const DefaultBudget = 1 << 20
+
+// mergeFanIn caps how many spilled runs a single merge pass reads at
+// once; beyond it the sorter pre-merges groups of runs into longer
+// runs so the final pass stays within the file-descriptor and
+// read-buffer budget.
+const mergeFanIn = 64
+
+// runReadBuf sizes the bufio reader over each spilled run during a
+// merge.
+const runReadBuf = 256 << 10
+
+// Sorter is a bounded-memory external sorter over fixed-width records.
+// Add buffers records up to the budget, spilling sorted runs to temp
+// files in dir; Merge returns a Stream yielding the globally sorted
+// sequence. The sort is stable: records that compare equal emerge in
+// insertion order (runs are sorted stably and the k-way merge breaks
+// ties by run age).
+type Sorter[T any] struct {
+	dir    string
+	codec  Codec[T]
+	less   func(a, b T) bool
+	budget int
+
+	buf    []T
+	runs   []*os.File
+	n      int64
+	merged bool
+	closed bool
+}
+
+// NewSorter creates a sorter spilling runs into dir (which must
+// exist). budget <= 0 selects DefaultBudget.
+func NewSorter[T any](dir string, codec Codec[T], less func(a, b T) bool, budget int) (*Sorter[T], error) {
+	if codec.Size <= 0 || codec.Put == nil || codec.Get == nil {
+		return nil, errors.New("diskstore: codec needs Size>0, Put, Get")
+	}
+	if less == nil {
+		return nil, errors.New("diskstore: nil comparator")
+	}
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	return &Sorter[T]{dir: dir, codec: codec, less: less, budget: budget}, nil
+}
+
+// Add buffers one record, spilling a sorted run when the buffer
+// reaches the budget.
+func (s *Sorter[T]) Add(v T) error {
+	if s.merged || s.closed {
+		return errors.New("diskstore: Add after Merge/Close")
+	}
+	s.buf = append(s.buf, v)
+	s.n++
+	if len(s.buf) >= s.budget {
+		return s.spill()
+	}
+	return nil
+}
+
+// Len reports how many records have been added.
+func (s *Sorter[T]) Len() int64 { return s.n }
+
+// Spilled reports how many runs have gone to disk so far.
+func (s *Sorter[T]) Spilled() int { return len(s.runs) }
+
+func (s *Sorter[T]) spill() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	sort.SliceStable(s.buf, func(i, j int) bool { return s.less(s.buf[i], s.buf[j]) })
+	f, err := os.CreateTemp(s.dir, "extsort-*.run")
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, runReadBuf)
+	rec := make([]byte, s.codec.Size)
+	for _, v := range s.buf {
+		s.codec.Put(rec, v)
+		if _, err := w.Write(rec); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	s.runs = append(s.runs, f)
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// Merge finishes ingestion and returns the globally sorted stream.
+// When nothing spilled, the stream iterates the in-memory buffer; the
+// sorter owns the returned stream's resources until Close.
+func (s *Sorter[T]) Merge() (*Stream[T], error) {
+	if s.merged || s.closed {
+		return nil, errors.New("diskstore: Merge after Merge/Close")
+	}
+	s.merged = true
+	if len(s.runs) == 0 {
+		sort.SliceStable(s.buf, func(i, j int) bool { return s.less(s.buf[i], s.buf[j]) })
+		return &Stream[T]{mem: s.buf}, nil
+	}
+	if err := s.spill(); err != nil {
+		return nil, err
+	}
+	s.buf = nil
+	for len(s.runs) > mergeFanIn {
+		if err := s.compact(); err != nil {
+			return nil, err
+		}
+	}
+	return s.streamRuns(s.runs)
+}
+
+// compact merges the oldest mergeFanIn runs into one longer run that
+// takes their place at the front; run order still encodes insertion
+// age because the merged group predates every surviving run.
+func (s *Sorter[T]) compact() error {
+	group := s.runs[:mergeFanIn]
+	st, err := s.streamRuns(group)
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(s.dir, "extsort-*.run")
+	if err != nil {
+		st.release()
+		return err
+	}
+	w := bufio.NewWriterSize(f, runReadBuf)
+	rec := make([]byte, s.codec.Size)
+	for {
+		v, ok := st.Next()
+		if !ok {
+			break
+		}
+		s.codec.Put(rec, v)
+		if _, err := w.Write(rec); err != nil {
+			st.release()
+			f.Close()
+			os.Remove(f.Name())
+			return err
+		}
+	}
+	if err := st.Err(); err != nil {
+		st.release()
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		st.release()
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	st.release()
+	for _, r := range group {
+		r.Close()
+		os.Remove(r.Name())
+	}
+	s.runs = append([]*os.File{f}, s.runs[mergeFanIn:]...)
+	return nil
+}
+
+func (s *Sorter[T]) streamRuns(runs []*os.File) (*Stream[T], error) {
+	st := &Stream[T]{codec: s.codec, less: s.less}
+	for i, f := range runs {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+		c := &cursor[T]{age: i, r: bufio.NewReaderSize(f, runReadBuf), rec: make([]byte, s.codec.Size)}
+		ok, err := c.advance(s.codec)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			st.h = append(st.h, c)
+		}
+	}
+	heap.Init((*cursorHeap[T])(st))
+	return st, nil
+}
+
+// Close releases the sorter's temp files. Streams returned by Merge
+// must not be used afterwards.
+func (s *Sorter[T]) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, f := range s.runs {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		if err := os.Remove(f.Name()); err != nil && first == nil {
+			first = fmt.Errorf("remove %s: %w", f.Name(), err)
+		}
+	}
+	s.runs = nil
+	s.buf = nil
+	return first
+}
+
+// Stream yields records in sorted order. Next returns false at end of
+// stream or on error; check Err after the loop.
+type Stream[T any] struct {
+	// in-memory fast path
+	mem []T
+	pos int
+
+	// k-way merge path
+	codec Codec[T]
+	less  func(a, b T) bool
+	h     []*cursor[T]
+	err   error
+}
+
+type cursor[T any] struct {
+	age int
+	r   *bufio.Reader
+	rec []byte
+	v   T
+	eof bool
+}
+
+func (c *cursor[T]) advance(codec Codec[T]) (bool, error) {
+	if _, err := io.ReadFull(c.r, c.rec); err != nil {
+		if err == io.EOF {
+			c.eof = true
+			return false, nil
+		}
+		return false, err
+	}
+	c.v = codec.Get(c.rec)
+	return true, nil
+}
+
+// Next yields the next record in sorted order.
+func (st *Stream[T]) Next() (T, bool) {
+	if st.mem != nil || st.h == nil {
+		if st.pos < len(st.mem) {
+			v := st.mem[st.pos]
+			st.pos++
+			return v, true
+		}
+		var zero T
+		return zero, false
+	}
+	if len(st.h) == 0 || st.err != nil {
+		var zero T
+		return zero, false
+	}
+	c := st.h[0]
+	v := c.v
+	ok, err := c.advance(st.codec)
+	switch {
+	case err != nil:
+		st.err = err
+	case ok:
+		heap.Fix((*cursorHeap[T])(st), 0)
+	default:
+		heap.Pop((*cursorHeap[T])(st))
+	}
+	return v, true
+}
+
+// Err reports the first read error hit while merging.
+func (st *Stream[T]) Err() error { return st.err }
+
+func (st *Stream[T]) release() { st.h = nil }
+
+// cursorHeap orders merge cursors by record, breaking ties by run age
+// so the overall sort is stable.
+type cursorHeap[T any] Stream[T]
+
+func (h *cursorHeap[T]) Len() int { return len(h.h) }
+func (h *cursorHeap[T]) Less(i, j int) bool {
+	a, b := h.h[i], h.h[j]
+	if h.less(a.v, b.v) {
+		return true
+	}
+	if h.less(b.v, a.v) {
+		return false
+	}
+	return a.age < b.age
+}
+func (h *cursorHeap[T]) Swap(i, j int)      { h.h[i], h.h[j] = h.h[j], h.h[i] }
+func (h *cursorHeap[T]) Push(x interface{}) { h.h = append(h.h, x.(*cursor[T])) }
+func (h *cursorHeap[T]) Pop() interface{} {
+	old := h.h
+	n := len(old)
+	x := old[n-1]
+	h.h = old[:n-1]
+	return x
+}

@@ -1,0 +1,214 @@
+package diskstore
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+type pair struct {
+	Key uint64
+	Seq uint32
+}
+
+var pairCodec = Codec[pair]{
+	Size: 12,
+	Put: func(dst []byte, v pair) {
+		binary.LittleEndian.PutUint64(dst[0:], v.Key)
+		binary.LittleEndian.PutUint32(dst[8:], v.Seq)
+	},
+	Get: func(src []byte) pair {
+		return pair{
+			Key: binary.LittleEndian.Uint64(src[0:]),
+			Seq: binary.LittleEndian.Uint32(src[8:]),
+		}
+	},
+}
+
+func pairLess(a, b pair) bool { return a.Key < b.Key }
+
+func drain(t *testing.T, st *Stream[pair]) []pair {
+	t.Helper()
+	var out []pair
+	for {
+		v, ok := st.Next()
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	return out
+}
+
+// TestMergeMatchesSortSlice is the satellite property test: for random
+// inputs across in-memory, single-run, and many-run regimes, the
+// external merge must yield exactly what sort.Slice yields on the same
+// records (with the stable tie-break on insertion order).
+func TestMergeMatchesSortSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(5000)
+		budget := 1 + rng.Intn(300)
+		keySpace := uint64(1 + rng.Intn(200)) // small spaces force duplicate keys
+
+		in := make([]pair, n)
+		for i := range in {
+			in[i] = pair{Key: rng.Uint64() % keySpace, Seq: uint32(i)}
+		}
+
+		s, err := NewSorter(t.TempDir(), pairCodec, pairLess, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range in {
+			if err := s.Add(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st, err := s.Merge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drain(t, st)
+
+		want := append([]pair(nil), in...)
+		sort.SliceStable(want, func(i, j int) bool { return pairLess(want[i], want[j]) })
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (n=%d budget=%d): got %d records, want %d", trial, n, budget, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d budget=%d): record %d = %+v, want %+v (runs spilled: %d)",
+					trial, n, budget, i, got[i], want[i], s.Spilled())
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMergeUniqueKeysMatchesSortSlice exercises the unstable-sort
+// contract too: with unique keys, plain sort.Slice and the external
+// sort agree regardless of stability.
+func TestMergeUniqueKeysMatchesSortSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := make([]pair, 20000)
+	perm := rng.Perm(len(in))
+	for i := range in {
+		in[i] = pair{Key: uint64(perm[i]), Seq: uint32(i)}
+	}
+	s, err := NewSorter(t.TempDir(), pairCodec, pairLess, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, v := range in {
+		if err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Spilled() < 2 {
+		t.Fatalf("expected multiple spilled runs, got %d", s.Spilled())
+	}
+	st, err := s.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, st)
+	want := append([]pair(nil), in...)
+	sort.Slice(want, func(i, j int) bool { return pairLess(want[i], want[j]) })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMergeManyRunsCompacts drives the run count past the merge fan-in
+// so the pre-merge compaction path runs, and checks order plus
+// stability survive it.
+func TestMergeManyRunsCompacts(t *testing.T) {
+	s, err := NewSorter(t.TempDir(), pairCodec, pairLess, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(99))
+	const n = 4 * (mergeFanIn + 37) // > mergeFanIn runs of 4 records
+	in := make([]pair, n)
+	for i := range in {
+		in[i] = pair{Key: rng.Uint64() % 50, Seq: uint32(i)}
+	}
+	for _, v := range in {
+		if err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Spilled() <= mergeFanIn {
+		t.Fatalf("want > %d runs, got %d", mergeFanIn, s.Spilled())
+	}
+	st, err := s.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, st)
+	want := append([]pair(nil), in...)
+	sort.SliceStable(want, func(i, j int) bool { return pairLess(want[i], want[j]) })
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSorterEmpty(t *testing.T) {
+	s, err := NewSorter(t.TempDir(), pairCodec, pairLess, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st, err := s.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := st.Next(); ok {
+		t.Fatalf("empty sorter yielded %+v", v)
+	}
+}
+
+func TestSorterMisuse(t *testing.T) {
+	s, err := NewSorter(t.TempDir(), pairCodec, pairLess, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(pair{}); err == nil {
+		t.Fatal("Add after Merge should fail")
+	}
+	if _, err := s.Merge(); err == nil {
+		t.Fatal("second Merge should fail")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("double Close should be a no-op")
+	}
+	if _, err := NewSorter(t.TempDir(), Codec[pair]{}, pairLess, 8); err == nil {
+		t.Fatal("zero codec should be rejected")
+	}
+	if _, err := NewSorter(t.TempDir(), pairCodec, nil, 8); err == nil {
+		t.Fatal("nil comparator should be rejected")
+	}
+}

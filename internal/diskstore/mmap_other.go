@@ -1,0 +1,26 @@
+//go:build !unix
+
+package diskstore
+
+import "os"
+
+// mapping fallback for platforms without syscall.Mmap: the file is
+// read into memory whole. Serving stays correct; only the
+// zero-heap-startup property is platform-specific.
+type mapping struct {
+	data []byte
+	mm   bool
+}
+
+func openMapping(path string) (*mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &mapping{data: data}, nil
+}
+
+func (m *mapping) close() error {
+	m.data = nil
+	return nil
+}

@@ -1,0 +1,50 @@
+//go:build unix
+
+package diskstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapping is a read-only view of a file: an mmap on unix platforms, a
+// full read elsewhere (mmap_other.go). The unix path is what makes
+// image serving O(1) in memory — pages fault in on demand and the OS
+// page cache owns them, so a multi-gigabyte image costs no heap.
+type mapping struct {
+	data []byte
+	mm   bool
+}
+
+func openMapping(path string) (*mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() == 0 {
+		return &mapping{}, nil
+	}
+	if st.Size() > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("diskstore: %s: %d bytes exceed the address space", path, st.Size())
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: mmap %s: %w", path, err)
+	}
+	return &mapping{data: data, mm: true}, nil
+}
+
+func (m *mapping) close() error {
+	if !m.mm || m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
+}

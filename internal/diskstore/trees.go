@@ -1,0 +1,641 @@
+package diskstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"dsi/internal/spatial"
+)
+
+// Disk-backed index builds: the sorted object sidecar of a streaming
+// build (see BuildImage with KeepSidecars) feeds bottom-up bulk loads
+// of the two baseline index structures — the B+-tree of the HCI
+// baseline and the STR R-tree — into node files, never holding more
+// than one level's build state in heap. The node files are
+// regression-tested node-for-node identical to bptree.Build and
+// rtree.Build over the same dataset.
+//
+// Both files share the layout:
+//
+//	offset 0   magic (8B, format-specific)
+//	           uint32 LE fanout, uint32 LE level count
+//	           level count × uint64 LE nodes-per-level (leaves first)
+//	then       node records, dense ID order (leaves first, left to
+//	           right, then each level above)
+//
+// B+-tree node record (2 + fanout*16 bytes):
+//
+//	[count uint16 LE] count × [key uint64 LE][ref uint64 LE]
+//
+// where ref is an object ID in leaves and a child node ID above.
+//
+// R-tree node record (18 + fanout*24 bytes):
+//
+//	[node MBR 4×uint32 LE][count uint16 LE]
+//	count × [entry MBR 4×uint32 LE][ref uint64 LE]
+
+var (
+	bptMagic = [8]byte{'D', 'S', 'B', 'P', 'T', 0, 0, 1}
+	rtrMagic = [8]byte{'D', 'S', 'R', 'T', 'R', 0, 0, 1}
+)
+
+func bptRecSize(fanout int) int { return 2 + fanout*16 }
+func rtrRecSize(fanout int) int { return 18 + fanout*24 }
+
+// treeHeader assembles the header + concatenated level files into the
+// final node file.
+func assembleTree(path string, magic [8]byte, fanout int, levels []string, counts []int64) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	w := newBufWriter(out)
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(fanout))
+	if _, err := w.Write(u32[:]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(counts)))
+	if _, err := w.Write(u32[:]); err != nil {
+		return err
+	}
+	var u64 [8]byte
+	for _, c := range counts {
+		binary.LittleEndian.PutUint64(u64[:], uint64(c))
+		if _, err := w.Write(u64[:]); err != nil {
+			return err
+		}
+	}
+	for _, lf := range levels {
+		f, err := os.Open(lf)
+		if err != nil {
+			return err
+		}
+		r := bufio.NewReaderSize(f, runReadBuf)
+		if _, err := r.WriteTo(w); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return out.Sync()
+}
+
+// BuildBPTreeFile bulk-loads the B+-tree over the sorted object file
+// (keys are HC values, values the object IDs, i.e. HC ranks) into a
+// node file at treePath. Heap use is O(fanout): each level streams the
+// minimum keys of the level below from a sidecar written alongside it.
+// The result is node-for-node what bptree.Build produces over the same
+// keys.
+func BuildBPTreeFile(treePath, objPath string, fanout int) error {
+	if fanout < 2 {
+		return fmt.Errorf("diskstore: bptree fanout %d < 2", fanout)
+	}
+	obj, err := openMapping(objPath)
+	if err != nil {
+		return err
+	}
+	defer obj.close()
+	if len(obj.data)%objRecSize != 0 {
+		return fmt.Errorf("diskstore: object file size %d not a record multiple", len(obj.data))
+	}
+	n := len(obj.data) / objRecSize
+	if n == 0 {
+		return fmt.Errorf("diskstore: no objects")
+	}
+
+	var levelFiles []string
+	var counts []int64
+	defer func() {
+		for _, f := range levelFiles {
+			os.Remove(f)
+			os.Remove(f + ".min")
+		}
+	}()
+
+	recSize := bptRecSize(fanout)
+	rec := make([]byte, recSize)
+
+	// writeLevel packs up to `count` (key, ref) pairs per node, fanout at
+	// a time, writing node records and the per-node minimum-key sidecar.
+	writeLevel := func(level int, total int64, next func() (uint64, uint64)) (int64, error) {
+		lf := fmt.Sprintf("%s.lvl%d", treePath, level)
+		levelFiles = append(levelFiles, lf)
+		nodeF, err := os.Create(lf)
+		if err != nil {
+			return 0, err
+		}
+		defer nodeF.Close()
+		minF, err := os.Create(lf + ".min")
+		if err != nil {
+			return 0, err
+		}
+		defer minF.Close()
+		nw, mw := newBufWriter(nodeF), newBufWriter(minF)
+
+		var nodes int64
+		for at := int64(0); at < total; {
+			cnt := int64(fanout)
+			if at+cnt > total {
+				cnt = total - at
+			}
+			for i := range rec {
+				rec[i] = 0
+			}
+			binary.LittleEndian.PutUint16(rec[0:2], uint16(cnt))
+			for i := int64(0); i < cnt; i++ {
+				k, v := next()
+				binary.LittleEndian.PutUint64(rec[2+i*16:], k)
+				binary.LittleEndian.PutUint64(rec[2+i*16+8:], v)
+				if i == 0 {
+					var m [8]byte
+					binary.LittleEndian.PutUint64(m[:], k)
+					if _, err := mw.Write(m[:]); err != nil {
+						return 0, err
+					}
+				}
+			}
+			if _, err := nw.Write(rec); err != nil {
+				return 0, err
+			}
+			at += cnt
+			nodes++
+		}
+		if err := nw.Flush(); err != nil {
+			return 0, err
+		}
+		return nodes, mw.Flush()
+	}
+
+	// Leaf level: key = HC, ref = object ID = record index.
+	idx := int64(0)
+	leaves, err := writeLevel(0, int64(n), func() (uint64, uint64) {
+		hc := binary.LittleEndian.Uint64(obj.data[idx*objRecSize+8:])
+		id := uint64(idx)
+		idx++
+		return hc, id
+	})
+	if err != nil {
+		return err
+	}
+	counts = append(counts, leaves)
+
+	// Internal levels: keys are the minimum keys of the level below,
+	// refs its dense node IDs (offset of that level + position).
+	offset := int64(0)
+	for counts[len(counts)-1] > 1 {
+		below := counts[len(counts)-1]
+		minPath := levelFiles[len(levelFiles)-1] + ".min"
+		mins, err := openMapping(minPath)
+		if err != nil {
+			return err
+		}
+		pos := int64(0)
+		nodes, err := writeLevel(len(counts), below, func() (uint64, uint64) {
+			k := binary.LittleEndian.Uint64(mins.data[pos*8:])
+			ref := uint64(offset + pos)
+			pos++
+			return k, ref
+		})
+		mins.close()
+		if err != nil {
+			return err
+		}
+		offset += below
+		counts = append(counts, nodes)
+	}
+	return assembleTree(treePath, bptMagic, fanout, levelFiles, counts)
+}
+
+// rtreeItem is one STR input entry: an MBR plus the object/child
+// reference, matching rtree.Build's item.
+type rtreeItem struct {
+	mbr spatial.Rect
+	ref int64
+}
+
+const rtreeItemSize = 24
+
+var rtreeItemCodec = Codec[rtreeItem]{
+	Size: rtreeItemSize,
+	Put: func(dst []byte, v rtreeItem) {
+		binary.LittleEndian.PutUint32(dst[0:], v.mbr.MinX)
+		binary.LittleEndian.PutUint32(dst[4:], v.mbr.MinY)
+		binary.LittleEndian.PutUint32(dst[8:], v.mbr.MaxX)
+		binary.LittleEndian.PutUint32(dst[12:], v.mbr.MaxY)
+		binary.LittleEndian.PutUint64(dst[16:], uint64(v.ref))
+	},
+	Get: func(src []byte) rtreeItem {
+		return rtreeItem{
+			mbr: spatial.Rect{
+				MinX: binary.LittleEndian.Uint32(src[0:]),
+				MinY: binary.LittleEndian.Uint32(src[4:]),
+				MaxX: binary.LittleEndian.Uint32(src[8:]),
+				MaxY: binary.LittleEndian.Uint32(src[12:]),
+			},
+			ref: int64(binary.LittleEndian.Uint64(src[16:])),
+		}
+	},
+}
+
+// strLess is rtree.Build's center-x comparator: a total order with
+// ties broken by ref, so external and in-memory sorts agree exactly.
+// Leaf entries are points, where center x equals the cell x.
+func strLess(a, b rtreeItem) bool {
+	ax, _ := a.mbr.Center()
+	bx, _ := b.mbr.Center()
+	if ax != bx {
+		return ax < bx
+	}
+	return a.ref < b.ref
+}
+
+// BuildRTreeFile bulk-loads the STR R-tree over the sorted object file
+// into a node file at treePath. The leaf pass — the only level with N
+// inputs — streams: objects go through the external sorter in (x, id)
+// order and are tiled slab by slab, holding one slab
+// (≈ sqrt(N·fanout) entries) plus the sort budget in heap. Levels
+// above have at most N/fanout entries and reuse the same tiling in
+// memory. Node-for-node identical to rtree.Build.
+func BuildRTreeFile(treePath, objPath string, fanout int, opt BuildOptions) error {
+	if fanout < 2 {
+		return fmt.Errorf("diskstore: rtree fanout %d < 2", fanout)
+	}
+	obj, err := openMapping(objPath)
+	if err != nil {
+		return err
+	}
+	defer obj.close()
+	if len(obj.data)%objRecSize != 0 {
+		return fmt.Errorf("diskstore: object file size %d not a record multiple", len(obj.data))
+	}
+	n := len(obj.data) / objRecSize
+	if n == 0 {
+		return fmt.Errorf("diskstore: no objects")
+	}
+
+	tmp := opt.TmpDir
+	if tmp == "" {
+		tmp = os.TempDir()
+	}
+	sorter, err := NewSorter(tmp, rtreeItemCodec, strLess, opt.Budget)
+	if err != nil {
+		return err
+	}
+	defer sorter.Close()
+	for i := 0; i < n; i++ {
+		r := objCodec.Get(obj.data[i*objRecSize:])
+		it := rtreeItem{
+			mbr: spatial.Rect{MinX: r.X, MinY: r.Y, MaxX: r.X, MaxY: r.Y},
+			ref: int64(i),
+		}
+		if err := sorter.Add(it); err != nil {
+			return err
+		}
+	}
+	st, err := sorter.Merge()
+	if err != nil {
+		return err
+	}
+
+	var levelFiles []string
+	var counts []int64
+	defer func() {
+		for _, f := range levelFiles {
+			os.Remove(f)
+		}
+	}()
+
+	recSize := rtrRecSize(fanout)
+	rec := make([]byte, recSize)
+
+	// packLevel tiles one level: items arrive center-x sorted via next
+	// (total of them), are buffered one slab at a time, y-sorted, and
+	// packed fanout at a time. Returns the next level's items (node
+	// MBRs, refs = positions) alongside the written node count.
+	packLevel := func(level int, total int64, next func() (rtreeItem, bool)) ([]rtreeItem, int64, error) {
+		lf := fmt.Sprintf("%s.lvl%d", treePath, level)
+		levelFiles = append(levelFiles, lf)
+		nodeF, err := os.Create(lf)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer nodeF.Close()
+		nw := newBufWriter(nodeF)
+
+		nGroups := (total + int64(fanout) - 1) / int64(fanout)
+		slabs := int64(math.Ceil(math.Sqrt(float64(nGroups))))
+		perSlab := slabs * int64(fanout)
+
+		var up []rtreeItem
+		var nodes int64
+		slab := make([]rtreeItem, 0, perSlab)
+		flush := func() error {
+			sort.Slice(slab, func(i, j int) bool {
+				_, yi := slab[i].mbr.Center()
+				_, yj := slab[j].mbr.Center()
+				if yi != yj {
+					return yi < yj
+				}
+				return slab[i].ref < slab[j].ref
+			})
+			for g := 0; g < len(slab); g += fanout {
+				ge := g + fanout
+				if ge > len(slab) {
+					ge = len(slab)
+				}
+				grp := slab[g:ge]
+				mbr := grp[0].mbr
+				for _, it := range grp[1:] {
+					mbr = mbr.Union(it.mbr)
+				}
+				for i := range rec {
+					rec[i] = 0
+				}
+				binary.LittleEndian.PutUint32(rec[0:], mbr.MinX)
+				binary.LittleEndian.PutUint32(rec[4:], mbr.MinY)
+				binary.LittleEndian.PutUint32(rec[8:], mbr.MaxX)
+				binary.LittleEndian.PutUint32(rec[12:], mbr.MaxY)
+				binary.LittleEndian.PutUint16(rec[16:18], uint16(len(grp)))
+				for i, it := range grp {
+					at := 18 + i*24
+					binary.LittleEndian.PutUint32(rec[at:], it.mbr.MinX)
+					binary.LittleEndian.PutUint32(rec[at+4:], it.mbr.MinY)
+					binary.LittleEndian.PutUint32(rec[at+8:], it.mbr.MaxX)
+					binary.LittleEndian.PutUint32(rec[at+12:], it.mbr.MaxY)
+					binary.LittleEndian.PutUint64(rec[at+16:], uint64(it.ref))
+				}
+				if _, err := nw.Write(rec); err != nil {
+					return err
+				}
+				up = append(up, rtreeItem{mbr: mbr, ref: nodes})
+				nodes++
+			}
+			slab = slab[:0]
+			return nil
+		}
+		for {
+			it, ok := next()
+			if !ok {
+				break
+			}
+			slab = append(slab, it)
+			if int64(len(slab)) == perSlab {
+				if err := flush(); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+		if len(slab) > 0 {
+			if err := flush(); err != nil {
+				return nil, 0, err
+			}
+		}
+		return up, nodes, nw.Flush()
+	}
+
+	// Leaf pass: streamed from the external sort.
+	items, leaves, err := packLevel(0, int64(n), func() (rtreeItem, bool) { return st.Next() })
+	if err != nil {
+		return err
+	}
+	if err := st.Err(); err != nil {
+		return err
+	}
+	if err := sorter.Close(); err != nil {
+		return err
+	}
+	counts = append(counts, leaves)
+
+	// Upper levels: at most N/fanout items — in-memory, same tiling.
+	// refs are positions within the level below; the node file stores
+	// dense IDs, so add the level's offset as rtree.Build does after ID
+	// assignment.
+	offset := int64(0)
+	for counts[len(counts)-1] > 1 {
+		below := counts[len(counts)-1]
+		sort.Slice(items, func(i, j int) bool { return strLess(items[i], items[j]) })
+		for i := range items {
+			items[i].ref += offset
+		}
+		pos := 0
+		up, nodes, err := packLevel(len(counts), below, func() (rtreeItem, bool) {
+			if pos == len(items) {
+				return rtreeItem{}, false
+			}
+			it := items[pos]
+			pos++
+			return it, true
+		})
+		if err != nil {
+			return err
+		}
+		offset += below
+		items = up
+		counts = append(counts, nodes)
+	}
+	return assembleTree(treePath, rtrMagic, fanout, levelFiles, counts)
+}
+
+// TreeFile is an open node file: either tree kind, mmap'd, nodes
+// addressed by dense ID.
+type TreeFile struct {
+	m       *mapping
+	fanout  int
+	counts  []int64
+	offsets []int64 // dense-ID offset of each level
+	recSize int64
+	base    int64 // byte offset of the first node record
+	rtree   bool
+}
+
+// OpenBPTreeFile maps a B+-tree node file.
+func OpenBPTreeFile(path string) (*TreeFile, error) { return openTree(path, bptMagic, false) }
+
+// OpenRTreeFile maps an R-tree node file.
+func OpenRTreeFile(path string) (*TreeFile, error) { return openTree(path, rtrMagic, true) }
+
+func openTree(path string, magic [8]byte, rtree bool) (*TreeFile, error) {
+	m, err := openMapping(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := newTreeFile(m, magic, rtree)
+	if err != nil {
+		m.close()
+		return nil, err
+	}
+	return t, nil
+}
+
+func newTreeFile(m *mapping, magic [8]byte, rtree bool) (*TreeFile, error) {
+	data := m.data
+	if len(data) < 16 {
+		return nil, fmt.Errorf("diskstore: tree file of %d bytes is truncated", len(data))
+	}
+	if string(data[:8]) != string(magic[:]) {
+		return nil, fmt.Errorf("diskstore: bad tree magic %q", data[:8])
+	}
+	fanout := int(binary.LittleEndian.Uint32(data[8:12]))
+	levels := int(binary.LittleEndian.Uint32(data[12:16]))
+	if fanout < 2 || levels < 1 || levels > 64 {
+		return nil, fmt.Errorf("diskstore: tree header fanout=%d levels=%d invalid", fanout, levels)
+	}
+	if len(data) < 16+levels*8 {
+		return nil, fmt.Errorf("diskstore: tree header truncated")
+	}
+	t := &TreeFile{m: m, fanout: fanout, rtree: rtree, base: int64(16 + levels*8)}
+	if rtree {
+		t.recSize = int64(rtrRecSize(fanout))
+	} else {
+		t.recSize = int64(bptRecSize(fanout))
+	}
+	var total int64
+	for i := 0; i < levels; i++ {
+		c := int64(binary.LittleEndian.Uint64(data[16+i*8:]))
+		if c < 1 {
+			return nil, fmt.Errorf("diskstore: tree level %d has %d nodes", i, c)
+		}
+		t.offsets = append(t.offsets, total)
+		t.counts = append(t.counts, c)
+		total += c
+	}
+	if t.counts[levels-1] != 1 {
+		return nil, fmt.Errorf("diskstore: tree has %d roots", t.counts[levels-1])
+	}
+	if want := t.base + total*t.recSize; want != int64(len(data)) {
+		return nil, fmt.Errorf("diskstore: tree file is %d bytes, header implies %d", len(data), want)
+	}
+	return t, nil
+}
+
+// Close unmaps the node file.
+func (t *TreeFile) Close() error { return t.m.close() }
+
+// Fanout returns the build fanout.
+func (t *TreeFile) Fanout() int { return t.fanout }
+
+// Height returns the level count.
+func (t *TreeFile) Height() int { return len(t.counts) }
+
+// NodeCount returns the total node count.
+func (t *TreeFile) NodeCount() int {
+	return int(t.offsets[len(t.offsets)-1] + t.counts[len(t.counts)-1])
+}
+
+// RootID returns the root's dense node ID (always the last node).
+func (t *TreeFile) RootID() int { return t.NodeCount() - 1 }
+
+// LevelOf returns the level holding the given dense node ID.
+func (t *TreeFile) LevelOf(id int) int {
+	for li := len(t.offsets) - 1; li >= 0; li-- {
+		if int64(id) >= t.offsets[li] {
+			return li
+		}
+	}
+	return 0
+}
+
+func (t *TreeFile) rec(id int) []byte {
+	off := t.base + int64(id)*t.recSize
+	return t.m.data[off : off+t.recSize]
+}
+
+// BPTreeNode returns node id of a B+-tree file: its level, keys, and
+// refs (object IDs at level 0, child node IDs above).
+func (t *TreeFile) BPTreeNode(id int) (level int, keys []uint64, refs []int64) {
+	rec := t.rec(id)
+	cnt := int(binary.LittleEndian.Uint16(rec[0:2]))
+	for i := 0; i < cnt; i++ {
+		keys = append(keys, binary.LittleEndian.Uint64(rec[2+i*16:]))
+		refs = append(refs, int64(binary.LittleEndian.Uint64(rec[2+i*16+8:])))
+	}
+	return t.LevelOf(id), keys, refs
+}
+
+// RTreeNode returns node id of an R-tree file: its level, node MBR,
+// entry MBRs, and refs (object IDs at level 0, child node IDs above).
+func (t *TreeFile) RTreeNode(id int) (level int, mbr spatial.Rect, mbrs []spatial.Rect, refs []int64) {
+	rec := t.rec(id)
+	mbr = spatial.Rect{
+		MinX: binary.LittleEndian.Uint32(rec[0:]),
+		MinY: binary.LittleEndian.Uint32(rec[4:]),
+		MaxX: binary.LittleEndian.Uint32(rec[8:]),
+		MaxY: binary.LittleEndian.Uint32(rec[12:]),
+	}
+	cnt := int(binary.LittleEndian.Uint16(rec[16:18]))
+	for i := 0; i < cnt; i++ {
+		at := 18 + i*24
+		mbrs = append(mbrs, spatial.Rect{
+			MinX: binary.LittleEndian.Uint32(rec[at:]),
+			MinY: binary.LittleEndian.Uint32(rec[at+4:]),
+			MaxX: binary.LittleEndian.Uint32(rec[at+8:]),
+			MaxY: binary.LittleEndian.Uint32(rec[at+12:]),
+		})
+		refs = append(refs, int64(binary.LittleEndian.Uint64(rec[at+16:])))
+	}
+	return t.LevelOf(id), mbr, mbrs, refs
+}
+
+// Lookup searches a B+-tree file for key, returning the object ID and
+// whether it exists — the node file serving queries directly from disk.
+func (t *TreeFile) Lookup(key uint64) (int64, bool) {
+	if t.rtree {
+		panic("diskstore: Lookup on an R-tree file")
+	}
+	id := t.RootID()
+	for t.LevelOf(id) > 0 {
+		_, keys, refs := t.BPTreeNode(id)
+		i := sort.Search(len(keys), func(i int) bool { return keys[i] > key }) - 1
+		if i < 0 {
+			i = 0
+		}
+		id = int(refs[i])
+	}
+	_, keys, refs := t.BPTreeNode(id)
+	i := sort.Search(len(keys), func(i int) bool { return keys[i] >= key })
+	if i < len(keys) && keys[i] == key {
+		return refs[i], true
+	}
+	return 0, false
+}
+
+// Window searches an R-tree file, returning the object IDs inside w
+// ascending — the node file serving queries directly from disk.
+func (t *TreeFile) Window(w spatial.Rect) []int64 {
+	if !t.rtree {
+		panic("diskstore: Window on a B+-tree file")
+	}
+	var out []int64
+	var walk func(id int)
+	walk = func(id int) {
+		level, mbr, mbrs, refs := t.RTreeNode(id)
+		if !mbr.Intersects(w) {
+			return
+		}
+		for i, m := range mbrs {
+			if !w.Intersects(m) {
+				continue
+			}
+			if level == 0 {
+				out = append(out, refs[i])
+			} else {
+				walk(int(refs[i]))
+			}
+		}
+	}
+	walk(t.RootID())
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,185 @@
+package diskstore
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dsi/internal/bptree"
+	"dsi/internal/dataset"
+	"dsi/internal/dsi"
+	"dsi/internal/rtree"
+	"dsi/internal/spatial"
+)
+
+// buildSidecars runs a streaming image build with sidecars kept and
+// returns the sorted-object file path plus the in-memory dataset for
+// reference builds.
+func buildSidecars(t *testing.T, n int, order uint, seed int64, budget int) (string, *dataset.Dataset) {
+	t.Helper()
+	dir := t.TempDir()
+	img := filepath.Join(dir, "t.img")
+	stats, err := BuildImage(img, UniformStream(n, order, seed),
+		dsi.Config{Capacity: 64}, BuildOptions{Budget: budget, KeepSidecars: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ObjectsPath == "" {
+		t.Fatal("KeepSidecars left no objects path")
+	}
+	return stats.ObjectsPath, dataset.Uniform(n, order, seed)
+}
+
+// TestBPTreeFileIdentity: the disk-built B+-tree node file must hold
+// node-for-node what bptree.Build constructs over the same keys.
+func TestBPTreeFileIdentity(t *testing.T) {
+	for _, tc := range []struct{ n, fanout, budget int }{
+		{n: 500, fanout: 3, budget: 64}, // several levels, spilled sort
+		{n: 300, fanout: 7, budget: 0},
+		{n: 4, fanout: 5, budget: 0}, // single-leaf root
+	} {
+		objPath, ds := buildSidecars(t, tc.n, 8, 11, tc.budget)
+		treePath := objPath + ".bpt"
+		if err := BuildBPTreeFile(treePath, objPath, tc.fanout); err != nil {
+			t.Fatal(err)
+		}
+
+		keys := make([]uint64, ds.N())
+		vals := make([]int, ds.N())
+		for i, o := range ds.Objects {
+			keys[i], vals[i] = o.HC, o.ID
+		}
+		want, err := bptree.Build(keys, vals, tc.fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		tf, err := OpenBPTreeFile(treePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tf.Height() != want.Height() || tf.NodeCount() != want.NodeCount() || tf.Fanout() != want.Fanout {
+			t.Fatalf("tree shape (h=%d, nodes=%d, fanout=%d) != (h=%d, nodes=%d, fanout=%d)",
+				tf.Height(), tf.NodeCount(), tf.Fanout(), want.Height(), want.NodeCount(), want.Fanout)
+		}
+		if tf.RootID() != want.Root().ID {
+			t.Fatalf("root ID %d != %d", tf.RootID(), want.Root().ID)
+		}
+		for id := 0; id < want.NodeCount(); id++ {
+			wn := want.Node(id)
+			level, gk, gr := tf.BPTreeNode(id)
+			if level != wn.Level {
+				t.Fatalf("node %d: level %d != %d", id, level, wn.Level)
+			}
+			if len(gk) != len(wn.Keys) {
+				t.Fatalf("node %d: %d keys != %d", id, len(gk), len(wn.Keys))
+			}
+			for i := range gk {
+				if gk[i] != wn.Keys[i] {
+					t.Fatalf("node %d key %d: %d != %d", id, i, gk[i], wn.Keys[i])
+				}
+				wantRef := int64(0)
+				if wn.Level == 0 {
+					wantRef = int64(wn.Vals[i])
+				} else {
+					wantRef = int64(wn.Children[i])
+				}
+				if gr[i] != wantRef {
+					t.Fatalf("node %d ref %d: %d != %d", id, i, gr[i], wantRef)
+				}
+			}
+		}
+
+		// The node file answers lookups directly.
+		for _, o := range ds.Objects[:min(50, ds.N())] {
+			got, ok := tf.Lookup(o.HC)
+			if !ok || got != int64(o.ID) {
+				t.Fatalf("Lookup(%d) = (%d, %v), want (%d, true)", o.HC, got, ok, o.ID)
+			}
+		}
+		if _, ok := tf.Lookup(^uint64(0)); ok {
+			t.Fatal("Lookup found a key that does not exist")
+		}
+		if err := tf.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRTreeFileIdentity: the disk-built R-tree node file must hold
+// node-for-node what rtree.Build packs over the same dataset.
+func TestRTreeFileIdentity(t *testing.T) {
+	for _, tc := range []struct{ n, fanout, budget int }{
+		{n: 600, fanout: 3, budget: 70}, // several levels, spilled external leaf sort
+		{n: 350, fanout: 10, budget: 0},
+		{n: 3, fanout: 4, budget: 0}, // single-leaf root
+	} {
+		objPath, ds := buildSidecars(t, tc.n, 8, 23, tc.budget)
+		treePath := objPath + ".rtr"
+		if err := BuildRTreeFile(treePath, objPath, tc.fanout,
+			BuildOptions{Budget: tc.budget}); err != nil {
+			t.Fatal(err)
+		}
+
+		want, err := rtree.Build(ds, tc.fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		tf, err := OpenRTreeFile(treePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tf.Height() != want.Height() || tf.NodeCount() != want.NodeCount() {
+			t.Fatalf("tree shape (h=%d, nodes=%d) != (h=%d, nodes=%d)",
+				tf.Height(), tf.NodeCount(), want.Height(), want.NodeCount())
+		}
+		for id := 0; id < want.NodeCount(); id++ {
+			wn := want.Node(id)
+			level, mbr, mbrs, refs := tf.RTreeNode(id)
+			if level != wn.Level {
+				t.Fatalf("node %d: level %d != %d", id, level, wn.Level)
+			}
+			if mbr != wn.MBR {
+				t.Fatalf("node %d: MBR %v != %v", id, mbr, wn.MBR)
+			}
+			if len(mbrs) != len(wn.MBRs) {
+				t.Fatalf("node %d: %d entries != %d", id, len(mbrs), len(wn.MBRs))
+			}
+			for i := range mbrs {
+				if mbrs[i] != wn.MBRs[i] {
+					t.Fatalf("node %d entry %d: MBR %v != %v", id, i, mbrs[i], wn.MBRs[i])
+				}
+				wantRef := int64(0)
+				if wn.Level == 0 {
+					wantRef = int64(wn.Objects[i])
+				} else {
+					wantRef = int64(wn.Children[i])
+				}
+				if refs[i] != wantRef {
+					t.Fatalf("node %d ref %d: %d != %d", id, i, refs[i], wantRef)
+				}
+			}
+		}
+
+		// The node file answers window queries directly.
+		for _, w := range []spatial.Rect{
+			{MinX: 10, MinY: 10, MaxX: 120, MaxY: 90},
+			{MinX: 0, MinY: 0, MaxX: 255, MaxY: 255},
+			{MinX: 200, MinY: 200, MaxX: 201, MaxY: 201},
+		} {
+			wantIDs := want.Window(w)
+			gotIDs := tf.Window(w)
+			if len(gotIDs) != len(wantIDs) {
+				t.Fatalf("Window(%v): %d hits != %d", w, len(gotIDs), len(wantIDs))
+			}
+			for i := range gotIDs {
+				if gotIDs[i] != int64(wantIDs[i]) {
+					t.Fatalf("Window(%v) hit %d: %d != %d", w, i, gotIDs[i], wantIDs[i])
+				}
+			}
+		}
+		if err := tf.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

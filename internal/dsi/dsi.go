@@ -152,6 +152,36 @@ func (c Config) entryWidth() int {
 	return entryBytes
 }
 
+// Geometry is the frame geometry of a DSI broadcast: everything the
+// sizing policy derives from (n, Config), with no reference to the
+// dataset's contents. It is a pure function of those inputs
+// (PlanGeometry), so the out-of-core build can size and address a
+// broadcast it never materializes — slot arithmetic, frame-to-object
+// mapping, and table shape all live here.
+type Geometry struct {
+	// N is the object count the geometry was planned for; Capacity and
+	// Segments echo the planned Config.
+	N, Capacity, Segments int
+
+	// NF is the number of frames in a cycle; NO the object factor
+	// (objects per frame, the last frame may hold fewer); E the number
+	// of entries per index table; Base the effective index base r
+	// (equal to Config.IndexBase except under SizingAuto, which raises
+	// it until the one-packet table covers the cycle); EntryWidth the
+	// on-air bytes of one table entry under the build's pointer
+	// reservation.
+	NF, NO, E, Base, EntryWidth int
+
+	// TablePackets, ObjPackets and FramePackets give the frame layout:
+	// a frame occupies FramePackets = TablePackets + NO*ObjPackets
+	// consecutive slots (frames are padded to uniform size).
+	TablePackets, ObjPackets, FramePackets int
+
+	// segStart[j] is the first frame id of broadcast segment j;
+	// segStart[Segments] = NF is a sentinel.
+	segStart []int
+}
+
 // Index is a built DSI broadcast: the program plus the static metadata
 // ("catalog") that clients are assumed to know a priori (dataset size,
 // curve order, frame geometry, segment split HC values).
@@ -159,17 +189,7 @@ type Index struct {
 	DS  *dataset.Dataset
 	Cfg Config
 
-	// NF is the number of frames in a cycle; NO the object factor
-	// (objects per frame, the last frame may hold fewer); E the number
-	// of entries per index table; Base the effective index base r
-	// (equal to Cfg.IndexBase except under SizingAuto, which raises it
-	// until the one-packet table covers the cycle).
-	NF, NO, E, Base int
-
-	// TablePackets, ObjPackets and FramePackets give the frame layout:
-	// a frame occupies FramePackets = TablePackets + NO*ObjPackets
-	// consecutive slots (frames are padded to uniform size).
-	TablePackets, ObjPackets, FramePackets int
+	Geometry
 
 	// Prog is the cyclic broadcast program.
 	Prog *broadcast.Program
@@ -188,10 +208,9 @@ type Index struct {
 	// constructed with NewClient run on it.
 	single *Layout
 
-	// segStart[j] is the first frame id of broadcast segment j;
-	// segStart[m] = NF is a sentinel. Splits[j] = minHC[segStart[j]].
-	segStart []int
-	Splits   []uint64
+	// Splits[j] = minHC[segStart[j]], the first HC value of broadcast
+	// segment j.
+	Splits []uint64
 
 	// tables[pos] is the index table broadcast with the frame at cycle
 	// position pos, precomputed at Build time (entry slices share one
@@ -200,15 +219,19 @@ type Index struct {
 	tables []Table
 }
 
-// Build constructs the DSI broadcast program for the dataset.
-func Build(ds *dataset.Dataset, cfg Config) (*Index, error) {
+// PlanGeometry sizes the broadcast for n objects under cfg, returning
+// the geometry plus the config with defaults applied. It is the pure
+// sizing half of Build: no dataset contents are consulted, so the
+// out-of-core image writer plans a 10^7-object broadcast without
+// materializing one object.
+func PlanGeometry(n int, cfg Config) (Geometry, Config, error) {
 	cfg = cfg.withDefaults()
-	n := ds.N()
 	if err := cfg.validate(n); err != nil {
-		return nil, err
+		return Geometry{}, cfg, err
 	}
 
-	x := &Index{DS: ds, Cfg: cfg, Base: cfg.IndexBase}
+	x := &Geometry{N: n, Capacity: cfg.Capacity, Segments: cfg.Segments,
+		Base: cfg.IndexBase, EntryWidth: cfg.entryWidth()}
 	switch cfg.Sizing {
 	case SizingAuto:
 		// Pick the object factor so the one-packet index table stays a
@@ -257,7 +280,7 @@ func Build(ds *dataset.Dataset, cfg Config) (*Index, error) {
 	case SizingPaperTable:
 		fit := (cfg.Capacity - broadcast.HCBytes) / cfg.entryWidth()
 		if fit < 1 {
-			return nil, fmt.Errorf("dsi: capacity %d cannot hold a one-packet index table", cfg.Capacity)
+			return Geometry{}, cfg, fmt.Errorf("dsi: capacity %d cannot hold a one-packet index table", cfg.Capacity)
 		}
 		nf := 1
 		for i := 0; i < fit && nf < n; i++ {
@@ -271,14 +294,32 @@ func Build(ds *dataset.Dataset, cfg Config) (*Index, error) {
 		x.E = entriesToCover(x.NF, cfg.IndexBase)
 		x.TablePackets = 1
 	default:
-		return nil, fmt.Errorf("dsi: unknown sizing %v", cfg.Sizing)
+		return Geometry{}, cfg, fmt.Errorf("dsi: unknown sizing %v", cfg.Sizing)
 	}
 	if x.NF < cfg.Segments {
-		return nil, fmt.Errorf("dsi: %d frames cannot be cut into %d segments", x.NF, cfg.Segments)
+		return Geometry{}, cfg, fmt.Errorf("dsi: %d frames cannot be cut into %d segments", x.NF, cfg.Segments)
 	}
 
 	x.ObjPackets = broadcast.PacketsFor(cfg.ObjectBytes, cfg.Capacity)
 	x.FramePackets = x.TablePackets + x.NO*x.ObjPackets
+
+	x.segStart = make([]int, cfg.Segments+1)
+	start := 0
+	for j := 0; j < cfg.Segments; j++ {
+		x.segStart[j] = start
+		start += x.segLen(j)
+	}
+	x.segStart[cfg.Segments] = x.NF
+	return *x, cfg, nil
+}
+
+// Build constructs the DSI broadcast program for the dataset.
+func Build(ds *dataset.Dataset, cfg Config) (*Index, error) {
+	geo, cfg, err := PlanGeometry(ds.N(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	x := &Index{DS: ds, Cfg: cfg, Geometry: geo}
 
 	x.minHC = make([]uint64, x.NF)
 	x.cellX = make([]uint32, x.NF)
@@ -288,16 +329,10 @@ func Build(ds *dataset.Dataset, cfg Config) (*Index, error) {
 		x.cellX[f], x.cellY[f] = ds.Curve.Decode(x.minHC[f])
 	}
 
-	m := cfg.Segments
-	x.segStart = make([]int, m+1)
-	x.Splits = make([]uint64, m)
-	start := 0
-	for j := 0; j < m; j++ {
-		x.segStart[j] = start
-		x.Splits[j] = x.minHC[start]
-		start += x.segLen(j)
+	x.Splits = make([]uint64, cfg.Segments)
+	for j := 0; j < cfg.Segments; j++ {
+		x.Splits[j] = x.minHC[x.segStart[j]]
 	}
-	x.segStart[m] = x.NF
 
 	slots := make([]broadcast.Slot, 0, x.NF*x.FramePackets)
 	for pos := 0; pos < x.NF; pos++ {
@@ -370,42 +405,41 @@ func baseToCover(nf, e, min int) int {
 // TableBytes returns the payload size of one index table: the frame's
 // own minimum HC value plus E (HC value, pointer) entries, at the
 // pointer width the build reserved (see Config.ReserveMCPtr).
-func (x *Index) TableBytes() int {
-	return broadcast.HCBytes + x.E*x.Cfg.entryWidth()
+func (g *Geometry) TableBytes() int {
+	return broadcast.HCBytes + g.E*g.EntryWidth
 }
 
 // segLen returns the number of frames in broadcast segment j: the
 // frames at cycle positions congruent to j modulo Segments.
-func (x *Index) segLen(j int) int {
-	return (x.NF - j + x.Cfg.Segments - 1) / x.Cfg.Segments
+func (g *Geometry) segLen(j int) int {
+	return (g.NF - j + g.Segments - 1) / g.Segments
 }
 
 // SegLen returns the number of frames in broadcast segment j.
-func (x *Index) SegLen(j int) int { return x.segStart[j+1] - x.segStart[j] }
+func (g *Geometry) SegLen(j int) int { return g.segStart[j+1] - g.segStart[j] }
 
 // SegStart returns the first frame id of broadcast segment j.
-func (x *Index) SegStart(j int) int { return x.segStart[j] }
+func (g *Geometry) SegStart(j int) int { return g.segStart[j] }
 
 // PosToFrame returns the frame id broadcast at cycle position pos.
 // Position p carries the (p div m)-th frame of segment (p mod m), so
 // segment frames appear interleaved and each segment's frames appear in
 // ascending HC order.
-func (x *Index) PosToFrame(pos int) int {
-	m := x.Cfg.Segments
-	return x.segStart[pos%m] + pos/m
+func (g *Geometry) PosToFrame(pos int) int {
+	m := g.Segments
+	return g.segStart[pos%m] + pos/m
 }
 
 // FrameToPos returns the cycle position at which frame f is broadcast.
-func (x *Index) FrameToPos(f int) int {
-	j := x.FrameSegment(f)
-	return j + x.Cfg.Segments*(f-x.segStart[j])
+func (g *Geometry) FrameToPos(f int) int {
+	j := g.FrameSegment(f)
+	return j + g.Segments*(f-g.segStart[j])
 }
 
 // FrameSegment returns the broadcast segment containing frame f.
-func (x *Index) FrameSegment(f int) int {
-	m := x.Cfg.Segments
-	for j := m - 1; j > 0; j-- {
-		if f >= x.segStart[j] {
+func (g *Geometry) FrameSegment(f int) int {
+	for j := g.Segments - 1; j > 0; j-- {
+		if f >= g.segStart[j] {
 			return j
 		}
 	}
@@ -430,24 +464,27 @@ func (x *Index) MinHC(f int) uint64 { return x.minHC[f] }
 
 // FrameObjects returns the dataset index range [first, first+num) of the
 // objects in frame f.
-func (x *Index) FrameObjects(f int) (first, num int) {
-	first = f * x.NO
-	num = x.NO
-	if first+num > x.DS.N() {
-		num = x.DS.N() - first
+func (g *Geometry) FrameObjects(f int) (first, num int) {
+	first = f * g.NO
+	num = g.NO
+	if first+num > g.N {
+		num = g.N - first
 	}
 	return first, num
 }
 
 // FrameStartSlot returns the cycle slot of the first packet of the frame
 // at position pos.
-func (x *Index) FrameStartSlot(pos int) int { return pos * x.FramePackets }
+func (g *Geometry) FrameStartSlot(pos int) int { return pos * g.FramePackets }
 
 // ObjectSlot returns the cycle slot of the first packet of the o-th
 // object (0-based within the frame) of the frame at position pos.
-func (x *Index) ObjectSlot(pos, o int) int {
-	return pos*x.FramePackets + x.TablePackets + o*x.ObjPackets
+func (g *Geometry) ObjectSlot(pos, o int) int {
+	return pos*g.FramePackets + g.TablePackets + o*g.ObjPackets
 }
+
+// CycleSlots returns the number of slots in one broadcast cycle.
+func (g *Geometry) CycleSlots() int { return g.NF * g.FramePackets }
 
 // TableEntry is one index-table entry as received by a client: the frame
 // TargetPos positions ahead holds objects whose smallest HC value is

@@ -94,11 +94,11 @@ func TestFECExperimentRuns(t *testing.T) {
 		t.Fatalf("fec produced %d figures, want 6", len(res.Figures))
 	}
 	for i, f := range res.Figures {
-		// fec-a..d sweep the three small-object arms; fec-e/f sweep the
-		// coded-only paper-size (1KB) arm.
+		// fec-a..d sweep the three small-object arms; fec-e/f carry the
+		// coded paper-size (1KB) arm plus the censored retry estimate.
 		wantSeries := 3
 		if i >= 4 {
-			wantSeries = 1
+			wantSeries = 2
 		}
 		if len(f.Series) != wantSeries {
 			t.Fatalf("figure %s has %d series, want %d", f.ID, len(f.Series), wantSeries)
@@ -109,7 +109,7 @@ func TestFECExperimentRuns(t *testing.T) {
 			}
 		}
 	}
-	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 4 {
+	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 5 {
 		t.Fatalf("fec code-rate table malformed: %+v", res.Tables)
 	}
 }

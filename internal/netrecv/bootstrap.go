@@ -54,7 +54,21 @@ func Bootstrap(baseURL string, opt Options) (*Catalog, error) {
 // the dataset for kind "csv" stations (and overrides regeneration
 // otherwise); nil regenerates from the document's kind, n, order and
 // seed. The dataset checksum must match the station's.
+//
+// Regenerated catalogs (ds == nil) are served from a process-wide
+// cache keyed on every derivation input, so an attach storm — many
+// clients bootstrapping against the same station — costs one dataset
+// regeneration and one index build, not one per client. The cached
+// dataset, index, and layout are shared read-only; the returned
+// Catalog itself is fresh and carries the caller's live meta fields.
 func BuildCatalog(m wire.StationMeta, ds *dataset.Dataset) (*Catalog, error) {
+	if ds == nil && m.Dataset.Kind != "csv" {
+		return buildCatalogCached(m)
+	}
+	return buildCatalog(m, ds)
+}
+
+func buildCatalog(m wire.StationMeta, ds *dataset.Dataset) (*Catalog, error) {
 	if ds == nil {
 		switch m.Dataset.Kind {
 		case "uniform":

@@ -1,0 +1,57 @@
+// The catalog build cache. Every client that attaches to a station
+// derives the same dataset, index, and layout from the same meta
+// document — an attach storm of N clients would otherwise run N
+// identical index builds back to back (the build dominates attach cost
+// at paper-size datasets). The cache keys on every input BuildCatalog
+// reads from the document and single-flights concurrent misses, so the
+// storm costs one build and everyone shares the result read-only.
+
+package netrecv
+
+import (
+	"fmt"
+	"sync"
+
+	"dsi/internal/wire"
+)
+
+var catalogCache = struct {
+	sync.Mutex
+	m map[string]*catalogEntry
+}{m: make(map[string]*catalogEntry)}
+
+type catalogEntry struct {
+	once sync.Once
+	cat  *Catalog
+	err  error
+}
+
+// catalogKey fingerprints every meta field the catalog derivation
+// reads. Live fields (Now, Version, SlotsPerSec, transports) are
+// deliberately absent: they vary per fetch without changing the build.
+func catalogKey(m wire.StationMeta) string {
+	return fmt.Sprintf("%s|%d|%d|%d|%#x|%d|%d|%d|%t|%s|%d|%d|%v|%x",
+		m.Dataset.Kind, m.Dataset.N, m.Dataset.Order, m.Dataset.Seed, m.Dataset.Sum,
+		m.Capacity, m.Segments, m.ObjectBytes, m.ReserveMCPtr,
+		m.Scheduler, m.Channels, m.SwitchSlots, m.ShardBounds, m.FECDesc)
+}
+
+// buildCatalogCached is BuildCatalog for regenerated datasets: the
+// expensive derivation runs once per distinct key (derivation is
+// deterministic, so errors cache too); the returned Catalog is a fresh
+// shell over the shared build carrying this call's meta document.
+func buildCatalogCached(m wire.StationMeta) (*Catalog, error) {
+	key := catalogKey(m)
+	catalogCache.Lock()
+	e := catalogCache.m[key]
+	if e == nil {
+		e = &catalogEntry{}
+		catalogCache.m[key] = e
+	}
+	catalogCache.Unlock()
+	e.once.Do(func() { e.cat, e.err = buildCatalog(m, nil) })
+	if e.err != nil {
+		return nil, e.err
+	}
+	return &Catalog{Meta: m, DS: e.cat.DS, X: e.cat.X, Lay: e.cat.Lay, FEC: e.cat.FEC}, nil
+}

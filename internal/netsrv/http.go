@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"dsi/internal/obs"
 )
@@ -25,9 +26,15 @@ const streamQueueDepth = 32
 // streamConn is one live HTTP subscription: a bounded queue of flushes
 // the pacer publishes into and the writer goroutine drains.
 type streamConn struct {
-	q    chan flushSet
-	done chan struct{}
-	ch   int // -1 subscribes to every channel
+	q     chan flushSet
+	done  chan struct{}
+	chans []bool // per-channel subscription mask; nil subscribes to every channel
+}
+
+// wants reports whether the subscription carries batches of channel
+// ch. Control snapshots (ch < 0) go to everyone.
+func (c *streamConn) wants(ch int) bool {
+	return ch < 0 || c.chans == nil || c.chans[ch]
 }
 
 // Handler returns the station's HTTP surface.
@@ -49,35 +56,57 @@ func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
 	_ = json.NewEncoder(w).Encode(s.meta())
 }
 
-// parseCh reads the optional ?ch= selector: a single channel, or every
-// channel when absent.
-func (s *Server) parseCh(r *http.Request) (int, error) {
-	v := r.URL.Query().Get("ch")
-	if v == "" {
-		return -1, nil
+// parseCh reads the optional ?ch= selector: a comma-separated channel
+// list (repeatable as multiple ch= parameters), or every channel when
+// absent. Every listed channel is validated against the broadcast's
+// channel count — an unknown channel is a client error, never a
+// silent full fan-out. The returned mask is nil for the full set.
+func (s *Server) parseCh(r *http.Request) ([]bool, error) {
+	vals := r.URL.Query()["ch"]
+	if len(vals) == 0 {
+		return nil, nil
 	}
-	ch, err := strconv.Atoi(v)
-	if err != nil || ch < 0 || ch >= s.nch {
-		return 0, fmt.Errorf("channel %q out of range [0,%d)", v, s.nch)
+	mask := make([]bool, s.nch)
+	picked := 0
+	for _, v := range vals {
+		for _, part := range strings.Split(v, ",") {
+			ch, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("bad channel %q in ch=%q", part, v)
+			}
+			if ch < 0 || ch >= s.nch {
+				return nil, fmt.Errorf("channel %d out of range [0,%d)", ch, s.nch)
+			}
+			if !mask[ch] {
+				mask[ch] = true
+				picked++
+			}
+		}
 	}
-	return ch, nil
+	if picked == s.nch {
+		return nil, nil // the full set; no filtering needed
+	}
+	return mask, nil
 }
 
 // subscribe registers a stream connection with the pacer and returns
 // its unregister func. The initial control snapshot is queued as the
 // first flush so the subscription opens with the live directory and
 // FEC descriptor.
-func (s *Server) subscribe(ch int) (*streamConn, func()) {
+func (s *Server) subscribe(chans []bool) (*streamConn, func()) {
 	c := &streamConn{
-		q:    make(chan flushSet, streamQueueDepth),
-		done: make(chan struct{}),
-		ch:   ch,
+		q:     make(chan flushSet, streamQueueDepth),
+		done:  make(chan struct{}),
+		chans: chans,
 	}
 	c.q <- flushSet{batches: []slotBatch{s.ctrlSnapshot()}}
 	s.mu.Lock()
 	s.conns[c] = struct{}{}
 	s.mu.Unlock()
 	s.httpMet.ConnOpened()
+	if chans != nil {
+		s.httpMet.SubsetSubscribed()
+	}
 	return c, func() {
 		s.mu.Lock()
 		delete(s.conns, c)
@@ -135,7 +164,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		case fs := <-c.q:
 			for _, b := range fs.batches {
-				if c.ch >= 0 && b.ch >= 0 && b.ch != c.ch {
+				if !c.wants(b.ch) {
 					continue
 				}
 				if err := s.emit(w, b); err != nil {
@@ -169,7 +198,7 @@ func (s *Server) handleSSE(w http.ResponseWriter, r *http.Request) {
 			return
 		case fs := <-c.q:
 			for _, b := range fs.batches {
-				if c.ch >= 0 && b.ch >= 0 && b.ch != c.ch {
+				if !c.wants(b.ch) {
 					continue
 				}
 				if len(b.buf) == 0 {

@@ -52,7 +52,9 @@ type Config struct {
 	// Layout()/Version() (the Rebroadcaster) for live meta sampling.
 	Source station.PacketSource
 	// Layout is the channel layout the source transmits (its initial
-	// layout for a Rebroadcaster).
+	// layout for a Rebroadcaster). It may be nil when Source exposes
+	// Channels() int — a daemon serving an mmap'd wire-cycle image
+	// (diskstore.ImageSource) has no in-memory layout at all.
 	Layout *dsi.Layout
 	// Meta is the catalog document served at /v1/meta; the live fields
 	// (Version, FECDesc, Now, SlotsPerSec, CtrlEvery, UDP, Multicast)
@@ -118,10 +120,19 @@ type flushSet struct {
 }
 
 // New assembles a server over the source. The layout must match the
-// source's channel geometry.
+// source's channel geometry; without one the source itself must report
+// its channel count.
 func New(cfg Config) (*Server, error) {
-	if cfg.Source == nil || cfg.Layout == nil {
-		return nil, fmt.Errorf("netsrv: source and layout are required")
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("netsrv: source is required")
+	}
+	nch := 0
+	if cfg.Layout != nil {
+		nch = cfg.Layout.Channels()
+	} else if c, ok := cfg.Source.(interface{ Channels() int }); ok {
+		nch = c.Channels()
+	} else {
+		return nil, fmt.Errorf("netsrv: layout is required (source does not expose its channel count)")
 	}
 	if cfg.CtrlEvery <= 0 {
 		cfg.CtrlEvery = 256
@@ -130,7 +141,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:   cfg,
 		src:   cfg.Source,
 		lay:   cfg.Layout,
-		nch:   cfg.Layout.Channels(),
+		nch:   nch,
 		ctrl:  cfg.CtrlEvery,
 		conns: make(map[*streamConn]struct{}),
 	}

@@ -153,6 +153,7 @@ type NetStationMetrics struct {
 	Frames     *Counter // net frames emitted across all channels
 	CtrlFrames *Counter // in-band directory/FEC control frames emitted
 	Drops      *Counter // batches dropped on lagging consumers
+	SubsetSubs *Counter // subscriptions restricted to a channel subset (?ch=)
 	Bytes      []*Counter
 
 	reg *Registry
@@ -170,6 +171,7 @@ func NewNetStationMetrics(reg *Registry, transport string, channels int) *NetSta
 		Frames:     reg.Counter("station_net_frames_total", "net frames emitted, by transport", TransportLabel(transport)),
 		CtrlFrames: reg.Counter("station_net_ctrl_frames_total", "in-band directory/FEC control frames emitted, by transport", TransportLabel(transport)),
 		Drops:      reg.Counter("station_net_dropped_batches_total", "frame batches dropped on lagging consumers, by transport", TransportLabel(transport)),
+		SubsetSubs: reg.Counter("station_net_subset_subscriptions_total", "subscriptions restricted to a channel subset, by transport", TransportLabel(transport)),
 		reg:        reg,
 	}
 	m.Bytes = make([]*Counter, channels)
@@ -187,6 +189,14 @@ func (m *NetStationMetrics) BytesEmitted(ch int, n int) {
 		return
 	}
 	m.Bytes[ch].Add(int64(n))
+}
+
+// SubsetSubscribed counts one subscription that asked for a channel
+// subset rather than the full fan-out. Nil-safe.
+func (m *NetStationMetrics) SubsetSubscribed() {
+	if m != nil {
+		m.SubsetSubs.Add(1)
+	}
 }
 
 // ConnOpened / ConnClosed move the live-connection gauge. Nil-safe.

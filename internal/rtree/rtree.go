@@ -92,11 +92,18 @@ func Build(ds *dataset.Dataset, fanout int) (*Tree, error) {
 		nGroups := (len(items) + fanout - 1) / fanout
 		slabs := int(math.Ceil(math.Sqrt(float64(nGroups))))
 		perSlab := slabs * fanout
+		// Comparators are total orders (ties broken by ref) so the
+		// packing is a pure function of the item set: the in-memory
+		// sort here and the external merge sort of the out-of-core
+		// build produce the identical tree.
 		if level > 0 {
 			sort.Slice(items, func(i, j int) bool {
 				xi, _ := items[i].mbr.Center()
 				xj, _ := items[j].mbr.Center()
-				return xi < xj
+				if xi != xj {
+					return xi < xj
+				}
+				return items[i].ref < items[j].ref
 			})
 		}
 		var nodes []*Node
@@ -109,7 +116,10 @@ func Build(ds *dataset.Dataset, fanout int) (*Tree, error) {
 			sort.Slice(slab, func(i, j int) bool {
 				_, yi := slab[i].mbr.Center()
 				_, yj := slab[j].mbr.Center()
-				return yi < yj
+				if yi != yj {
+					return yi < yj
+				}
+				return slab[i].ref < slab[j].ref
 			})
 			for g := 0; g < len(slab); g += fanout {
 				ge := g + fanout

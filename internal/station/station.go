@@ -33,6 +33,15 @@ const (
 	flagParity
 )
 
+// The flag values, exported for byte-exact packet producers outside
+// the package — the diskstore image pipeline synthesizes the same
+// framing a Transmitter emits.
+const (
+	FlagIndex       = flagIndex
+	FlagObjectStart = flagObjectStart
+	FlagParity      = flagParity
+)
+
 // Packet is one on-air packet: framing plus payload. Ch identifies the
 // broadcast channel on multi-channel airs; the classic single-channel
 // transmitter always emits channel 0, and Scan rejects anything else.
@@ -88,6 +97,9 @@ func (t *Transmitter) Packet(slot int) Packet {
 	p.Slot = uint32(slot)
 	return p
 }
+
+// Capacity returns the transmitter's packet capacity in bytes.
+func (t *Transmitter) Capacity() int { return t.x.Cfg.Capacity }
 
 // CycleSlots returns the broadcast cycle length in packet slots —
 // physical slots on a coded transmitter.
@@ -148,6 +160,15 @@ func (t *Transmitter) Cycle(out chan<- Packet) {
 		out <- t.Packet(slot)
 	}
 	close(out)
+}
+
+// ObjectPayload builds the on-air payload of one data object exactly
+// as every transmitter does: wire header + deterministic filler
+// derived from the object ID, padded to size. Exported so the
+// diskstore image pipeline reproduces the byte stream without a
+// transmitter.
+func ObjectPayload(h wire.ObjectHeader, id, size int) []byte {
+	return objectBytes(h, id, size)
 }
 
 // objectBytes builds an object payload: wire header + deterministic
